@@ -1,0 +1,71 @@
+//! Criterion benches for the density-matrix kernels behind Table 2's cell
+//! characterizations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetarch::prelude::*;
+
+fn bench_gate_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dm_gates");
+    for n in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("cnot", n), &n, |b, &n| {
+            let mut rho = DensityMatrix::zero_state(n);
+            gates::h(&mut rho, 0);
+            b.iter(|| {
+                gates::cnot(&mut rho, 0, n - 1);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("h", n), &n, |b, &n| {
+            let mut rho = DensityMatrix::zero_state(n);
+            b.iter(|| {
+                gates::h(&mut rho, n / 2);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dm_channels");
+    let depol1 = Kraus1::depolarizing(0.01).unwrap();
+    let depol2 = Kraus2::depolarizing(0.01).unwrap();
+    let idle = IdleParams::new(0.5e-3, 0.5e-3).unwrap().channel(1e-6).unwrap();
+    for n in [4usize, 6] {
+        group.bench_with_input(BenchmarkId::new("depolarize1", n), &n, |b, &n| {
+            let mut rho = DensityMatrix::zero_state(n);
+            b.iter(|| depol1.apply(&mut rho, 0));
+        });
+        group.bench_with_input(BenchmarkId::new("depolarize2", n), &n, |b, &n| {
+            let mut rho = DensityMatrix::zero_state(n);
+            b.iter(|| depol2.apply(&mut rho, 0, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("idle", n), &n, |b, &n| {
+            let mut rho = DensityMatrix::zero_state(n);
+            b.iter(|| idle.apply(&mut rho, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cell_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_characterize");
+    group.sample_size(20);
+    let compute = catalog::fixed_frequency_qubit();
+    let storage = catalog::multimode_resonator_3d();
+    group.bench_function("register", |b| {
+        let cell = RegisterCell::new(compute.clone(), storage.clone()).unwrap();
+        b.iter(|| cell.characterize());
+    });
+    group.bench_function("usc_weight2_check", |b| {
+        let cell = UscCell::new(compute.clone(), storage.clone()).unwrap();
+        b.iter(|| cell.characterize());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_application,
+    bench_channels,
+    bench_cell_characterization
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates Fig. 12: code-teleportation logical error probability vs
+//! storage coherence for three code pairs (EP generation 1000 kHz,
+//! distillation target 99.5%).
+
+use hetarch::prelude::*;
+use hetarch_bench::{header, shots};
+
+fn main() {
+    header(
+        "Figure 12",
+        "CT logical error probability vs T_S for three code pairs",
+    );
+    let n = shots(10_000);
+    let pairs: Vec<(&str, StabilizerCode, StabilizerCode)> = vec![
+        ("SC3&RM", rotated_surface_code(3), reed_muller_15()),
+        ("SC3&SC4", rotated_surface_code(3), rotated_surface_code(4)),
+        ("17QCC&SC4", color_17(), rotated_surface_code(4)),
+    ];
+    let ts_ms = [0.5, 1.0, 2.5, 5.0, 10.0, 20.0, 50.0];
+
+    print!("{:>9}", "Ts (ms)");
+    for (name, _, _) in &pairs {
+        print!(" {:>11}", name);
+    }
+    println!();
+    for &ts in &ts_ms {
+        print!("{ts:>9.1}");
+        for (_, a, b) in &pairs {
+            let mut cfg = CtConfig::heterogeneous(a.clone(), b.clone(), ts * 1e-3);
+            cfg.shots = n;
+            let r = CtModule::new(cfg).evaluate();
+            print!(" {:>11.3}", r.logical_error_probability);
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "expected shape: error probability falls substantially with T_S; the\n\
+         simpler surface-code pair saturates past ~10 ms while pairs involving\n\
+         larger/non-planar codes keep improving toward 50 ms."
+    );
+}

@@ -1,0 +1,59 @@
+//! Regenerates Fig. 3: entanglement-distillation fidelity over time for the
+//! heterogeneous (Ts = 12.5 ms) and homogeneous (Ts = Tc = 0.5 ms) systems
+//! with probabilistic EP generation.
+
+use hetarch::prelude::*;
+use hetarch_bench::header;
+
+fn trace(config: DistillConfig, label: &str) {
+    let mut config = config;
+    config.consume_output = false;
+    config.trace_interval = Some(2e-6);
+    let report = DistillModule::new(config).run(100e-6);
+    println!("-- {label} --");
+    println!("{:>10} {:>16} {:>16}", "t (us)", "memory 1-F", "output 1-F");
+    for p in &report.trace {
+        println!(
+            "{:>10.1} {:>16} {:>16}",
+            p.time * 1e6,
+            p.memory_infidelity
+                .map(|x| format!("{x:.5}"))
+                .unwrap_or_else(|| "-".into()),
+            p.output_infidelity
+                .map(|x| format!("{x:.5}"))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    let best = report
+        .trace
+        .iter()
+        .filter_map(|p| p.output_infidelity)
+        .fold(f64::MAX, f64::min);
+    if best < f64::MAX {
+        println!("best output infidelity: {best:.5}");
+    } else {
+        println!("no pairs reached the output register");
+    }
+    println!();
+}
+
+fn main() {
+    header(
+        "Figure 3",
+        "Best output-register EP infidelity over 100 us; EP generation 2 MHz,\n\
+         raw infidelity 0.01-0.1, target 0.995",
+    );
+    let rate = 2e6;
+    trace(
+        DistillConfig::heterogeneous(12.5e-3, rate, 3),
+        "heterogeneous, Ts = 12.5 ms/mode",
+    );
+    trace(
+        DistillConfig::homogeneous(rate, 3),
+        "homogeneous, Ts = Tc = 0.5 ms",
+    );
+    println!(
+        "expected shape: the heterogeneous trace reaches lower infidelity minima\n\
+         and decays more slowly between distillation events."
+    );
+}

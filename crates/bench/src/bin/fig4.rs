@@ -1,0 +1,40 @@
+//! Regenerates Fig. 4: distilled-EP rate (fidelity ≥ 0.995) as a function of
+//! the raw EP generation rate and storage coherence T_S. The homogeneous
+//! system is the Ts = Tc = 0.5 ms row.
+
+use hetarch::prelude::*;
+use hetarch_bench::{header, sim_duration};
+
+fn main() {
+    header(
+        "Figure 4",
+        "Distilled EP rate (kHz) vs generation rate (kHz) and storage coherence",
+    );
+    let duration = sim_duration(10.0);
+    let gen_rates_khz = [100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0, 100_000.0];
+    let ts_ms = [0.5, 1.0, 2.5, 5.0, 12.5, 50.0];
+
+    print!("{:>12}", "gen (kHz)");
+    for ts in ts_ms {
+        print!(" {:>9}", format!("Ts={ts}ms"));
+    }
+    println!(" {:>9}", "hom");
+    for &g in &gen_rates_khz {
+        let rate = g * 1e3;
+        print!("{g:>12.0}");
+        for &ts in &ts_ms {
+            let r = DistillModule::new(DistillConfig::heterogeneous(ts * 1e-3, rate, 4))
+                .run(duration);
+            print!(" {:>9.1}", r.delivered_rate_hz / 1e3);
+        }
+        let hom = DistillModule::new(DistillConfig::homogeneous(rate, 4)).run(duration);
+        println!(" {:>9.1}", hom.delivered_rate_hz / 1e3);
+    }
+    println!();
+    println!(
+        "expected shape: rates rise with generation rate; het with Ts >= 2.5 ms\n\
+         beats the homogeneous column by >= 2x in the mid range; the homogeneous\n\
+         system delivers essentially nothing below ~1000 kHz while het still\n\
+         works at ~100 kHz."
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates Fig. 6: logical error rate per cycle of a distance-13 surface
+//! code as data-qubit (T_CD) or ancilla-qubit (T_CA) coherence is scaled by
+//! α from the Tc = 0.1 ms baseline.
+
+use hetarch::prelude::*;
+use hetarch_bench::{header, shots};
+
+fn main() {
+    header(
+        "Figure 6",
+        "d = 13 surface code, Tc baseline 0.1 ms, p2 = 1%, 1 us readout.\n\
+         Column 2: T_CD = a x 0.1 ms (ancilla fixed). Column 3: T_CA scaled instead.",
+    );
+    let n = shots(20_000);
+    let d = 13;
+    let base = SurfaceNoise::default(); // Tc = 0.1 ms baseline per §4.2.1
+
+    println!(
+        "{:>6} {:>18} {:>18}",
+        "alpha", "scale data (TCD)", "scale ancilla (TCA)"
+    );
+    let mut homogeneous = None;
+    for alpha in [1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0] {
+        let data_noise = SurfaceNoise {
+            t_data: base.t_data * alpha,
+            ..base
+        };
+        let anc_noise = SurfaceNoise {
+            t_anc: base.t_anc * alpha,
+            ..base
+        };
+        let (_, p_data) = SurfaceMemory::new(d, d, data_noise).logical_error_rate(n, 6);
+        let (_, p_anc) = SurfaceMemory::new(d, d, anc_noise).logical_error_rate(n, 7);
+        if alpha == 1.0 {
+            homogeneous = Some(p_data);
+        }
+        println!("{alpha:>6.1} {p_data:>18.5} {p_anc:>18.5}");
+    }
+    if let Some(h) = homogeneous {
+        println!("\nhomogeneous baseline (alpha = 1): {h:.5}");
+    }
+    println!(
+        "expected shape: increasing T_CD reduces the logical error by ~2.5x by\n\
+         T_CD ~ 0.5 ms (alpha = 5) with diminishing returns after; increasing\n\
+         T_CA barely moves the curve (data idling during the 1 us readout\n\
+         dominates)."
+    );
+}

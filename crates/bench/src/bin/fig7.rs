@@ -1,0 +1,40 @@
+//! Regenerates Fig. 7: surface-code logical error rate per cycle for code
+//! distances d = 5…18 as a function of the T_CD/T_CA ratio. The homogeneous
+//! system is the ratio-1 column.
+
+use hetarch::prelude::*;
+use hetarch_bench::{header, shots};
+
+fn main() {
+    header(
+        "Figure 7",
+        "Logical error per cycle vs distance for T_CD/T_CA ratios (T_CA = 0.1 ms)",
+    );
+    let n = shots(20_000);
+    let ratios = [1.0, 2.0, 3.0, 4.0, 5.0, 8.0];
+    let distances = [5usize, 7, 9, 11, 13, 15, 18];
+
+    print!("{:>6}", "d");
+    for r in ratios {
+        print!(" {:>10}", format!("ratio={r}"));
+    }
+    println!();
+    for &d in &distances {
+        print!("{d:>6}");
+        for &ratio in &ratios {
+            let noise = SurfaceNoise {
+                t_data: 0.1e-3 * ratio,
+                ..SurfaceNoise::default()
+            };
+            let (_, p) = SurfaceMemory::new(d, d, noise).logical_error_rate(n, 8 + d as u64);
+            print!(" {:>10.5}", p);
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "expected shape: at ratio 1 the code sits near threshold (flat or rising\n\
+         in d); larger ratios push it below threshold so the error falls with d;\n\
+         gains saturate beyond ratio ~5 (two-qubit gate error becomes limiting)."
+    );
+}

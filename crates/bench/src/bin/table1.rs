@@ -1,0 +1,60 @@
+//! Regenerates Table 1: properties of near-term superconducting devices.
+
+use hetarch::prelude::*;
+use hetarch_bench::header;
+
+fn main() {
+    header(
+        "Table 1",
+        "Properties of near-term superconducting quantum devices",
+    );
+    println!(
+        "{:<42} {:>14} {:>10} {:>18} {:>6} {:>9} {:>22}",
+        "Device", "T1/T2 (ms)", "Readout", "Gate (err@time)", "Conn", "Ctrl I/O", "Footprint (mm)"
+    );
+    for d in catalog::catalog() {
+        let readout = d
+            .readout_time
+            .map(|t| format!("{:.0} us", t * 1e6))
+            .unwrap_or_else(|| "N/A".into());
+        let gate = match (d.gate_2q, d.gate_set) {
+            (Some(g), _) => format!("{:.0e}@{:.0}ns (arb)", g.error, g.time * 1e9),
+            (None, _) => format!("{:.0e}@{:.0}ns (SWAP)", d.swap.error, d.swap.time * 1e9),
+        };
+        let fp = if d.footprint.z_mm > 0.0 {
+            format!(
+                "{} x {} x {}",
+                d.footprint.x_mm, d.footprint.y_mm, d.footprint.z_mm
+            )
+        } else {
+            format!("{} x {}", d.footprint.x_mm, d.footprint.y_mm)
+        };
+        println!(
+            "{:<42} {:>6.1}/{:<7.1} {:>10} {:>18} {:>6} {:>9} {:>22}",
+            d.name,
+            d.t1 * 1e3,
+            d.t2 * 1e3,
+            readout,
+            gate,
+            d.max_connectivity,
+            d.control.total(),
+            fp
+        );
+    }
+    println!();
+    println!("Extended storage options (paper §3.1 discussion, beyond Table 1):");
+    for d in hetarch::devices::catalog::extended_storage_options() {
+        println!(
+            "  {:<40} T1 = {:>8.1} ms   swap {:.0e}@{:.0}ns",
+            d.name,
+            d.t1 * 1e3,
+            d.swap.error,
+            d.swap.time * 1e9
+        );
+    }
+    println!();
+    println!("Control-overhead comparison (paper §3.1): storing 30 qubits");
+    let (het, hom) = hetarch::devices::footprint::control_savings(30, 10);
+    println!("  heterogeneous (3 resonators): {het} lines");
+    println!("  homogeneous  (30 transmons):  {hom} lines");
+}

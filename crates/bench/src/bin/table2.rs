@@ -1,0 +1,74 @@
+//! Regenerates Table 2: the quantum standard cells, characterized by exact
+//! density-matrix simulation.
+
+use hetarch::prelude::*;
+use hetarch_bench::header;
+
+fn main() {
+    header(
+        "Table 2",
+        "Quantum standard cells (density-matrix characterization; Table-1 devices)",
+    );
+    let lib = CellLibrary::new();
+    let compute = catalog::fixed_frequency_qubit();
+    let storage = catalog::multimode_resonator_3d();
+
+    let reg = lib.register(&compute, &storage);
+    println!("Register  (1 storage + 1 compute, DR2/DR4 compliant)");
+    println!(
+        "  load/save: F = {:.5} in {:.0} ns; Ts = {:.1} ms over {} modes",
+        reg.load.fidelity,
+        reg.load.duration * 1e9,
+        reg.storage_idle.t1 * 1e3,
+        reg.modes
+    );
+
+    let pc = lib.parcheck(&compute, &compute);
+    println!("ParCheck  (2 compute, one with readout)");
+    println!(
+        "  parity check: F = {:.5} in {:.2} us (1q {:.0} ns / 2q {:.0} ns / readout {:.0} us)",
+        pc.parity.fidelity,
+        pc.parity.duration * 1e6,
+        pc.gate_1q.time * 1e9,
+        pc.gate_2q.time * 1e9,
+        pc.readout_time * 1e6
+    );
+
+    let seq = lib.seqop(&compute, &storage);
+    println!("SeqOp     (2 Registers + readout compute in a triangle)");
+    println!(
+        "  stored-qubit CNOT: F = {:.5} in {:.2} us; side parity check F = {:.5}",
+        seq.seq_cnot.fidelity,
+        seq.seq_cnot.duration * 1e6,
+        seq.parity.fidelity
+    );
+
+    let usc = lib.usc(&compute, &storage);
+    println!("USC       (3 Registers around a readout ancilla)");
+    println!(
+        "  weight-2 Z check: F = {:.5} in {:.2} us; capacity {} qubits",
+        usc.check2.fidelity,
+        usc.check2.duration * 1e6,
+        usc.capacity
+    );
+    println!(
+        "  serialized check durations: w=4 -> {:.2} us, w=8 -> {:.2} us",
+        usc.check_duration(4) * 1e6,
+        usc.check_duration(8) * 1e6
+    );
+
+    println!();
+    println!("Swapping the storage unit (same cells, different device):");
+    for s in [
+        catalog::memory_3d(),
+        catalog::on_chip_multimode_resonator(),
+    ] {
+        let reg = lib.register(&compute, &s);
+        println!(
+            "  Register with {:<38} load F = {:.5}, Ts = {:>5.1} ms",
+            s.name,
+            reg.load.fidelity,
+            reg.storage_idle.t1 * 1e3
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # hetarch-bench
+//!
+//! The benchmark harness regenerating every table and figure of the HetArch
+//! paper's evaluation (see `DESIGN.md`'s experiment index):
+//!
+//! | target | artifact |
+//! |--------|----------|
+//! | `table1` | Table 1 — device properties |
+//! | `table2` | Table 2 — standard-cell characterization |
+//! | `fig3`   | Fig. 3 — distillation fidelity over time |
+//! | `fig4`   | Fig. 4 — distilled-EP rate vs generation rate × T_S |
+//! | `fig6`   | Fig. 6 — d=13 surface code vs data/ancilla coherence |
+//! | `fig7`   | Fig. 7 — logical error vs distance for T_CD/T_CA ratios |
+//! | `fig9`   | Fig. 9 — QEC codes on the UEC module vs T_S |
+//! | `table3` | Table 3 — UEC vs homogeneous logical error rates |
+//! | `fig12`  | Fig. 12 — code teleportation vs T_S |
+//! | `table4` | Table 4 — CT logical error, all code pairs |
+//! | `dse_cost` | §1/§2 — hierarchical-simulation burden reduction |
+//! | `ablations` | design-choice ablations (DEJMPS fast path, scheduler policy, assignment search, SWAP-error sensitivity, chain parallelism) |
+//!
+//! Run e.g. `cargo run --release -p hetarch-bench --bin fig4`.
+//! Environment knobs: `HETARCH_SHOTS` scales Monte-Carlo shot counts,
+//! `HETARCH_DURATION_MS` scales event-simulation durations.
+
+/// Monte-Carlo shots, honoring the `HETARCH_SHOTS` override.
+pub fn shots(default: usize) -> usize {
+    std::env::var("HETARCH_SHOTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Event-simulation duration in seconds, honoring `HETARCH_DURATION_MS`.
+pub fn sim_duration(default_ms: f64) -> f64 {
+    std::env::var("HETARCH_DURATION_MS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(default_ms)
+        * 1e-3
+}
+
+/// Prints a figure/table header with provenance.
+pub fn header(id: &str, caption: &str) {
+    println!("== {id} ==");
+    println!("{caption}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply_without_env() {
+        std::env::remove_var("HETARCH_SHOTS");
+        assert_eq!(shots(123), 123);
+        assert_eq!(sim_duration(2.0), 2e-3);
+    }
+}

@@ -1,0 +1,109 @@
+//! The cell-to-module abstraction boundary.
+//!
+//! HetArch's scalability hinges on characterizing each standard cell *once*
+//! with exact density-matrix simulation and then abstracting it as a quantum
+//! channel (paper §2, §3.2). [`OpChannel`] is that abstraction: an operation
+//! name, a duration, a fidelity, and the residual error decomposition
+//! modules need for phenomenological composition (paper ref. 31).
+
+use serde::{Deserialize, Serialize};
+
+/// A characterized cell operation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpChannel {
+    /// Operation name (e.g. `"load"`, `"parity_check"`).
+    pub op: String,
+    /// Wall-clock duration in seconds.
+    pub duration: f64,
+    /// Average operation fidelity.
+    pub fidelity: f64,
+    /// Number of such operations the cell can run concurrently.
+    pub concurrency: u32,
+}
+
+impl OpChannel {
+    /// Creates a characterized operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fidelity is outside `[0, 1]` or the duration negative.
+    pub fn new(op: impl Into<String>, duration: f64, fidelity: f64, concurrency: u32) -> Self {
+        assert!(duration >= 0.0 && duration.is_finite(), "invalid duration");
+        assert!((0.0..=1.0).contains(&fidelity), "invalid fidelity {fidelity}");
+        OpChannel {
+            op: op.into(),
+            duration,
+            fidelity,
+            concurrency,
+        }
+    }
+
+    /// Error probability `1 − F`.
+    pub fn infidelity(&self) -> f64 {
+        1.0 - self.fidelity
+    }
+}
+
+/// Composes independent error rates (the paper's module-level
+/// phenomenological model, paper ref. 31): probability that at least one of two
+/// independent faults occurs.
+pub fn compose_errors(p: f64, q: f64) -> f64 {
+    p * (1.0 - q) + q * (1.0 - p)
+}
+
+/// Sums independent error rates across a sequence of operations, saturating
+/// at 1 (the module-level "independent error rates are summed" model of
+/// §4.3, accurate to first order and conservative beyond).
+pub fn sum_error_rates<I: IntoIterator<Item = f64>>(rates: I) -> f64 {
+    let mut acc = 0.0;
+    for r in rates {
+        acc = compose_errors(acc, r);
+    }
+    acc
+}
+
+/// Multiplicatively compounds fidelities (used for CAT-state assembly in
+/// §4.3: a large CAT is modeled from smaller pieces with multiplicative
+/// compounding).
+pub fn compound_fidelities<I: IntoIterator<Item = f64>>(fidelities: I) -> f64 {
+    fidelities.into_iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_accessors() {
+        let ch = OpChannel::new("load", 400e-9, 0.99, 1);
+        assert_eq!(ch.op, "load");
+        assert!((ch.infidelity() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fidelity")]
+    fn invalid_fidelity_panics() {
+        OpChannel::new("x", 0.0, 1.2, 1);
+    }
+
+    #[test]
+    fn error_composition_is_symmetric_and_bounded() {
+        assert_eq!(compose_errors(0.0, 0.3), 0.3);
+        assert_eq!(compose_errors(0.3, 0.0), 0.3);
+        let p = compose_errors(0.5, 0.5);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!(compose_errors(1.0, 0.2) <= 1.0);
+    }
+
+    #[test]
+    fn summed_rates_approach_first_order_sum_for_small_p() {
+        let total = sum_error_rates([1e-4, 2e-4, 3e-4]);
+        assert!((total - 6e-4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compounded_fidelities() {
+        let f = compound_fidelities([0.99, 0.98, 0.97]);
+        assert!((f - 0.99 * 0.98 * 0.97).abs() < 1e-12);
+    }
+}

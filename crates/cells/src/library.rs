@@ -1,0 +1,230 @@
+//! The cell library: cached characterizations.
+//!
+//! Characterizing a cell runs density-matrix simulations; design-space
+//! sweeps revisit the same `(T_C, T_S)` points constantly. The library
+//! memoizes characterizations and counts hits/misses — the counters feed the
+//! DSE cost ledger that reproduces the paper's ~10⁴ simulation-burden
+//! reduction claim.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use hetarch_devices::device::DeviceSpec;
+
+use crate::parcheck::{ParCheckCell, ParCheckChannel};
+use crate::register::{RegisterCell, RegisterChannel};
+use crate::seqop::{SeqOpCell, SeqOpChannel};
+use crate::usc::{UscCell, UscChannel};
+
+/// A memoizing cache of cell characterizations.
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_cells::library::CellLibrary;
+/// use hetarch_devices::catalog::{fixed_frequency_qubit, on_chip_multimode_resonator};
+///
+/// let lib = CellLibrary::new();
+/// let a = lib.register(&fixed_frequency_qubit(), &on_chip_multimode_resonator());
+/// let b = lib.register(&fixed_frequency_qubit(), &on_chip_multimode_resonator());
+/// assert_eq!(a.load.fidelity, b.load.fidelity);
+/// assert_eq!(lib.stats().misses, 1);
+/// assert_eq!(lib.stats().hits, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct CellLibrary {
+    registers: Mutex<HashMap<Key, Arc<RegisterChannel>>>,
+    parchecks: Mutex<HashMap<Key, Arc<ParCheckChannel>>>,
+    seqops: Mutex<HashMap<Key, Arc<SeqOpChannel>>>,
+    uscs: Mutex<HashMap<Key, Arc<UscChannel>>>,
+    stats: Mutex<CacheStats>,
+}
+
+/// Cache hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Characterizations served from cache.
+    pub hits: u64,
+    /// Characterizations computed by density-matrix simulation.
+    pub misses: u64,
+}
+
+type Key = Vec<u64>;
+
+fn key_of(specs: &[&DeviceSpec]) -> Key {
+    let mut k = Vec::new();
+    for s in specs {
+        k.push(s.t1.to_bits());
+        k.push(s.t2.to_bits());
+        k.push(s.swap.time.to_bits());
+        k.push(s.swap.error.to_bits());
+        if let Some(g) = s.gate_1q {
+            k.push(g.time.to_bits());
+            k.push(g.error.to_bits());
+        }
+        if let Some(g) = s.gate_2q {
+            k.push(g.time.to_bits());
+            k.push(g.error.to_bits());
+        }
+        k.push(s.readout_time.unwrap_or(0.0).to_bits());
+        k.push(s.capacity as u64);
+    }
+    k
+}
+
+impl CellLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        CellLibrary::default()
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    fn record(&self, hit: bool) {
+        let mut s = self.stats.lock();
+        if hit {
+            s.hits += 1;
+        } else {
+            s.misses += 1;
+        }
+    }
+
+    /// Characterized Register cell for a `(compute, storage)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair violates the design rules (the shipped catalog
+    /// devices never do).
+    pub fn register(&self, compute: &DeviceSpec, storage: &DeviceSpec) -> Arc<RegisterChannel> {
+        let key = key_of(&[compute, storage]);
+        if let Some(ch) = self.registers.lock().get(&key) {
+            self.record(true);
+            return ch.clone();
+        }
+        let ch = Arc::new(
+            RegisterCell::new(compute.clone(), storage.clone())
+                .expect("register design rules violated")
+                .characterize(),
+        );
+        self.registers.lock().insert(key, ch.clone());
+        self.record(false);
+        ch
+    }
+
+    /// Characterized ParCheck cell for a compute pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair violates the design rules.
+    pub fn parcheck(&self, qubit_a: &DeviceSpec, qubit_b: &DeviceSpec) -> Arc<ParCheckChannel> {
+        let key = key_of(&[qubit_a, qubit_b]);
+        if let Some(ch) = self.parchecks.lock().get(&key) {
+            self.record(true);
+            return ch.clone();
+        }
+        let ch = Arc::new(
+            ParCheckCell::new(qubit_a.clone(), qubit_b.clone())
+                .expect("parcheck design rules violated")
+                .characterize(),
+        );
+        self.parchecks.lock().insert(key, ch.clone());
+        self.record(false);
+        ch
+    }
+
+    /// Characterized SeqOp cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair violates the design rules.
+    pub fn seqop(&self, compute: &DeviceSpec, storage: &DeviceSpec) -> Arc<SeqOpChannel> {
+        let key = key_of(&[compute, storage]);
+        if let Some(ch) = self.seqops.lock().get(&key) {
+            self.record(true);
+            return ch.clone();
+        }
+        let ch = Arc::new(
+            SeqOpCell::new(compute.clone(), storage.clone())
+                .expect("seqop design rules violated")
+                .characterize(),
+        );
+        self.seqops.lock().insert(key, ch.clone());
+        self.record(false);
+        ch
+    }
+
+    /// Characterized USC cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair violates the design rules.
+    pub fn usc(&self, compute: &DeviceSpec, storage: &DeviceSpec) -> Arc<UscChannel> {
+        let key = key_of(&[compute, storage]);
+        if let Some(ch) = self.uscs.lock().get(&key) {
+            self.record(true);
+            return ch.clone();
+        }
+        let ch = Arc::new(
+            UscCell::new(compute.clone(), storage.clone())
+                .expect("usc design rules violated")
+                .characterize(),
+        );
+        self.uscs.lock().insert(key, ch.clone());
+        self.record(false);
+        ch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetarch_devices::catalog::{
+        fixed_frequency_qubit, multimode_resonator_3d, on_chip_multimode_resonator,
+    };
+
+    #[test]
+    fn distinct_parameters_get_distinct_entries() {
+        let lib = CellLibrary::new();
+        lib.register(&fixed_frequency_qubit(), &multimode_resonator_3d());
+        lib.register(&fixed_frequency_qubit(), &on_chip_multimode_resonator());
+        assert_eq!(lib.stats().misses, 2);
+        assert_eq!(lib.stats().hits, 0);
+    }
+
+    #[test]
+    fn repeated_sweep_points_hit_cache() {
+        let lib = CellLibrary::new();
+        for _ in 0..5 {
+            lib.usc(&fixed_frequency_qubit(), &on_chip_multimode_resonator());
+        }
+        assert_eq!(lib.stats().misses, 1);
+        assert_eq!(lib.stats().hits, 4);
+    }
+
+    #[test]
+    fn coherence_scaling_changes_the_key() {
+        let lib = CellLibrary::new();
+        for ts_ms in [0.5, 1.0, 2.5, 5.0] {
+            let storage = on_chip_multimode_resonator().with_coherence(ts_ms * 1e-3, ts_ms * 1e-3);
+            lib.register(&fixed_frequency_qubit(), &storage);
+        }
+        assert_eq!(lib.stats().misses, 4);
+    }
+
+    #[test]
+    fn all_cell_types_cacheable() {
+        let lib = CellLibrary::new();
+        let c = fixed_frequency_qubit();
+        let s = on_chip_multimode_resonator();
+        lib.register(&c, &s);
+        lib.parcheck(&c, &c);
+        lib.seqop(&c, &s);
+        lib.usc(&c, &s);
+        assert_eq!(lib.stats().misses, 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! Shared density-matrix probe routines for cell characterization.
+
+use hetarch_qsim::complex::C64;
+use hetarch_qsim::fidelity::fidelity_with_pure;
+use hetarch_qsim::matrix::Mat;
+use hetarch_qsim::state::DensityMatrix;
+
+/// The six single-qubit Pauli eigenstates used for state-averaged fidelity,
+/// as (preparation gates, resulting state vector).
+pub fn pauli_eigenstate_probes() -> Vec<(Vec<Mat>, Vec<C64>)> {
+    let h = Mat::hadamard();
+    let x = Mat::pauli_x();
+    let s = Mat::s_gate();
+    let preps: Vec<Vec<Mat>> = vec![
+        vec![],                      // |0>
+        vec![x.clone()],             // |1>
+        vec![h.clone()],             // |+>
+        vec![x.clone(), h.clone()],  // |->
+        vec![h.clone(), s.clone()],  // |+i>
+        vec![h.clone(), s.dagger()], // |-i>
+    ];
+    preps
+        .into_iter()
+        .map(|gates| {
+            let mut psi = vec![C64::ONE, C64::ZERO];
+            for g in &gates {
+                psi = apply_vec(g, &psi);
+            }
+            (gates, psi)
+        })
+        .collect()
+}
+
+fn apply_vec(m: &Mat, v: &[C64]) -> Vec<C64> {
+    let mut out = vec![C64::ZERO; v.len()];
+    for (r, o) in out.iter_mut().enumerate() {
+        for (c, x) in v.iter().enumerate() {
+            *o += m[(r, c)] * *x;
+        }
+    }
+    out
+}
+
+/// Average fidelity of a qubit-transfer operation on a 2-qubit system:
+/// prepares each Pauli eigenstate on qubit 0, applies `op`, and compares the
+/// reduced state of **qubit 1** against the input.
+pub fn average_transfer_fidelity<F>(mut op: F) -> f64
+where
+    F: FnMut(&mut DensityMatrix),
+{
+    let probes = pauli_eigenstate_probes();
+    let mut total = 0.0;
+    for (gates, psi) in &probes {
+        let mut rho = DensityMatrix::zero_state(2);
+        for g in gates {
+            rho.apply_1q(0, g);
+        }
+        op(&mut rho);
+        let out = rho.partial_trace(&[1]);
+        total += fidelity_with_pure(&out, psi);
+    }
+    total / probes.len() as f64
+}
+
+/// Average fidelity of an in-place operation on qubit `target` of an
+/// `n`-qubit system: prepares each Pauli eigenstate on `target` (all other
+/// qubits `|0⟩`), applies `op`, and compares the reduced state of `target`
+/// against the input.
+pub fn average_inplace_fidelity<F>(n: usize, target: usize, mut op: F) -> f64
+where
+    F: FnMut(&mut DensityMatrix),
+{
+    let probes = pauli_eigenstate_probes();
+    let mut total = 0.0;
+    for (gates, psi) in &probes {
+        let mut rho = DensityMatrix::zero_state(n);
+        for g in gates {
+            rho.apply_1q(target, g);
+        }
+        op(&mut rho);
+        let out = rho.partial_trace(&[target]);
+        total += fidelity_with_pure(&out, psi);
+    }
+    total / probes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetarch_qsim::channels::Kraus1;
+
+    #[test]
+    fn identity_transfer_via_swap_is_perfect() {
+        let f = average_transfer_fidelity(|rho| {
+            rho.apply_2q(0, 1, &Mat::swap());
+        });
+        assert!((f - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn no_op_transfer_fails() {
+        // Without a SWAP, qubit 1 stays |0>: average fidelity over the six
+        // probes = (1 + 0 + 4*(1/2)) / 6 = 0.5.
+        let f = average_transfer_fidelity(|_| {});
+        assert!((f - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inplace_identity_is_perfect() {
+        let f = average_inplace_fidelity(3, 1, |_| {});
+        assert!((f - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inplace_depolarizing_matches_formula() {
+        let p = 0.06;
+        let ch = Kraus1::depolarizing(p).unwrap();
+        let f = average_inplace_fidelity(2, 0, |rho| ch.apply(rho, 0));
+        assert!((f - (1.0 - p + p / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_states_are_normalized() {
+        for (_, psi) in pauli_eigenstate_probes() {
+            let norm: f64 = psi.iter().map(|z| z.norm_sqr()).sum();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+}

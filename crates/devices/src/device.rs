@@ -1,0 +1,251 @@
+//! Superconducting device specifications.
+//!
+//! A [`DeviceSpec`] captures the properties Table 1 of the paper assigns to
+//! each near-term superconducting device: coherence times, readout, gate
+//! set, connectivity budget, control overhead, and physical footprint.
+
+use serde::{Deserialize, Serialize};
+
+/// The physical family a device belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Fixed-frequency planar qubit (e.g. transmon).
+    FixedFrequencyQubit,
+    /// Flux-tunable planar qubit (e.g. fluxonium).
+    FluxTunableQubit,
+    /// Single-mode 3D cavity memory.
+    Memory3D,
+    /// 3D multimode resonator.
+    MultimodeResonator3D,
+    /// Projected on-chip multimode resonator.
+    OnChipMultimodeResonator,
+    /// A user-defined device.
+    Custom,
+}
+
+/// The architectural role a device plays in a heterogeneous design (§2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceRole {
+    /// Fast, high-connectivity gate execution; single-qubit capacity.
+    Compute,
+    /// Long-lived, low-connectivity multi-qubit storage.
+    Storage,
+}
+
+/// The gate families a device offers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateSet {
+    /// Arbitrary single- and two-qubit gates.
+    Arbitrary,
+    /// Only SWAP-style load/store with the attached compute device.
+    SwapOnly,
+}
+
+/// Duration and average error of one gate family.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GateSpec {
+    /// Gate duration in seconds.
+    pub time: f64,
+    /// Average gate error probability.
+    pub error: f64,
+}
+
+impl GateSpec {
+    /// Creates a gate spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is negative or the error is outside `[0, 1]`.
+    pub fn new(time: f64, error: f64) -> Self {
+        assert!(time >= 0.0 && time.is_finite(), "invalid gate time {time}");
+        assert!((0.0..=1.0).contains(&error), "invalid gate error {error}");
+        GateSpec { time, error }
+    }
+}
+
+/// Extra I/O lines required to operate a device (Table 1 "control
+/// overhead").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ControlOverhead {
+    /// Charge (microwave drive) lines.
+    pub charge_lines: u32,
+    /// Flux bias lines.
+    pub flux_lines: u32,
+    /// Readout lines.
+    pub readout_lines: u32,
+}
+
+impl ControlOverhead {
+    /// Total line count.
+    pub fn total(&self) -> u32 {
+        self.charge_lines + self.flux_lines + self.readout_lines
+    }
+}
+
+/// Physical footprint in millimetres. Planar devices have `z = 0`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Footprint {
+    /// Extent along x (mm).
+    pub x_mm: f64,
+    /// Extent along y (mm).
+    pub y_mm: f64,
+    /// Extent along z (mm); zero for planar devices.
+    pub z_mm: f64,
+}
+
+impl Footprint {
+    /// Planar footprint.
+    pub fn planar(x_mm: f64, y_mm: f64) -> Self {
+        Footprint {
+            x_mm,
+            y_mm,
+            z_mm: 0.0,
+        }
+    }
+
+    /// 2D area (mm²).
+    pub fn area_mm2(&self) -> f64 {
+        self.x_mm * self.y_mm
+    }
+
+    /// True when 2D/3D integration is required.
+    pub fn is_3d(&self) -> bool {
+        self.z_mm > 0.0
+    }
+}
+
+/// A full device specification (one row of Table 1).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Display name.
+    pub name: String,
+    /// Device family.
+    pub kind: DeviceKind,
+    /// Architectural role (compute vs storage).
+    pub role: DeviceRole,
+    /// Amplitude-damping time constant (seconds).
+    pub t1: f64,
+    /// Dephasing time constant (seconds).
+    pub t2: f64,
+    /// Readout duration, if the device supports direct readout.
+    pub readout_time: Option<f64>,
+    /// Offered gate families.
+    pub gate_set: GateSet,
+    /// Single-qubit gate (compute devices).
+    pub gate_1q: Option<GateSpec>,
+    /// Two-qubit gate (compute devices).
+    pub gate_2q: Option<GateSpec>,
+    /// SWAP / load-store gate (storage devices; compute devices use
+    /// `gate_2q`).
+    pub swap: GateSpec,
+    /// Maximum number of couplings the device tolerates.
+    pub max_connectivity: u32,
+    /// Qubit capacity (modes); 1 for qubits, >1 for multimode resonators.
+    pub capacity: u32,
+    /// Control I/O overhead.
+    pub control: ControlOverhead,
+    /// Physical footprint.
+    pub footprint: Footprint,
+    /// Free-form notes (e.g. integration caveats).
+    pub notes: String,
+}
+
+impl DeviceSpec {
+    /// True when T1/T2 are physical (`0 < T2 ≤ 2·T1`).
+    pub fn coherence_is_physical(&self) -> bool {
+        self.t1 > 0.0 && self.t2 > 0.0 && self.t2 <= 2.0 * self.t1 * (1.0 + 1e-12)
+    }
+
+    /// True when the device can be read out directly.
+    pub fn has_readout(&self) -> bool {
+        self.readout_time.is_some()
+    }
+
+    /// Returns a copy with scaled coherence times (used in design-space
+    /// sweeps over `T_S` / `T_C`).
+    pub fn with_coherence(&self, t1: f64, t2: f64) -> DeviceSpec {
+        let mut out = self.clone();
+        out.t1 = t1;
+        out.t2 = t2;
+        out
+    }
+
+    /// Returns a copy renamed (useful when a sweep instantiates variants).
+    pub fn renamed(&self, name: impl Into<String>) -> DeviceSpec {
+        let mut out = self.clone();
+        out.name = name.into();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec {
+            name: "test".into(),
+            kind: DeviceKind::Custom,
+            role: DeviceRole::Compute,
+            t1: 300e-6,
+            t2: 550e-6,
+            readout_time: Some(1e-6),
+            gate_set: GateSet::Arbitrary,
+            gate_1q: Some(GateSpec::new(40e-9, 1e-3)),
+            gate_2q: Some(GateSpec::new(100e-9, 1e-3)),
+            swap: GateSpec::new(100e-9, 1e-3),
+            max_connectivity: 4,
+            capacity: 1,
+            control: ControlOverhead {
+                charge_lines: 1,
+                flux_lines: 0,
+                readout_lines: 1,
+            },
+            footprint: Footprint::planar(2.0, 2.0),
+            notes: String::new(),
+        }
+    }
+
+    #[test]
+    fn coherence_check() {
+        assert!(spec().coherence_is_physical());
+        let bad = spec().with_coherence(100e-6, 250e-6);
+        assert!(!bad.coherence_is_physical());
+    }
+
+    #[test]
+    fn footprint_math() {
+        let f = Footprint::planar(2.0, 2.0);
+        assert_eq!(f.area_mm2(), 4.0);
+        assert!(!f.is_3d());
+        let c = Footprint {
+            x_mm: 100.0,
+            y_mm: 100.0,
+            z_mm: 10.0,
+        };
+        assert!(c.is_3d());
+    }
+
+    #[test]
+    fn control_overhead_total() {
+        let c = ControlOverhead {
+            charge_lines: 1,
+            flux_lines: 1,
+            readout_lines: 1,
+        };
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gate error")]
+    fn gate_spec_validates_error() {
+        GateSpec::new(1e-7, 1.5);
+    }
+
+    #[test]
+    fn renamed_and_scaled_copies() {
+        let s = spec().renamed("variant").with_coherence(1e-3, 1e-3);
+        assert_eq!(s.name, "variant");
+        assert_eq!(s.t1, 1e-3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Footprint and control-overhead accounting.
+//!
+//! Modules inherit control overhead and physical footprint from the layers
+//! below (paper §2); this module aggregates those quantities over a
+//! [`DeviceGraph`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::ControlOverhead;
+use crate::topology::DeviceGraph;
+
+/// Aggregate physical cost of a layout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayoutCost {
+    /// Total planar area (mm², summing device 2D footprints).
+    pub area_mm2: f64,
+    /// Total volume for 3D devices (mm³).
+    pub volume_mm3: f64,
+    /// Total control I/O lines.
+    pub control: ControlOverhead,
+    /// Number of devices requiring 2D/3D integration.
+    pub three_d_devices: usize,
+    /// Total qubit capacity.
+    pub capacity: u32,
+}
+
+/// Computes the aggregate cost of a layout, accounting for per-instance
+/// readout equipment (a readout resonator adds one readout line).
+pub fn layout_cost(graph: &DeviceGraph) -> LayoutCost {
+    let mut cost = LayoutCost::default();
+    for (_, node) in graph.iter() {
+        let f = &node.spec.footprint;
+        cost.area_mm2 += f.area_mm2();
+        if f.is_3d() {
+            cost.volume_mm3 += f.x_mm * f.y_mm * f.z_mm;
+            cost.three_d_devices += 1;
+        }
+        cost.control.charge_lines += node.spec.control.charge_lines;
+        cost.control.flux_lines += node.spec.control.flux_lines;
+        // Readout lines come from actual equipment, not the spec default:
+        // DR4 removes readout from devices that do not need it.
+        if node.readout_equipped {
+            cost.control.readout_lines += 1;
+        }
+        cost.capacity += node.spec.capacity;
+    }
+    cost
+}
+
+/// Control-overhead comparison: lines needed for `n` qubits stored in
+/// multimode resonators (capacity `modes`, one drive line each) versus `n`
+/// individual transmons (one drive + one readout line each). Reproduces the
+/// §3.1 observation that storage reduces control overhead.
+pub fn control_savings(n_qubits: u32, modes: u32) -> (u32, u32) {
+    assert!(modes > 0, "resonator must have at least one mode");
+    let resonators = n_qubits.div_ceil(modes);
+    // Each resonator needs one drive line plus its attached compute device
+    // (one charge + one readout).
+    let hetero = resonators * 3;
+    let homo = n_qubits * 2;
+    (hetero, homo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{fixed_frequency_qubit, multimode_resonator_3d};
+
+    #[test]
+    fn register_cell_cost() {
+        let mut g = DeviceGraph::new();
+        let c = g.add_device("c", fixed_frequency_qubit(), false);
+        let s = g.add_device("s", multimode_resonator_3d(), false);
+        g.connect(c, s);
+        let cost = layout_cost(&g);
+        assert_eq!(cost.area_mm2, 4.0 + 100.0 * 100.0);
+        assert_eq!(cost.three_d_devices, 1);
+        assert_eq!(cost.capacity, 11);
+        // Compute spec asks for a readout line, but the instance is not
+        // equipped: only the charge line counts.
+        assert_eq!(cost.control.charge_lines, 1);
+        assert_eq!(cost.control.readout_lines, 0);
+    }
+
+    #[test]
+    fn readout_equipment_adds_line() {
+        let mut g = DeviceGraph::new();
+        g.add_device("c", fixed_frequency_qubit(), true);
+        let cost = layout_cost(&g);
+        assert_eq!(cost.control.readout_lines, 1);
+    }
+
+    #[test]
+    fn storage_reduces_control_overhead() {
+        let (het, hom) = control_savings(30, 10);
+        assert_eq!(het, 9);
+        assert_eq!(hom, 60);
+        assert!(het < hom);
+    }
+
+    #[test]
+    fn partial_resonator_rounds_up() {
+        let (het, _) = control_savings(11, 10);
+        assert_eq!(het, 6);
+    }
+}

@@ -1,0 +1,40 @@
+//! # hetarch-devices
+//!
+//! Superconducting device catalog, symbolic layouts and machine-checked
+//! design rules for the HetArch workspace.
+//!
+//! This crate implements paper §3.1 (Table 1, the device inventory) and the
+//! design-rule half of §3.2 (DR1–DR4): device specifications with coherence,
+//! gates, connectivity budgets, control overhead and footprint; the
+//! [`topology::DeviceGraph`] type for symbolic cell layouts; and the
+//! [`rules::validate`] checker that makes standard cells rule-compliant by
+//! construction.
+//!
+//! # Example
+//!
+//! ```
+//! use hetarch_devices::catalog::{fixed_frequency_qubit, multimode_resonator_3d};
+//! use hetarch_devices::topology::DeviceGraph;
+//! use hetarch_devices::rules::validate;
+//!
+//! // A Register cell layout: one storage device, one compute device.
+//! let mut g = DeviceGraph::new();
+//! let c = g.add_device("compute", fixed_frequency_qubit(), false);
+//! let s = g.add_device("storage", multimode_resonator_3d(), false);
+//! g.connect(c, s);
+//! assert!(validate(&g, 0).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod device;
+pub mod footprint;
+pub mod rules;
+pub mod topology;
+
+pub use catalog::catalog;
+pub use device::{DeviceKind, DeviceRole, DeviceSpec, Footprint, GateSet, GateSpec};
+pub use rules::{validate, DesignRule, Violation};
+pub use topology::{DeviceGraph, DeviceId};

@@ -1,0 +1,292 @@
+//! Machine-checkable design rules (paper §3.2, DR1–DR4).
+//!
+//! The paper abstracts physical constraints (footprint, coherence leakage
+//! through couplings) into four empirically-determined rules for planar
+//! devices. [`validate`] checks a [`DeviceGraph`] against all of them so
+//! standard cells are correct by construction.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceRole;
+use crate::topology::{DeviceGraph, DeviceId};
+
+/// The four design rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignRule {
+    /// DR1: compute devices connect to at most 4 other devices.
+    Dr1ComputeFanout,
+    /// DR2: storage devices connect to exactly 1 compute device.
+    Dr2StorageSinglePort,
+    /// DR3: device connectivity reflects intended use (no coupling budget
+    /// overruns; every device is connected unless the graph has one device).
+    Dr3ConnectivityBudget,
+    /// DR4: readout-equipped compute devices are minimized — readout is only
+    /// present where the cell declares it needs measurement capability.
+    Dr4MinimalReadout,
+}
+
+impl fmt::Display for DesignRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DesignRule::Dr1ComputeFanout => "DR1 (compute fanout <= 4)",
+            DesignRule::Dr2StorageSinglePort => "DR2 (storage has exactly 1 compute port)",
+            DesignRule::Dr3ConnectivityBudget => "DR3 (connectivity reflects use)",
+            DesignRule::Dr4MinimalReadout => "DR4 (minimal readout)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single rule violation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The rule violated.
+    pub rule: DesignRule,
+    /// The offending device.
+    pub device: DeviceId,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: device #{}: {}", self.rule, self.device.0, self.detail)
+    }
+}
+
+/// Checks DR1: every compute device has degree ≤ 4.
+pub fn check_dr1(graph: &DeviceGraph) -> Vec<Violation> {
+    graph
+        .iter()
+        .filter(|(_, n)| n.spec.role == DeviceRole::Compute)
+        .filter_map(|(id, n)| {
+            let deg = graph.degree(id);
+            (deg > 4).then(|| Violation {
+                rule: DesignRule::Dr1ComputeFanout,
+                device: id,
+                detail: format!("'{}' has {deg} couplings (max 4)", n.label),
+            })
+        })
+        .collect()
+}
+
+/// Checks DR2: every storage device couples to exactly one device, and that
+/// device is compute.
+pub fn check_dr2(graph: &DeviceGraph) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (id, n) in graph.iter() {
+        if n.spec.role != DeviceRole::Storage {
+            continue;
+        }
+        let neighbors = graph.neighbors(id);
+        if neighbors.len() != 1 {
+            out.push(Violation {
+                rule: DesignRule::Dr2StorageSinglePort,
+                device: id,
+                detail: format!(
+                    "'{}' has {} couplings (storage needs exactly 1)",
+                    n.label,
+                    neighbors.len()
+                ),
+            });
+            continue;
+        }
+        let peer = graph.node(neighbors[0]);
+        if peer.spec.role != DeviceRole::Compute {
+            out.push(Violation {
+                rule: DesignRule::Dr2StorageSinglePort,
+                device: id,
+                detail: format!(
+                    "'{}' couples to storage device '{}' instead of a compute device",
+                    n.label, peer.label
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Checks DR3: no device exceeds its specified coupling budget, and no
+/// device is left unconnected (in graphs with more than one device).
+pub fn check_dr3(graph: &DeviceGraph) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (id, n) in graph.iter() {
+        let deg = graph.degree(id);
+        if deg > n.spec.max_connectivity as usize {
+            out.push(Violation {
+                rule: DesignRule::Dr3ConnectivityBudget,
+                device: id,
+                detail: format!(
+                    "'{}' uses {deg} couplings but tolerates only {}",
+                    n.label, n.spec.max_connectivity
+                ),
+            });
+        }
+        if deg == 0 && graph.num_devices() > 1 {
+            out.push(Violation {
+                rule: DesignRule::Dr3ConnectivityBudget,
+                device: id,
+                detail: format!("'{}' is disconnected", n.label),
+            });
+        }
+    }
+    out
+}
+
+/// Checks DR4: the number of readout-equipped compute devices equals
+/// `required_readouts` (the measurement capability the cell's operations
+/// actually need), and storage devices carry no readout.
+pub fn check_dr4(graph: &DeviceGraph, required_readouts: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut equipped = 0usize;
+    for (id, n) in graph.iter() {
+        if n.readout_equipped {
+            if n.spec.role == DeviceRole::Storage {
+                out.push(Violation {
+                    rule: DesignRule::Dr4MinimalReadout,
+                    device: id,
+                    detail: format!("storage device '{}' cannot carry readout", n.label),
+                });
+            } else {
+                equipped += 1;
+            }
+        }
+    }
+    if equipped != required_readouts {
+        // Attribute to the first compute device for a stable report.
+        let device = graph
+            .compute_devices()
+            .first()
+            .copied()
+            .unwrap_or(DeviceId(0));
+        out.push(Violation {
+            rule: DesignRule::Dr4MinimalReadout,
+            device,
+            detail: format!(
+                "{equipped} readout-equipped compute devices, but the cell needs exactly {required_readouts}"
+            ),
+        });
+    }
+    out
+}
+
+/// Validates a graph against all four design rules.
+///
+/// # Errors
+///
+/// Returns every violation found (empty ⇒ the layout is rule-compliant).
+pub fn validate(graph: &DeviceGraph, required_readouts: usize) -> Result<(), Vec<Violation>> {
+    let mut v = check_dr1(graph);
+    v.extend(check_dr2(graph));
+    v.extend(check_dr3(graph));
+    v.extend(check_dr4(graph, required_readouts));
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{fixed_frequency_qubit, multimode_resonator_3d};
+
+    #[test]
+    fn valid_register_cell_passes() {
+        let mut g = DeviceGraph::new();
+        let c = g.add_device("c", fixed_frequency_qubit(), false);
+        let s = g.add_device("s", multimode_resonator_3d(), false);
+        g.connect(c, s);
+        assert!(validate(&g, 0).is_ok());
+    }
+
+    #[test]
+    fn dr1_flags_overfanned_compute() {
+        let mut g = DeviceGraph::new();
+        let hub = g.add_device("hub", fixed_frequency_qubit(), false);
+        for i in 0..5 {
+            let c = g.add_device(format!("c{i}"), fixed_frequency_qubit(), false);
+            g.connect(hub, c);
+        }
+        let v = check_dr1(&g);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, DesignRule::Dr1ComputeFanout);
+        assert_eq!(v[0].device, hub);
+    }
+
+    #[test]
+    fn dr2_flags_multiported_storage() {
+        let mut g = DeviceGraph::new();
+        let s = g.add_device("s", multimode_resonator_3d(), false);
+        let c1 = g.add_device("c1", fixed_frequency_qubit(), false);
+        let c2 = g.add_device("c2", fixed_frequency_qubit(), false);
+        g.connect(s, c1);
+        g.connect(s, c2);
+        let v = check_dr2(&g);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].device, s);
+    }
+
+    #[test]
+    fn dr2_flags_storage_to_storage() {
+        let mut g = DeviceGraph::new();
+        let s1 = g.add_device("s1", multimode_resonator_3d(), false);
+        let s2 = g.add_device("s2", multimode_resonator_3d(), false);
+        g.connect(s1, s2);
+        let v = check_dr2(&g);
+        assert_eq!(v.len(), 2, "both storage devices are misconnected");
+    }
+
+    #[test]
+    fn dr3_flags_budget_overrun_and_disconnection() {
+        let mut g = DeviceGraph::new();
+        let s = g.add_device("s", multimode_resonator_3d(), false);
+        let c1 = g.add_device("c1", fixed_frequency_qubit(), false);
+        let c2 = g.add_device("c2", fixed_frequency_qubit(), false);
+        g.connect(s, c1); // storage budget is 1...
+        g.connect(s, c2); // ...this exceeds it
+        let v = check_dr3(&g);
+        assert!(v.iter().any(|x| x.device == s));
+
+        let mut g = DeviceGraph::new();
+        let _ = g.add_device("a", fixed_frequency_qubit(), false);
+        let _ = g.add_device("b", fixed_frequency_qubit(), false);
+        let v = check_dr3(&g);
+        assert_eq!(v.len(), 2, "both devices disconnected");
+    }
+
+    #[test]
+    fn dr4_counts_readout_devices() {
+        let mut g = DeviceGraph::new();
+        let c1 = g.add_device("c1", fixed_frequency_qubit(), true);
+        let c2 = g.add_device("c2", fixed_frequency_qubit(), false);
+        g.connect(c1, c2);
+        assert!(check_dr4(&g, 1).is_empty());
+        assert_eq!(check_dr4(&g, 0).len(), 1);
+        assert_eq!(check_dr4(&g, 2).len(), 1);
+    }
+
+    #[test]
+    fn dr4_rejects_readout_on_storage() {
+        let mut g = DeviceGraph::new();
+        let c = g.add_device("c", fixed_frequency_qubit(), false);
+        let s = g.add_device("s", multimode_resonator_3d(), true);
+        g.connect(c, s);
+        let v = check_dr4(&g, 0);
+        assert!(v.iter().any(|x| x.device == s));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let mut g = DeviceGraph::new();
+        let s = g.add_device("lonely", multimode_resonator_3d(), false);
+        let v = check_dr2(&g);
+        let msg = v[0].to_string();
+        assert!(msg.contains("DR2"));
+        assert!(msg.contains("lonely"));
+        let _ = s;
+    }
+}

@@ -1,0 +1,117 @@
+//! Pareto-front extraction over multi-objective design evaluations.
+
+/// Returns the indices of the Pareto-optimal entries of `metrics`, where
+/// every objective is **minimized**. An entry is dominated when another
+/// entry is ≤ in every objective and < in at least one.
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_dse::pareto::pareto_front;
+///
+/// // (error rate, footprint)
+/// let metrics = vec![
+///     vec![0.01, 100.0], // optimal: lowest error
+///     vec![0.05, 10.0],  // optimal: smallest footprint
+///     vec![0.05, 100.0], // dominated by both
+/// ];
+/// assert_eq!(pareto_front(&metrics), vec![0, 1]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if entries have inconsistent dimensionality.
+pub fn pareto_front(metrics: &[Vec<f64>]) -> Vec<usize> {
+    if metrics.is_empty() {
+        return Vec::new();
+    }
+    let dim = metrics[0].len();
+    assert!(
+        metrics.iter().all(|m| m.len() == dim),
+        "inconsistent metric dimensionality"
+    );
+    let dominates = |a: &[f64], b: &[f64]| {
+        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+    };
+    (0..metrics.len())
+        .filter(|&i| {
+            !metrics
+                .iter()
+                .enumerate()
+                .any(|(j, m)| j != i && dominates(m, &metrics[i]))
+        })
+        .collect()
+}
+
+/// Picks the knee point of a (sorted or unsorted) two-objective front: the
+/// entry minimizing the normalized distance to the utopia point.
+///
+/// Returns `None` for empty input.
+pub fn knee_point(metrics: &[Vec<f64>]) -> Option<usize> {
+    let front = pareto_front(metrics);
+    if front.is_empty() {
+        return None;
+    }
+    let dim = metrics[front[0]].len();
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for &i in &front {
+        for d in 0..dim {
+            lo[d] = lo[d].min(metrics[i][d]);
+            hi[d] = hi[d].max(metrics[i][d]);
+        }
+    }
+    front
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let score = |i: usize| -> f64 {
+                (0..dim)
+                    .map(|d| {
+                        let span = (hi[d] - lo[d]).max(f64::MIN_POSITIVE);
+                        ((metrics[i][d] - lo[d]) / span).powi(2)
+                    })
+                    .sum()
+            };
+            score(a).total_cmp(&score(b))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_entry_is_optimal() {
+        assert_eq!(pareto_front(&[vec![1.0, 2.0]]), vec![0]);
+    }
+
+    #[test]
+    fn strictly_dominated_entries_removed() {
+        let m = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![0.5, 3.0]];
+        assert_eq!(pareto_front(&m), vec![0, 2]);
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        // Equal entries do not dominate each other.
+        let m = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(pareto_front(&m), vec![0, 1]);
+    }
+
+    #[test]
+    fn knee_prefers_balanced_tradeoff() {
+        let m = vec![
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.2, 0.2], // balanced: the knee
+        ];
+        assert_eq!(knee_point(&m), Some(2));
+    }
+
+    #[test]
+    fn empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(knee_point(&[]), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Design-space definitions: named parameter axes and their Cartesian
+//! product.
+
+use serde::{Deserialize, Serialize};
+
+/// One swept parameter.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    /// Parameter name (e.g. `"ts"`, `"ep_rate"`).
+    pub name: String,
+    /// Values to sweep.
+    pub values: Vec<f64>,
+}
+
+impl Axis {
+    /// Creates an axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no values are given.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "axis needs at least one value");
+        Axis {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Logarithmically spaced axis from `lo` to `hi` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bounds are non-positive or inverted, or `n < 2`.
+    pub fn log_spaced(name: impl Into<String>, lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && n >= 2, "invalid log axis");
+        let ratio = (hi / lo).ln();
+        let values = (0..n)
+            .map(|i| lo * (ratio * i as f64 / (n - 1) as f64).exp())
+            .collect();
+        Axis::new(name, values)
+    }
+}
+
+/// A point in the design space: one value per axis, in axis order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    names: Vec<String>,
+    values: Vec<f64>,
+}
+
+impl Point {
+    /// Value of the named parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter does not exist.
+    pub fn get(&self, name: &str) -> f64 {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.values[i])
+            .unwrap_or_else(|| panic!("unknown parameter '{name}'"))
+    }
+
+    /// All `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.names
+            .iter()
+            .map(|s| s.as_str())
+            .zip(self.values.iter().copied())
+    }
+}
+
+/// The full design space (Cartesian product of axes).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    axes: Vec<Axis>,
+}
+
+impl DesignSpace {
+    /// Creates a space from axes.
+    pub fn new(axes: Vec<Axis>) -> Self {
+        DesignSpace { axes }
+    }
+
+    /// Number of points in the product.
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// True when the space has no axes.
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty() || self.len() == 0
+    }
+
+    /// The axes.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Enumerates every point, first axis slowest.
+    pub fn points(&self) -> Vec<Point> {
+        let names: Vec<String> = self.axes.iter().map(|a| a.name.clone()).collect();
+        let mut out = Vec::with_capacity(self.len());
+        let mut idx = vec![0usize; self.axes.len()];
+        loop {
+            out.push(Point {
+                names: names.clone(),
+                values: idx
+                    .iter()
+                    .enumerate()
+                    .map(|(a, &i)| self.axes[a].values[i])
+                    .collect(),
+            });
+            // Odometer increment, last axis fastest.
+            let mut k = self.axes.len();
+            loop {
+                if k == 0 {
+                    return out;
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < self.axes[k].values.len() {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_product_enumeration() {
+        let space = DesignSpace::new(vec![
+            Axis::new("a", vec![1.0, 2.0]),
+            Axis::new("b", vec![10.0, 20.0, 30.0]),
+        ]);
+        let pts = space.points();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(space.len(), 6);
+        assert_eq!(pts[0].get("a"), 1.0);
+        assert_eq!(pts[0].get("b"), 10.0);
+        assert_eq!(pts[1].get("b"), 20.0);
+        assert_eq!(pts[5].get("a"), 2.0);
+        assert_eq!(pts[5].get("b"), 30.0);
+    }
+
+    #[test]
+    fn log_spacing_endpoints() {
+        let a = Axis::log_spaced("ts", 0.5e-3, 50e-3, 5);
+        assert!((a.values[0] - 0.5e-3).abs() < 1e-12);
+        assert!((a.values[4] - 50e-3).abs() < 1e-9);
+        for w in a.values.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn unknown_parameter_panics() {
+        let space = DesignSpace::new(vec![Axis::new("a", vec![1.0])]);
+        space.points()[0].get("zzz");
+    }
+
+    #[test]
+    fn point_iteration() {
+        let space = DesignSpace::new(vec![Axis::new("x", vec![7.0])]);
+        let p = &space.points()[0];
+        let pairs: Vec<(&str, f64)> = p.iter().collect();
+        assert_eq!(pairs, vec![("x", 7.0)]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Parallel sweep execution over a design space.
+
+use crossbeam::thread;
+
+use crate::space::{DesignSpace, Point};
+
+/// Evaluates `f` at every point of `space` in parallel, preserving point
+/// order in the output. Worker count defaults to available parallelism.
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_dse::space::{Axis, DesignSpace};
+/// use hetarch_dse::sweep::sweep;
+///
+/// let space = DesignSpace::new(vec![Axis::new("x", vec![1.0, 2.0, 3.0])]);
+/// let results = sweep(&space, |p| p.get("x") * 10.0);
+/// let values: Vec<f64> = results.iter().map(|(_, v)| *v).collect();
+/// assert_eq!(values, vec![10.0, 20.0, 30.0]);
+/// ```
+pub fn sweep<T, F>(space: &DesignSpace, f: F) -> Vec<(Point, T)>
+where
+    T: Send,
+    F: Fn(&Point) -> T + Sync,
+{
+    let points = space.points();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(points.len().max(1));
+    sweep_with_workers(points, f, workers)
+}
+
+/// Like [`sweep`] with an explicit worker count (1 gives a fully serial,
+/// deterministic-order execution useful in tests).
+pub fn sweep_with_workers<T, F>(points: Vec<Point>, f: F, workers: usize) -> Vec<(Point, T)>
+where
+    T: Send,
+    F: Fn(&Point) -> T + Sync,
+{
+    assert!(workers >= 1, "need at least one worker");
+    let n = points.len();
+    let mut slots: Vec<Option<(Point, T)>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let f = &f;
+    let points = &points;
+
+    // Split the output into one-slot mutable views the workers can claim.
+    let slot_refs: Vec<&mut Option<(Point, T)>> = slots.iter_mut().collect();
+    let slot_cells: Vec<parking_lot::Mutex<&mut Option<(Point, T)>>> =
+        slot_refs.into_iter().map(parking_lot::Mutex::new).collect();
+    let slot_cells = &slot_cells;
+
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let point = points[i].clone();
+                let value = f(&point);
+                **slot_cells[i].lock() = Some((point, value));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("all points evaluated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Axis;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let space = DesignSpace::new(vec![
+            Axis::new("a", (1..=5).map(f64::from).collect()),
+            Axis::new("b", (1..=4).map(f64::from).collect()),
+        ]);
+        let serial = sweep_with_workers(space.points(), |p| p.get("a") * p.get("b"), 1);
+        let parallel = sweep_with_workers(space.points(), |p| p.get("a") * p.get("b"), 8);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.0, p.0);
+            assert_eq!(s.1, p.1);
+        }
+    }
+
+    #[test]
+    fn order_is_point_order() {
+        let space = DesignSpace::new(vec![Axis::new("x", vec![3.0, 1.0, 2.0])]);
+        let out = sweep(&space, |p| p.get("x"));
+        let xs: Vec<f64> = out.iter().map(|(_, v)| *v).collect();
+        assert_eq!(xs, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn single_point_space() {
+        let space = DesignSpace::new(vec![Axis::new("only", vec![42.0])]);
+        let out = sweep(&space, |p| p.get("only") as i64);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, 42);
+    }
+}

@@ -1,0 +1,369 @@
+//! The entanglement-distillation module (paper §4.1, Figs. 1, 3, 4).
+//!
+//! Input memory (Register cells) accumulates stochastically generated EPs;
+//! a ParCheck cell runs DEJMPS rounds under the greedy scheduler; purified
+//! pairs land in an output memory where they keep decaying until consumed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use hetarch_cells::{ParCheckChannel, RegisterChannel};
+use hetarch_qsim::bell::DejmpsTable;
+use hetarch_qsim::channels::PauliProbs;
+
+use crate::distill::memory::{PairMemory, StoredPair};
+use crate::distill::scheduler::{choose_action, Action, Policy};
+use crate::epsource::EpSource;
+use crate::event::EventQueue;
+
+/// Configuration of a distillation module run.
+#[derive(Clone, Debug)]
+pub struct DistillConfig {
+    /// EP source feeding the module.
+    pub source: EpSource,
+    /// Output fidelity target (paper: 0.995).
+    pub target_fidelity: f64,
+    /// Input memory capacity in pairs (paper: two 3-mode Registers = 6).
+    pub input_capacity: usize,
+    /// Output memory capacity in pairs (paper: one 3-mode Register = 3).
+    pub output_capacity: usize,
+    /// Characterized Register channel used for the memories.
+    pub register: RegisterChannel,
+    /// Characterized ParCheck channel executing DEJMPS.
+    pub parcheck: ParCheckChannel,
+    /// Scheduler policy.
+    pub policy: Policy,
+    /// Remove pairs from the output memory as soon as they reach the target
+    /// (rate measurements, Fig. 4). When `false`, delivered pairs accumulate
+    /// and decay in the output memory (time traces, Fig. 3).
+    pub consume_output: bool,
+    /// Optional sampling interval for the fidelity trace.
+    pub trace_interval: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// One point of the fidelity trace (Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Simulation time (seconds).
+    pub time: f64,
+    /// Best infidelity among raw/staged pairs in the input memory.
+    pub memory_infidelity: Option<f64>,
+    /// Best infidelity in the output memory.
+    pub output_infidelity: Option<f64>,
+}
+
+/// Aggregate results of a run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DistillReport {
+    /// Simulated wall-clock duration.
+    pub duration: f64,
+    /// Raw EPs generated.
+    pub arrivals: usize,
+    /// DEJMPS rounds started.
+    pub rounds_attempted: usize,
+    /// DEJMPS rounds that heralded success.
+    pub rounds_succeeded: usize,
+    /// Pairs delivered at or above the target fidelity.
+    pub delivered: usize,
+    /// Delivered pairs per second.
+    pub delivered_rate_hz: f64,
+    /// Best pair fidelity ever produced by a successful round (delivered or
+    /// staged) — the achievable EP quality even when the target was never
+    /// met (used by the code-teleportation module).
+    pub best_fidelity: f64,
+    /// Fidelity trace (empty unless `trace_interval` was set).
+    pub trace: Vec<TracePoint>,
+}
+
+impl DistillConfig {
+    /// The paper's heterogeneous configuration: coherence-limited devices
+    /// with `T_C = 0.5 ms`, per-mode storage coherence `ts`, two 3-mode
+    /// input Registers, one 3-mode output Register, target fidelity 0.995.
+    pub fn heterogeneous(ts: f64, rate_hz: f64, seed: u64) -> Self {
+        use hetarch_cells::CellLibrary;
+        use hetarch_devices::catalog::{coherence_limited_compute, coherence_limited_storage};
+        let lib = CellLibrary::new();
+        let compute = coherence_limited_compute(0.5e-3);
+        let storage = coherence_limited_storage(ts);
+        DistillConfig {
+            source: EpSource::paper_default(rate_hz),
+            target_fidelity: 0.995,
+            input_capacity: 6,
+            output_capacity: 3,
+            register: (*lib.register(&compute, &storage)).clone(),
+            parcheck: (*lib.parcheck(&compute, &compute)).clone(),
+            policy: Policy::default(),
+            consume_output: true,
+            trace_interval: None,
+            seed,
+        }
+    }
+
+    /// The homogeneous sea-of-qubits baseline: pairs are stored on compute
+    /// qubits (`T_S = T_C = 0.5 ms`) and moved with ordinary two-qubit
+    /// gates.
+    pub fn homogeneous(rate_hz: f64, seed: u64) -> Self {
+        use hetarch_cells::CellLibrary;
+        use hetarch_devices::catalog::{coherence_limited_compute, homogeneous_pseudo_storage};
+        let lib = CellLibrary::new();
+        let tc = 0.5e-3;
+        let compute = coherence_limited_compute(tc);
+        let storage = homogeneous_pseudo_storage(tc, 3);
+        DistillConfig {
+            source: EpSource::paper_default(rate_hz),
+            target_fidelity: 0.995,
+            input_capacity: 6,
+            output_capacity: 3,
+            register: (*lib.register(&compute, &storage)).clone(),
+            parcheck: (*lib.parcheck(&compute, &compute)).clone(),
+            policy: Policy::default(),
+            consume_output: true,
+            trace_interval: None,
+            seed,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Arrival,
+    DistillDone,
+    Sample,
+}
+
+/// The event-driven distillation module simulator.
+#[derive(Clone, Debug)]
+pub struct DistillModule {
+    config: DistillConfig,
+    table: DejmpsTable,
+}
+
+impl DistillModule {
+    /// Builds the module, precomputing the DEJMPS bilinear table for the
+    /// ParCheck cell's noise.
+    pub fn new(config: DistillConfig) -> Self {
+        let table = DejmpsTable::new(&config.parcheck.distill_noise());
+        DistillModule { config, table }
+    }
+
+    /// Duration of one DEJMPS round on the hardware: two loads through the
+    /// register port, the protocol gates, and the heralding readout.
+    pub fn round_duration(&self) -> f64 {
+        let c = &self.config;
+        2.0 * c.register.load.duration
+            + c.parcheck.gate_1q.time
+            + c.parcheck.gate_2q.time
+            + c.parcheck.readout_time
+    }
+
+    /// Pauli noise applied to each half of a pair when it moves through the
+    /// register port (derived from the characterized load fidelity).
+    fn move_noise(&self) -> PauliProbs {
+        let p = 1.5 * self.config.register.load.infidelity();
+        let third = (p / 3.0).min(1.0 / 3.0);
+        PauliProbs {
+            px: third,
+            py: third,
+            pz: third,
+        }
+    }
+
+    /// Runs the module for `duration` seconds.
+    pub fn run(&self, duration: f64) -> DistillReport {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut raw = PairMemory::new(c.input_capacity, c.register.storage_idle);
+        let mut staged = PairMemory::new(c.input_capacity, c.register.storage_idle);
+        let mut output = PairMemory::new(c.output_capacity, c.register.storage_idle);
+        let move_noise = self.move_noise();
+        let round_time = self.round_duration();
+        // The kept pair decays on compute qubits during the loads and the
+        // protocol gates. The heralding readout (paper: 1 µs, error-free)
+        // happens through the sacrificed pair's readout resonator and is not
+        // charged to the kept pair — matching the paper's model in which
+        // homogeneous systems fail from *idling* (waiting) errors rather
+        // than a fixed per-round overhead.
+        let in_flight = round_time - c.parcheck.readout_time;
+        let compute_round_twirl = c.parcheck.idle_a.twirl_probs(in_flight);
+
+        let mut busy: Option<(StoredPair, StoredPair)> = None;
+        let mut report = DistillReport {
+            duration,
+            arrivals: 0,
+            rounds_attempted: 0,
+            rounds_succeeded: 0,
+            delivered: 0,
+            delivered_rate_hz: 0.0,
+            best_fidelity: 0.0,
+            trace: Vec::new(),
+        };
+
+        queue.schedule(c.source.next_interarrival(&mut rng), Ev::Arrival);
+        if let Some(dt) = c.trace_interval {
+            queue.schedule(dt, Ev::Sample);
+        }
+
+        while let Some((t, ev)) = queue.pop() {
+            if t > duration {
+                break;
+            }
+            match ev {
+                Ev::Arrival => {
+                    report.arrivals += 1;
+                    raw.decay_to(t);
+                    let mut pair = StoredPair::new(c.source.sample_pair(&mut rng), t);
+                    // Priority 4: store the incoming pair (load through the
+                    // register port).
+                    pair.pair.idle(move_noise, move_noise);
+                    raw.insert(pair);
+                    queue.schedule_in(c.source.next_interarrival(&mut rng), Ev::Arrival);
+                }
+                Ev::DistillDone => {
+                    let (mut a, mut b) = busy.take().expect("distiller was busy");
+                    // The halves sat on compute qubits during the round.
+                    a.pair.idle(compute_round_twirl, compute_round_twirl);
+                    b.pair.idle(compute_round_twirl, compute_round_twirl);
+                    if let Some(out) = self.table.round(&a.pair, &b.pair) {
+                        if rng.gen::<f64>() < out.success_prob {
+                            report.rounds_succeeded += 1;
+                            let mut kept =
+                                StoredPair::new(out.pair, t);
+                            kept.rounds = a.rounds.max(b.rounds) + 1;
+                            // Priority 2: move to the appropriate memory.
+                            kept.pair.idle(move_noise, move_noise);
+                            report.best_fidelity =
+                                report.best_fidelity.max(kept.pair.fidelity());
+                            staged.decay_to(t);
+                            output.decay_to(t);
+                            if kept.pair.fidelity() >= c.target_fidelity {
+                                report.delivered += 1;
+                                if !c.consume_output {
+                                    output.insert(kept);
+                                }
+                            } else {
+                                staged.insert(kept);
+                            }
+                        }
+                    }
+                }
+                Ev::Sample => {
+                    let mem_best = {
+                        let a = raw.best_fidelity(t);
+                        let b = staged.best_fidelity(t);
+                        match (a, b) {
+                            (Some(x), Some(y)) => Some(x.max(y)),
+                            (x, y) => x.or(y),
+                        }
+                    };
+                    report.trace.push(TracePoint {
+                        time: t,
+                        memory_infidelity: mem_best.map(|f| 1.0 - f),
+                        output_infidelity: output.best_fidelity(t).map(|f| 1.0 - f),
+                    });
+                    if let Some(dt) = c.trace_interval {
+                        queue.schedule_in(dt, Ev::Sample);
+                    }
+                }
+            }
+            // Priorities 1 and 3: (re)start the distiller when idle.
+            if busy.is_none() {
+                raw.decay_to(t);
+                staged.decay_to(t);
+                let action = choose_action(&staged, &raw, &self.table, c.policy);
+                let pool = match action {
+                    Action::RedistillStaged => Some(&mut staged),
+                    Action::DistillRaw => Some(&mut raw),
+                    Action::Idle => None,
+                };
+                if let Some(pool) = pool {
+                    let (mut a, mut b) = pool.take_best_two().expect("scheduler checked");
+                    // Load both pairs onto the ParCheck cell.
+                    a.pair.idle(move_noise, move_noise);
+                    b.pair.idle(move_noise, move_noise);
+                    busy = Some((a, b));
+                    report.rounds_attempted += 1;
+                    queue.schedule_in(round_time, Ev::DistillDone);
+                }
+            }
+        }
+        report.delivered_rate_hz = report.delivered as f64 / duration;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    
+
+    fn config(ts: f64, rate_hz: f64) -> DistillConfig {
+        let mut c = DistillConfig::heterogeneous(ts, rate_hz, 7);
+        c.seed = 7;
+        c
+    }
+
+    #[test]
+    fn module_distills_pairs_at_high_rate() {
+        let module = DistillModule::new(config(12.5e-3, 10e6));
+        let report = module.run(2e-3);
+        assert!(report.arrivals > 1000);
+        assert!(report.rounds_attempted > 100);
+        assert!(
+            report.delivered > 0,
+            "no pairs delivered: {report:?}"
+        );
+    }
+
+    #[test]
+    fn longer_storage_delivers_more() {
+        let rate = 1e6;
+        let short = DistillModule::new(config(0.5e-3, rate)).run(5e-3);
+        let long = DistillModule::new(config(12.5e-3, rate)).run(5e-3);
+        assert!(
+            long.delivered > short.delivered,
+            "Ts=12.5ms delivered {} vs Ts=0.5ms delivered {}",
+            long.delivered,
+            short.delivered
+        );
+    }
+
+    #[test]
+    fn trace_records_fidelity_evolution() {
+        let mut cfg = config(12.5e-3, 2e6);
+        cfg.consume_output = false;
+        cfg.trace_interval = Some(1e-6);
+        let module = DistillModule::new(cfg);
+        let report = module.run(100e-6);
+        assert!(report.trace.len() > 50);
+        // Once pairs appear in the output, their infidelity stays below the
+        // raw band's lower edge for a while.
+        let outs: Vec<f64> = report
+            .trace
+            .iter()
+            .filter_map(|p| p.output_infidelity)
+            .collect();
+        assert!(!outs.is_empty(), "no output pairs in trace");
+        assert!(outs.iter().cloned().fold(f64::MAX, f64::min) < 0.01);
+    }
+
+    #[test]
+    fn round_duration_is_physical() {
+        let module = DistillModule::new(config(1e-3, 1e6));
+        let d = module.round_duration();
+        // 2 loads (100 ns each) + 40 ns + 100 ns + 1 µs readout.
+        assert!((d - (200e-9 + 40e-9 + 100e-9 + 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = DistillModule::new(config(2.5e-3, 1e6)).run(1e-3);
+        let b = DistillModule::new(config(2.5e-3, 1e6)).run(1e-3);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.rounds_attempted, b.rounds_attempted);
+    }
+}

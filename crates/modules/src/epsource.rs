@@ -1,0 +1,109 @@
+//! Stochastic entangled-pair (EP) generation.
+//!
+//! Substitutes for the paper's physical EP sources (on-chip microwave links
+//! or microwave-to-optical conversion, §4.1): arrivals form a Poisson
+//! process with a configurable rate, and each raw pair is a Werner state
+//! with an infidelity sampled from a configurable band (the paper uses
+//! 0.01–0.1 at rates 10–1000× slower than compute operations).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hetarch_qsim::bell::BellDiagonal;
+
+/// EP source configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EpSource {
+    /// Mean generation rate in Hz.
+    pub rate_hz: f64,
+    /// Lower bound of the raw-pair infidelity band.
+    pub infidelity_min: f64,
+    /// Upper bound of the raw-pair infidelity band.
+    pub infidelity_max: f64,
+}
+
+impl EpSource {
+    /// Creates a source with an infidelity band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is non-positive or the band is not within
+    /// `[0, 0.75]` (a Werner state below fidelity 0.25 is unphysical as an
+    /// "entangled" resource) or inverted.
+    pub fn new(rate_hz: f64, infidelity_min: f64, infidelity_max: f64) -> Self {
+        assert!(rate_hz > 0.0 && rate_hz.is_finite(), "invalid rate {rate_hz}");
+        assert!(
+            (0.0..=0.75).contains(&infidelity_min)
+                && (0.0..=0.75).contains(&infidelity_max)
+                && infidelity_min <= infidelity_max,
+            "invalid infidelity band [{infidelity_min}, {infidelity_max}]"
+        );
+        EpSource {
+            rate_hz,
+            infidelity_min,
+            infidelity_max,
+        }
+    }
+
+    /// The paper's §4.1 setting at a given rate: infidelity 0.01–0.1.
+    pub fn paper_default(rate_hz: f64) -> Self {
+        EpSource::new(rate_hz, 0.01, 0.1)
+    }
+
+    /// Samples the next exponential inter-arrival delay (seconds).
+    pub fn next_interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.rate_hz
+    }
+
+    /// Samples a raw pair (Werner state in the configured band).
+    pub fn sample_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> BellDiagonal {
+        let infid = if self.infidelity_min == self.infidelity_max {
+            self.infidelity_min
+        } else {
+            rng.gen_range(self.infidelity_min..self.infidelity_max)
+        };
+        BellDiagonal::werner(1.0 - infid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interarrival_mean_matches_rate() {
+        let src = EpSource::paper_default(1e6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| src.next_interarrival(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1e-6).abs() < 5e-8, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn pairs_fall_in_the_infidelity_band() {
+        let src = EpSource::paper_default(1e6);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let p = src.sample_pair(&mut rng);
+            let infid = p.infidelity();
+            assert!((0.01..=0.1).contains(&infid), "infidelity {infid}");
+        }
+    }
+
+    #[test]
+    fn degenerate_band_is_deterministic() {
+        let src = EpSource::new(1e6, 0.05, 0.05);
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = src.sample_pair(&mut rng);
+        assert!((p.infidelity() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid infidelity band")]
+    fn inverted_band_rejected() {
+        EpSource::new(1e6, 0.2, 0.1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Data-qubit assignment to USC registers, and serialized check schedules.
+//!
+//! The UEC module stores data qubits in up to three 10-mode Registers around
+//! a shared stabilizer ancilla (paper §4.2.2). Each Register has a single
+//! compute qubit, so data co-located in one Register must be swapped out
+//! *sequentially* during a check; the assignment search spreads each check's
+//! support across Registers to maximize swap parallelism, which is the paper's
+//! "maximum possible parallelism while minimizing time outside storage".
+
+use serde::{Deserialize, Serialize};
+
+use hetarch_cells::UscChannel;
+use hetarch_stab::codes::StabilizerCode;
+
+/// A mapping from data qubit index to register index.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    registers: u32,
+    of_qubit: Vec<u32>,
+}
+
+impl Assignment {
+    /// Creates an assignment from an explicit map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any register index is out of range.
+    pub fn new(registers: u32, of_qubit: Vec<u32>) -> Self {
+        assert!(of_qubit.iter().all(|&r| r < registers), "register out of range");
+        Assignment {
+            registers,
+            of_qubit,
+        }
+    }
+
+    /// Register of data qubit `q`.
+    pub fn register_of(&self, q: usize) -> u32 {
+        self.of_qubit[q]
+    }
+
+    /// Number of registers used.
+    pub fn registers(&self) -> u32 {
+        self.registers
+    }
+
+    /// Number of data qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.of_qubit.len()
+    }
+
+    /// For one check support, the largest number of its qubits co-located in
+    /// a single register (the swap-serialization factor).
+    pub fn max_group(&self, support: &[usize]) -> usize {
+        let mut counts = vec![0usize; self.registers as usize];
+        for &q in support {
+            counts[self.of_qubit[q] as usize] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+
+    /// Total swap-serialization cost over all checks of a code.
+    pub fn cost(&self, code: &StabilizerCode) -> usize {
+        code.stabilizers()
+            .iter()
+            .map(|s| {
+                let support: Vec<usize> = s.iter_support().map(|(q, _)| q).collect();
+                self.max_group(&support)
+            })
+            .sum()
+    }
+}
+
+/// Searches for a good assignment of `code`'s data qubits to `registers`
+/// registers with `modes` modes each.
+///
+/// Exhaustive for small codes (≤ 10 qubits); greedy placement plus
+/// hill-climbing otherwise (the paper's brute force is likewise "a first
+/// study" and flags scalable search as future work).
+///
+/// # Panics
+///
+/// Panics if the code does not fit (`n > registers × modes`).
+pub fn search_assignment(code: &StabilizerCode, registers: u32, modes: u32) -> Assignment {
+    let n = code.num_qubits();
+    assert!(
+        n <= (registers * modes) as usize,
+        "code with {n} qubits exceeds capacity {}",
+        registers * modes
+    );
+    if n <= 10 && registers <= 3 {
+        exhaustive(code, registers, modes)
+    } else {
+        hill_climb(code, registers, modes)
+    }
+}
+
+fn capacity_ok(of_qubit: &[u32], registers: u32, modes: u32) -> bool {
+    let mut counts = vec![0u32; registers as usize];
+    for &r in of_qubit {
+        counts[r as usize] += 1;
+    }
+    counts.into_iter().all(|c| c <= modes)
+}
+
+fn exhaustive(code: &StabilizerCode, registers: u32, modes: u32) -> Assignment {
+    let n = code.num_qubits();
+    let mut best: Option<(usize, Vec<u32>)> = None;
+    let mut of_qubit = vec![0u32; n];
+    // Qubit 0 pinned to register 0 (register labels are symmetric).
+    fn rec(
+        q: usize,
+        of_qubit: &mut Vec<u32>,
+        code: &StabilizerCode,
+        registers: u32,
+        modes: u32,
+        best: &mut Option<(usize, Vec<u32>)>,
+    ) {
+        let n = of_qubit.len();
+        if q == n {
+            if !capacity_ok(of_qubit, registers, modes) {
+                return;
+            }
+            let a = Assignment::new(registers, of_qubit.clone());
+            let cost = a.cost(code);
+            if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+                *best = Some((cost, of_qubit.clone()));
+            }
+            return;
+        }
+        let limit = if q == 0 { 1 } else { registers };
+        for r in 0..limit {
+            of_qubit[q] = r;
+            rec(q + 1, of_qubit, code, registers, modes, best);
+        }
+    }
+    rec(0, &mut of_qubit, code, registers, modes, &mut best);
+    let (_, map) = best.expect("at least one assignment exists");
+    Assignment::new(registers, map)
+}
+
+fn hill_climb(code: &StabilizerCode, registers: u32, modes: u32) -> Assignment {
+    let n = code.num_qubits();
+    // Greedy start: round-robin.
+    let mut map: Vec<u32> = (0..n).map(|q| (q as u32) % registers).collect();
+    let mut cost = Assignment::new(registers, map.clone()).cost(code);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for q in 0..n {
+            let original = map[q];
+            for r in 0..registers {
+                if r == original {
+                    continue;
+                }
+                map[q] = r;
+                if !capacity_ok(&map, registers, modes) {
+                    continue;
+                }
+                let c = Assignment::new(registers, map.clone()).cost(code);
+                if c < cost {
+                    cost = c;
+                    improved = true;
+                    break;
+                }
+                map[q] = original;
+            }
+        }
+    }
+    Assignment::new(registers, map)
+}
+
+/// The serialized schedule of one QEC cycle.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CycleSchedule {
+    /// Per-check timing, in stabilizer order.
+    pub checks: Vec<CheckSlot>,
+    /// Total cycle duration (seconds).
+    pub cycle_duration: f64,
+}
+
+/// Timing of one serialized stabilizer check.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckSlot {
+    /// Index of the stabilizer generator.
+    pub stabilizer: usize,
+    /// Wall-clock duration of the check.
+    pub duration: f64,
+    /// Time each involved data qubit spends outside storage.
+    pub exposure: f64,
+    /// Check weight.
+    pub weight: usize,
+}
+
+/// Builds the cycle schedule for `code` under `assignment` on a USC with
+/// channel `usc`: per check, parallel swap-outs across registers (serialized
+/// within one register), serial CXs through the shared ancilla, swap-backs,
+/// then ancilla readout.
+pub fn build_schedule(
+    code: &StabilizerCode,
+    assignment: &Assignment,
+    usc: &UscChannel,
+) -> CycleSchedule {
+    let mut checks = Vec::new();
+    let mut total = 0.0;
+    for (i, s) in code.stabilizers().iter().enumerate() {
+        let support: Vec<usize> = s.iter_support().map(|(q, _)| q).collect();
+        let w = support.len();
+        let max_group = assignment.max_group(&support);
+        let duration = 2.0 * max_group as f64 * usc.swap.time
+            + w as f64 * usc.cx.time
+            + usc.readout_time;
+        let exposure = 2.0 * usc.swap.time + w as f64 * usc.cx.time;
+        checks.push(CheckSlot {
+            stabilizer: i,
+            duration,
+            exposure,
+            weight: w,
+        });
+        total += duration;
+    }
+    CycleSchedule {
+        checks,
+        cycle_duration: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetarch_cells::UscCell;
+    use hetarch_devices::catalog::{coherence_limited_compute, coherence_limited_storage};
+    use hetarch_stab::codes::{rotated_surface_code, steane};
+
+    fn usc_channel() -> UscChannel {
+        UscCell::new(
+            coherence_limited_compute(0.5e-3),
+            coherence_limited_storage(1e-3),
+        )
+        .unwrap()
+        .characterize()
+    }
+
+    #[test]
+    fn steane_assignment_spreads_checks() {
+        let code = steane();
+        let a = search_assignment(&code, 3, 10);
+        assert_eq!(a.num_qubits(), 7);
+        // Optimal: every weight-4 check splits at most 2-2 across registers.
+        for s in code.stabilizers() {
+            let support: Vec<usize> = s.iter_support().map(|(q, _)| q).collect();
+            assert!(a.max_group(&support) <= 2, "check too concentrated");
+        }
+    }
+
+    #[test]
+    fn assignment_respects_capacity() {
+        let code = rotated_surface_code(4); // 16 qubits
+        let a = search_assignment(&code, 3, 10);
+        let mut counts = [0u32; 3];
+        for q in 0..16 {
+            counts[a.register_of(q) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c <= 10));
+        assert_eq!(counts.iter().sum::<u32>(), 16);
+    }
+
+    #[test]
+    fn hill_climb_beats_or_matches_round_robin() {
+        let code = rotated_surface_code(4);
+        let rr = Assignment::new(3, (0..16).map(|q| (q as u32) % 3).collect());
+        let tuned = search_assignment(&code, 3, 10);
+        assert!(tuned.cost(&code) <= rr.cost(&code));
+    }
+
+    #[test]
+    fn schedule_durations_are_consistent() {
+        let code = steane();
+        let a = search_assignment(&code, 3, 10);
+        let usc = usc_channel();
+        let sched = build_schedule(&code, &a, &usc);
+        assert_eq!(sched.checks.len(), 6);
+        let sum: f64 = sched.checks.iter().map(|c| c.duration).sum();
+        assert!((sum - sched.cycle_duration).abs() < 1e-12);
+        for c in &sched.checks {
+            assert!(c.duration >= c.exposure);
+            assert_eq!(c.weight, 4);
+        }
+    }
+
+    #[test]
+    fn better_assignment_shortens_cycle() {
+        let code = steane();
+        let usc = usc_channel();
+        let good = search_assignment(&code, 3, 10);
+        // Pathological: everything in one register.
+        let bad = Assignment::new(3, vec![0; 7]);
+        let t_good = build_schedule(&code, &good, &usc).cycle_duration;
+        let t_bad = build_schedule(&code, &bad, &usc).cycle_duration;
+        assert!(t_good < t_bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversized_code_rejected() {
+        let code = rotated_surface_code(6); // 36 qubits > 30
+        search_assignment(&code, 3, 10);
+    }
+}

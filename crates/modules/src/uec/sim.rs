@@ -1,0 +1,413 @@
+//! Monte-Carlo simulation of the universal error correction module
+//! (paper §4.2.2, Fig. 9, Table 3).
+//!
+//! Checks are serialized: the error accumulates *while* the syndrome is
+//! being read out check by check, which is exactly the flexibility-for-time
+//! trade the UEC makes. Decoding uses the exact minimum-weight lookup table,
+//! followed by a perfect round to resolve measurement-error-induced
+//! miscorrections (the standard pseudothreshold methodology for small
+//! codes).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use hetarch_cells::UscChannel;
+use hetarch_qsim::channels::PauliProbs;
+use hetarch_stab::codes::StabilizerCode;
+use hetarch_stab::decoder::LookupDecoder;
+use hetarch_stab::pauli::{Pauli, PauliString};
+
+use crate::uec::assign::{build_schedule, search_assignment, Assignment, CycleSchedule};
+
+use std::collections::HashMap;
+
+/// Gate-level noise settings for the UEC study (§4.2: two-qubit gates at
+/// 1%).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UecNoise {
+    /// Two-qubit (CX) depolarizing probability.
+    pub p2q: f64,
+    /// Storage SWAP depolarizing probability.
+    pub p_swap: f64,
+    /// Classical readout flip probability.
+    pub meas_flip: f64,
+}
+
+impl Default for UecNoise {
+    /// §4.2 calibration: CX gates at 1%; the storage SWAP at 0.5% —
+    /// per §3.1 its fidelity is limited only by the SWAP time and the
+    /// transmon's T2, i.e. roughly half a full compute-compute gate's error.
+    fn default() -> Self {
+        UecNoise {
+            p2q: 1e-2,
+            p_swap: 5e-3,
+            meas_flip: 0.0,
+        }
+    }
+}
+
+/// Results of a UEC Monte-Carlo run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UecResult {
+    /// Logical error probability per QEC cycle.
+    pub logical_error_rate: f64,
+    /// Cycle duration (seconds).
+    pub cycle_duration: f64,
+    /// Shots simulated.
+    pub shots: usize,
+}
+
+/// The UEC module simulator for one code on one USC.
+#[derive(Clone, Debug)]
+pub struct UecModule {
+    code: StabilizerCode,
+    usc: UscChannel,
+    noise: UecNoise,
+    assignment: Assignment,
+    schedule: CycleSchedule,
+    decoder: LookupDecoder,
+    fault_table: HashMap<u64, PauliString>,
+}
+
+impl UecModule {
+    /// Builds the module: searches the qubit assignment, builds the
+    /// serialized schedule, and constructs the lookup decoder (weight cap
+    /// `⌈d/2⌉` capped at 3 for table-size reasons).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code exceeds the USC capacity.
+    pub fn new(code: StabilizerCode, usc: UscChannel, noise: UecNoise) -> Self {
+        let assignment = search_assignment(&code, usc.registers, usc.capacity / usc.registers);
+        let schedule = build_schedule(&code, &assignment, &usc);
+        let weight_cap = (code.distance().div_ceil(2)).clamp(1, 3);
+        let decoder = LookupDecoder::new(&code, weight_cap);
+        // Serialized extraction: one stabilizer per temporal step, in
+        // schedule order.
+        let groups: Vec<Vec<usize>> = schedule
+            .checks
+            .iter()
+            .map(|c| vec![c.stabilizer])
+            .collect();
+        let fault_table = first_order_table(&code, &groups);
+        UecModule {
+            code,
+            usc,
+            noise,
+            assignment,
+            schedule,
+            decoder,
+            fault_table,
+        }
+    }
+
+    /// The code under test.
+    pub fn code(&self) -> &StabilizerCode {
+        &self.code
+    }
+
+    /// The serialized cycle schedule.
+    pub fn schedule(&self) -> &CycleSchedule {
+        &self.schedule
+    }
+
+    /// The chosen register assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Runs `shots` Monte-Carlo cycles and returns the per-cycle logical
+    /// error rate.
+    pub fn logical_error_rate(&self, shots: usize, seed: u64) -> UecResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.code.num_qubits();
+        let stabs = self.code.stabilizers();
+
+        // Precompute per-slot noise tables.
+        struct SlotNoise {
+            storage_uninvolved: PauliProbs,
+            storage_involved: PauliProbs,
+            compute_exposure: PauliProbs,
+            anc_flip: f64,
+            support: Vec<usize>,
+        }
+        let slots: Vec<SlotNoise> = self
+            .schedule
+            .checks
+            .iter()
+            .map(|slot| {
+                let stab = &stabs[slot.stabilizer];
+                let support: Vec<usize> = stab.iter_support().map(|(q, _)| q).collect();
+                let anc_idle = self.usc.compute_idle.twirl_probs(slot.duration);
+                // X/Y on the ancilla flips its Z readout; each CX can also
+                // deposit a flipping component (8 of 15 depolarizing terms).
+                let p_gate_anc =
+                    1.0 - (1.0 - 8.0 / 15.0 * self.noise.p2q).powi(slot.weight as i32);
+                let anc_flip = combine(
+                    combine(anc_idle.px + anc_idle.py, p_gate_anc),
+                    self.noise.meas_flip,
+                );
+                SlotNoise {
+                    storage_uninvolved: self.usc.storage_idle.twirl_probs(slot.duration),
+                    storage_involved: self
+                        .usc
+                        .storage_idle
+                        .twirl_probs((slot.duration - slot.exposure).max(0.0)),
+                    compute_exposure: self.usc.compute_idle.twirl_probs(slot.exposure),
+                    anc_flip,
+                    support,
+                }
+            })
+            .collect();
+
+        let mut failures = 0usize;
+        for _ in 0..shots {
+            let mut error = PauliString::identity(n);
+            let mut syndrome: u64 = 0;
+            for (slot, sn) in self.schedule.checks.iter().zip(&slots) {
+                // Idle noise on every data qubit for this slot.
+                for q in 0..n {
+                    let involved = sn.support.contains(&q);
+                    let probs = if involved {
+                        sn.storage_involved
+                    } else {
+                        sn.storage_uninvolved
+                    };
+                    sample_pauli_into(&mut error, q, probs, &mut rng);
+                    if involved {
+                        sample_pauli_into(&mut error, q, sn.compute_exposure, &mut rng);
+                    }
+                }
+                // Gate noise: two SWAPs and one CX per involved qubit (the
+                // data-side marginal of two-qubit depolarizing noise).
+                let p_sw = self.noise.p_swap * 4.0 / 15.0;
+                let p_cx = self.noise.p2q * 4.0 / 15.0;
+                for &q in &sn.support {
+                    for _ in 0..2 {
+                        sample_pauli_into(
+                            &mut error,
+                            q,
+                            PauliProbs {
+                                px: p_sw,
+                                py: p_sw,
+                                pz: p_sw,
+                            },
+                            &mut rng,
+                        );
+                    }
+                    sample_pauli_into(
+                        &mut error,
+                        q,
+                        PauliProbs {
+                            px: p_cx,
+                            py: p_cx,
+                            pz: p_cx,
+                        },
+                        &mut rng,
+                    );
+                }
+                // Measured syndrome bit: the accumulated error so far, plus
+                // ancilla/readout faults.
+                let mut bit = !stabs[slot.stabilizer].commutes_with(&error);
+                if rng.gen::<f64>() < sn.anc_flip {
+                    bit = !bit;
+                }
+                if bit {
+                    syndrome |= 1 << slot.stabilizer;
+                }
+            }
+            // Decode with the (noisy) measured syndrome using the
+            // first-order circuit-fault table (partial syndromes from
+            // mid-cycle errors decode to their own fault, never to a
+            // spurious multi-qubit correction)...
+            let correction = self
+                .fault_table
+                .get(&syndrome)
+                .cloned()
+                .unwrap_or_else(|| self.decoder.decode_bits(syndrome));
+            let residual = error.xor(&correction);
+            // ...then a perfect round resolves any leftover syndrome.
+            let true_syn = pack_syndrome(&self.code.syndrome_of(&residual));
+            let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
+            if !self.code.in_normalizer(&final_error)
+                || self.code.is_logical_error(&final_error)
+            {
+                failures += 1;
+            }
+        }
+        UecResult {
+            logical_error_rate: failures as f64 / shots as f64,
+            cycle_duration: self.schedule.cycle_duration,
+            shots,
+        }
+    }
+}
+
+/// Builds the first-order circuit-fault decoding table for a temporally
+/// ordered syndrome extraction.
+///
+/// `temporal_groups` lists the stabilizer indices measured at each step, in
+/// order. A single data-qubit fault occurring before step `k` is seen only
+/// by the checks at steps ≥ k, producing a *partial* syndrome; this table
+/// maps every such partial syndrome (and every single measurement flip) to
+/// a correction of weight ≤ 1, so that **every** single circuit fault
+/// decodes without a logical error — the property circuit-level decoding
+/// gives the paper's Stim pipeline, recovered here for lookup decoding.
+pub fn first_order_table(
+    code: &StabilizerCode,
+    temporal_groups: &[Vec<usize>],
+) -> std::collections::HashMap<u64, PauliString> {
+    use std::collections::HashMap;
+    let n = code.num_qubits();
+    let stabs = code.stabilizers();
+    // Gather every single fault's symptom, then resolve: a symptom claimed
+    // by exactly one correction decodes to it; a symptom shared by several
+    // distinct faults (or by a measurement flip, which wants "identity")
+    // decodes to identity — the weight <= 1 residual is then fixed exactly
+    // by the perfect round, so *every* single fault is harmless.
+    let mut candidates: HashMap<u64, Vec<PauliString>> = HashMap::new();
+    // Single measurement flips want the identity correction.
+    for s in 0..stabs.len() {
+        candidates
+            .entry(1u64 << s)
+            .or_default()
+            .push(PauliString::identity(n));
+    }
+    for k in 0..temporal_groups.len() {
+        for q in 0..n {
+            for p in [Pauli::X, Pauli::Y, Pauli::Z] {
+                let e = PauliString::from_sparse(n, &[(q, p)]);
+                let mut symptom = 0u64;
+                for group in &temporal_groups[k..] {
+                    for &s in group {
+                        if !stabs[s].commutes_with(&e) {
+                            symptom |= 1 << s;
+                        }
+                    }
+                }
+                let entry = candidates.entry(symptom).or_default();
+                if !entry.contains(&e) {
+                    entry.push(e);
+                }
+            }
+        }
+    }
+    let mut table: HashMap<u64, PauliString> = HashMap::new();
+    table.insert(0, PauliString::identity(n));
+    for (symptom, cands) in candidates {
+        if symptom == 0 {
+            continue;
+        }
+        let correction = if cands.len() == 1 {
+            cands.into_iter().next().expect("one candidate")
+        } else {
+            PauliString::identity(n)
+        };
+        table.insert(symptom, correction);
+    }
+    table
+}
+
+pub(crate) fn combine(a: f64, b: f64) -> f64 {
+    a * (1.0 - b) + b * (1.0 - a)
+}
+
+pub(crate) fn pack_syndrome(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+pub(crate) fn sample_pauli_into<R: Rng + ?Sized>(
+    error: &mut PauliString,
+    q: usize,
+    probs: PauliProbs,
+    rng: &mut R,
+) {
+    let total = probs.total();
+    if total <= 0.0 {
+        return;
+    }
+    let r: f64 = rng.gen();
+    if r >= total {
+        return;
+    }
+    let p = if r < probs.px {
+        Pauli::X
+    } else if r < probs.px + probs.py {
+        Pauli::Y
+    } else {
+        Pauli::Z
+    };
+    let cur = error.get(q);
+    let (cx, cz) = cur.xz();
+    let (nx, nz) = p.xz();
+    error.set(q, Pauli::from_xz(cx ^ nx, cz ^ nz));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetarch_cells::UscCell;
+    use hetarch_devices::catalog::{coherence_limited_compute, coherence_limited_storage};
+    use hetarch_stab::codes::{rotated_surface_code, steane};
+
+    fn usc(ts: f64) -> UscChannel {
+        UscCell::new(coherence_limited_compute(0.5e-3), coherence_limited_storage(ts))
+            .unwrap()
+            .characterize()
+    }
+
+    #[test]
+    fn noiseless_uec_never_fails() {
+        let noise = UecNoise {
+            p2q: 0.0,
+            p_swap: 0.0,
+            meas_flip: 0.0,
+        };
+        // Effectively infinite coherence everywhere.
+        let ch = UscCell::new(coherence_limited_compute(1e3), coherence_limited_storage(1e3))
+            .unwrap()
+            .characterize();
+        let m = UecModule::new(steane(), ch, noise);
+        let r = m.logical_error_rate(500, 3);
+        assert_eq!(r.logical_error_rate, 0.0);
+    }
+
+    #[test]
+    fn longer_storage_reduces_logical_error() {
+        let noise = UecNoise::default();
+        let short = UecModule::new(steane(), usc(0.5e-3), noise).logical_error_rate(4000, 7);
+        let long = UecModule::new(steane(), usc(50e-3), noise).logical_error_rate(4000, 7);
+        assert!(
+            long.logical_error_rate < short.logical_error_rate,
+            "Ts=50ms ({}) should beat Ts=0.5ms ({})",
+            long.logical_error_rate,
+            short.logical_error_rate
+        );
+    }
+
+    #[test]
+    fn cycle_duration_reported() {
+        let m = UecModule::new(steane(), usc(1e-3), UecNoise::default());
+        let r = m.logical_error_rate(10, 1);
+        assert!(r.cycle_duration > 5e-6 && r.cycle_duration < 50e-6,
+            "cycle duration {}", r.cycle_duration);
+    }
+
+    #[test]
+    fn surface_code_runs_on_uec() {
+        let m = UecModule::new(rotated_surface_code(3), usc(50e-3), UecNoise::default());
+        let r = m.logical_error_rate(2000, 11);
+        assert!(r.logical_error_rate < 0.2, "rate {}", r.logical_error_rate);
+    }
+
+    #[test]
+    fn results_deterministic_for_seed() {
+        let m = UecModule::new(steane(), usc(1e-3), UecNoise::default());
+        let a = m.logical_error_rate(1000, 42);
+        let b = m.logical_error_rate(1000, 42);
+        assert_eq!(a.logical_error_rate, b.logical_error_rate);
+    }
+}

@@ -1,0 +1,301 @@
+//! Minimal complex arithmetic for density-matrix simulation.
+//!
+//! `num-complex` is deliberately not used: the simulator needs only a small,
+//! predictable surface (arithmetic, conjugation, magnitude, `e^{iθ}`), and
+//! keeping it local lets the whole workspace stay within its approved
+//! dependency set.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A double-precision complex number.
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_qsim::complex::C64;
+///
+/// let z = C64::new(3.0, 4.0);
+/// assert_eq!(z.norm_sqr(), 25.0);
+/// assert_eq!(z.conj(), C64::new(3.0, -4.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hetarch_qsim::complex::C64;
+    /// let z = C64::expi(std::f64::consts::PI);
+    /// assert!((z.re + 1.0).abs() < 1e-12);
+    /// assert!(z.im.abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn expi(theta: f64) -> Self {
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Returns the complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Returns `|z|²`, avoiding the square root of [`C64::abs`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Returns true when both parts are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Returns true when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.norm_sqr();
+        C64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C64::new(1.5, -2.5);
+        assert_eq!(z + C64::ZERO, z);
+        assert_eq!(z * C64::ONE, z);
+        assert!((z - z).approx_eq(C64::ZERO, TOL));
+        assert!((z + (-z)).approx_eq(C64::ZERO, TOL));
+    }
+
+    #[test]
+    fn multiplication_matches_manual_expansion() {
+        let a = C64::new(2.0, 3.0);
+        let b = C64::new(-1.0, 4.0);
+        // (2+3i)(-1+4i) = -2 + 8i - 3i + 12i^2 = -14 + 5i
+        assert!((a * b).approx_eq(C64::new(-14.0, 5.0), TOL));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(0.3, -0.7);
+        let b = C64::new(2.0, 1.0);
+        assert!(((a * b) / b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!((z * z.conj()).approx_eq(C64::real(25.0), TOL));
+    }
+
+    #[test]
+    fn expi_lies_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.5;
+            assert!((C64::expi(theta).abs() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn expi_addition_theorem() {
+        let a = 0.37;
+        let b = 1.21;
+        assert!((C64::expi(a) * C64::expi(b)).approx_eq(C64::expi(a + b), TOL));
+    }
+
+    #[test]
+    fn sum_of_complex_iterator() {
+        let zs = [C64::new(1.0, 1.0), C64::new(2.0, -3.0), C64::new(-0.5, 0.5)];
+        let s: C64 = zs.iter().copied().sum();
+        assert!(s.approx_eq(C64::new(2.5, -1.5), TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn real_scalar_multiplication_commutes() {
+        let z = C64::new(1.0, -1.0);
+        assert_eq!(2.0 * z, z * 2.0);
+        assert_eq!((2.0 * z).re, 2.0);
+    }
+}

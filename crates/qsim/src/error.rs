@@ -1,0 +1,48 @@
+//! Error types for the simulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the density-matrix simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QsimError {
+    /// A state failed a physicality check (trace, Hermiticity, positivity)
+    /// or was constructed from malformed input.
+    InvalidState(String),
+    /// A channel definition is unphysical (e.g. Kraus operators do not sum
+    /// to identity, or a probability is outside `[0, 1]`).
+    InvalidChannel(String),
+    /// A requested parameter combination is unphysical (e.g. `T2 > 2 T1`).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for QsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QsimError::InvalidState(msg) => write!(f, "invalid quantum state: {msg}"),
+            QsimError::InvalidChannel(msg) => write!(f, "invalid quantum channel: {msg}"),
+            QsimError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for QsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = QsimError::InvalidChannel("probability 1.5 out of range".into());
+        let s = e.to_string();
+        assert!(s.starts_with("invalid quantum channel"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QsimError>();
+    }
+}

@@ -1,0 +1,223 @@
+//! Fidelity and distance metrics.
+//!
+//! All HetArch cell characterizations target *pure* reference states (Bell
+//! pairs, CAT states, logical `|+⟩`), so the workhorse is
+//! [`fidelity_with_pure`], which needs no matrix square roots.
+
+use crate::complex::C64;
+use crate::state::DensityMatrix;
+
+/// Fidelity `⟨ψ|ρ|ψ⟩` between a density matrix and a pure target state.
+///
+/// The target vector is normalized internally.
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_qsim::state::DensityMatrix;
+/// use hetarch_qsim::complex::C64;
+/// use hetarch_qsim::fidelity::fidelity_with_pure;
+///
+/// let rho = DensityMatrix::zero_state(1);
+/// let psi = [C64::ONE, C64::ZERO];
+/// assert!((fidelity_with_pure(&rho, &psi) - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the target length does not match the state dimension or the
+/// target has zero norm.
+pub fn fidelity_with_pure(rho: &DensityMatrix, psi: &[C64]) -> f64 {
+    assert_eq!(
+        psi.len(),
+        rho.dim(),
+        "target state dimension mismatch: {} vs {}",
+        psi.len(),
+        rho.dim()
+    );
+    let norm_sqr: f64 = psi.iter().map(|z| z.norm_sqr()).sum();
+    assert!(norm_sqr > 0.0, "target state has zero norm");
+    let mut acc = C64::ZERO;
+    for r in 0..rho.dim() {
+        if psi[r] == C64::ZERO {
+            continue;
+        }
+        for c in 0..rho.dim() {
+            if psi[c] == C64::ZERO {
+                continue;
+            }
+            acc += psi[r].conj() * rho.entry(r, c) * psi[c];
+        }
+    }
+    (acc.re / norm_sqr).clamp(0.0, 1.0)
+}
+
+/// Infidelity `1 − F` with a pure target.
+pub fn infidelity_with_pure(rho: &DensityMatrix, psi: &[C64]) -> f64 {
+    1.0 - fidelity_with_pure(rho, psi)
+}
+
+/// Hilbert–Schmidt inner product `tr(ρσ)` — equals the fidelity when either
+/// argument is pure.
+pub fn hs_overlap(rho: &DensityMatrix, sigma: &DensityMatrix) -> f64 {
+    assert_eq!(rho.dim(), sigma.dim(), "state dimension mismatch");
+    let mut acc = C64::ZERO;
+    for r in 0..rho.dim() {
+        for c in 0..rho.dim() {
+            acc += rho.entry(r, c) * sigma.entry(c, r);
+        }
+    }
+    acc.re
+}
+
+/// Trace distance upper bound via the Frobenius norm:
+/// `T(ρ,σ) ≤ √(d)/2 · ‖ρ−σ‖_F`. Cheap and sufficient for regression tests.
+pub fn trace_distance_bound(rho: &DensityMatrix, sigma: &DensityMatrix) -> f64 {
+    assert_eq!(rho.dim(), sigma.dim(), "state dimension mismatch");
+    let mut frob = 0.0;
+    for r in 0..rho.dim() {
+        for c in 0..rho.dim() {
+            frob += (rho.entry(r, c) - sigma.entry(r, c)).norm_sqr();
+        }
+    }
+    0.5 * ((rho.dim() as f64) * frob).sqrt()
+}
+
+/// Average gate fidelity of a single-qubit channel, estimated by twirling
+/// over the six Pauli eigenstates (exact for Pauli channels, a standard
+/// estimate otherwise).
+pub fn average_channel_fidelity_1q<F>(mut apply: F) -> f64
+where
+    F: FnMut(&mut DensityMatrix),
+{
+    use crate::matrix::Mat;
+    let preps: [&[(&Mat, bool)]; 6] = [
+        &[],                                   // |0>
+        &[(&X_GATE, false)],                   // |1>
+        &[(&H_GATE, false)],                   // |+>
+        &[(&X_GATE, false), (&H_GATE, false)], // |->
+        &[(&H_GATE, false), (&S_GATE, false)], // |+i>
+        &[(&H_GATE, false), (&S_GATE, true)],  // |-i>
+    ];
+    static X_GATE: std::sync::LazyLock<Mat> = std::sync::LazyLock::new(Mat::pauli_x);
+    static H_GATE: std::sync::LazyLock<Mat> = std::sync::LazyLock::new(Mat::hadamard);
+    static S_GATE: std::sync::LazyLock<Mat> = std::sync::LazyLock::new(Mat::s_gate);
+
+    let mut total = 0.0;
+    for prep in preps {
+        let mut rho = DensityMatrix::zero_state(1);
+        let mut psi = vec![C64::ONE, C64::ZERO];
+        for (gate, dagger) in prep {
+            let g: &Mat = gate;
+            let m = if *dagger { g.dagger() } else { (*g).clone() };
+            rho.apply_1q(0, &m);
+            psi = apply_vec(&m, &psi);
+        }
+        apply(&mut rho);
+        total += fidelity_with_pure(&rho, &psi);
+    }
+    total / 6.0
+}
+
+fn apply_vec(m: &crate::matrix::Mat, v: &[C64]) -> Vec<C64> {
+    let mut out = vec![C64::ZERO; v.len()];
+    for (r, o) in out.iter_mut().enumerate() {
+        for (c, x) in v.iter().enumerate() {
+            *o += m[(r, c)] * *x;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::Kraus1;
+    use crate::matrix::Mat;
+
+    const TOL: f64 = 1e-12;
+
+    fn bell() -> DensityMatrix {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_1q(0, &Mat::hadamard());
+        rho.apply_2q(0, 1, &Mat::cnot());
+        rho
+    }
+
+    fn bell_vec() -> Vec<C64> {
+        let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        vec![s, C64::ZERO, C64::ZERO, s]
+    }
+
+    #[test]
+    fn pure_state_fidelity_with_itself_is_one() {
+        assert!((fidelity_with_pure(&bell(), &bell_vec()) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn orthogonal_states_have_zero_fidelity() {
+        let rho = DensityMatrix::zero_state(1);
+        let one = [C64::ZERO, C64::ONE];
+        assert!(fidelity_with_pure(&rho, &one) < TOL);
+    }
+
+    #[test]
+    fn mixed_state_fidelity_is_half() {
+        let rho = DensityMatrix::maximally_mixed(1);
+        let plus = [
+            C64::real(std::f64::consts::FRAC_1_SQRT_2),
+            C64::real(std::f64::consts::FRAC_1_SQRT_2),
+        ];
+        assert!((fidelity_with_pure(&rho, &plus) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn unnormalized_target_is_accepted() {
+        let rho = DensityMatrix::zero_state(1);
+        let psi = [C64::real(3.0), C64::ZERO];
+        assert!((fidelity_with_pure(&rho, &psi) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn depolarizing_reduces_bell_fidelity_linearly() {
+        let mut rho = bell();
+        Kraus1::depolarizing(0.12).unwrap().apply(&mut rho, 0);
+        // Single-qubit depolarizing p: F = 1 - p + p/3... one of 3 Paulis (Z)
+        // keeps |Φ+> only in the Φ- sector; all three map out of Φ+:
+        // F = 1 - p + 0 = actually X,Y,Z each map Φ+ to an orthogonal Bell
+        // state, so F = 1 - p.
+        assert!((fidelity_with_pure(&rho, &bell_vec()) - 0.88).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hs_overlap_matches_pure_fidelity() {
+        let rho = bell();
+        let sigma = bell();
+        assert!((hs_overlap(&rho, &sigma) - 1.0).abs() < TOL);
+        let mixed = DensityMatrix::maximally_mixed(2);
+        assert!((hs_overlap(&rho, &mixed) - 0.25).abs() < TOL);
+    }
+
+    #[test]
+    fn trace_distance_bound_zero_for_identical() {
+        let rho = bell();
+        assert!(trace_distance_bound(&rho, &rho) < TOL);
+    }
+
+    #[test]
+    fn average_fidelity_of_identity_is_one() {
+        let f = average_channel_fidelity_1q(|_| {});
+        assert!((f - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn average_fidelity_of_depolarizing() {
+        let p = 0.09;
+        let ch = Kraus1::depolarizing(p).unwrap();
+        let f = average_channel_fidelity_1q(|rho| ch.apply(rho, 0));
+        // Depolarizing: F_avg = 1 - p + p/... each eigenstate keeps weight
+        // 1 - p + p/3 (the Pauli matching its axis fixes it).
+        let expect = 1.0 - p + p / 3.0;
+        assert!((f - expect).abs() < 1e-9, "got {f}, expected {expect}");
+    }
+}

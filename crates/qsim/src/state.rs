@@ -1,0 +1,602 @@
+//! Dense density-matrix states.
+//!
+//! A [`DensityMatrix`] over `n` qubits stores the full `2^n × 2^n` complex
+//! matrix ρ. This is the exact, noise-capable representation HetArch uses at
+//! the *standard-cell* level (paper §2): cells involve ≲ 10 qubits, so the
+//! exponential cost is confined to small systems and the characterization is
+//! done once per cell.
+//!
+//! Qubit `0` is the least-significant bit of a basis index.
+
+use std::fmt;
+
+use crate::complex::C64;
+use crate::error::QsimError;
+use crate::matrix::Mat;
+
+/// A density matrix over `n` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_qsim::state::DensityMatrix;
+/// use hetarch_qsim::matrix::Mat;
+///
+/// let mut rho = DensityMatrix::zero_state(2);
+/// rho.apply_1q(0, &Mat::hadamard());
+/// rho.apply_2q(0, 1, &Mat::cnot());
+/// // Bell state: P(00) = P(11) = 1/2.
+/// assert!((rho.diagonal_prob(0b00) - 0.5).abs() < 1e-12);
+/// assert!((rho.diagonal_prob(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DensityMatrix {
+    n: usize,
+    dim: usize,
+    data: Vec<C64>,
+}
+
+impl DensityMatrix {
+    /// Creates `|0…0⟩⟨0…0|` over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 14` (a 14-qubit density matrix already holds 2^28
+    /// complex entries; larger systems belong in the stabilizer simulator).
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n <= 14, "density matrices are limited to 14 qubits (got {n})");
+        let dim = 1usize << n;
+        let mut data = vec![C64::ZERO; dim * dim];
+        data[0] = C64::ONE;
+        DensityMatrix { n, dim, data }
+    }
+
+    /// Creates ρ = |ψ⟩⟨ψ| from an (unnormalized) state vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidState`] if the vector length is not a
+    /// power of two or the norm is zero.
+    pub fn from_pure(psi: &[C64]) -> Result<Self, QsimError> {
+        let dim = psi.len();
+        if dim == 0 || !dim.is_power_of_two() {
+            return Err(QsimError::InvalidState(format!(
+                "state vector length {dim} is not a power of two"
+            )));
+        }
+        let norm_sqr: f64 = psi.iter().map(|z| z.norm_sqr()).sum();
+        if norm_sqr <= 0.0 {
+            return Err(QsimError::InvalidState("zero state vector".into()));
+        }
+        let n = dim.trailing_zeros() as usize;
+        let mut data = vec![C64::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                data[r * dim + c] = psi[r] * psi[c].conj() / norm_sqr;
+            }
+        }
+        Ok(DensityMatrix { n, dim, data })
+    }
+
+    /// Creates a density matrix from an explicit `2^n × 2^n` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidState`] if the matrix is not square with a
+    /// power-of-two dimension, is not Hermitian, or has trace far from one.
+    pub fn from_matrix(m: &Mat) -> Result<Self, QsimError> {
+        if m.rows() != m.cols() || !m.rows().is_power_of_two() {
+            return Err(QsimError::InvalidState(format!(
+                "{}x{} is not a square power-of-two matrix",
+                m.rows(),
+                m.cols()
+            )));
+        }
+        let dm = DensityMatrix {
+            n: m.rows().trailing_zeros() as usize,
+            dim: m.rows(),
+            data: m.as_slice().to_vec(),
+        };
+        dm.validate(1e-9)?;
+        Ok(dm)
+    }
+
+    /// Creates the maximally mixed state `I / 2^n`.
+    pub fn maximally_mixed(n: usize) -> Self {
+        let mut dm = DensityMatrix::zero_state(n);
+        let dim = dm.dim;
+        dm.data.fill(C64::ZERO);
+        for i in 0..dim {
+            dm.data[i * dim + i] = C64::real(1.0 / dim as f64);
+        }
+        dm
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix dimension `2^n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Entry ρ[r, c].
+    #[inline]
+    pub fn entry(&self, r: usize, c: usize) -> C64 {
+        self.data[r * self.dim + c]
+    }
+
+    /// Mutable entry ρ[r, c]. Intended for test setup; production code should
+    /// use gates and channels.
+    #[inline]
+    pub fn entry_mut(&mut self, r: usize, c: usize) -> &mut C64 {
+        &mut self.data[r * self.dim + c]
+    }
+
+    /// Probability of measuring the computational basis state `b` (the
+    /// diagonal entry ρ[b, b]).
+    #[inline]
+    pub fn diagonal_prob(&self, b: usize) -> f64 {
+        self.data[b * self.dim + b].re
+    }
+
+    /// Trace of ρ.
+    pub fn trace(&self) -> C64 {
+        (0..self.dim).map(|i| self.entry(i, i)).sum()
+    }
+
+    /// Purity `tr(ρ²)`; 1 for pure states, `1/2^n` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                // tr(ρ²) = Σ_{rc} ρ[r,c] ρ[c,r] = Σ_{rc} |ρ[r,c]|² for Hermitian ρ.
+                acc += self.entry(r, c).norm_sqr();
+            }
+        }
+        acc
+    }
+
+    /// Checks trace ≈ 1, Hermiticity, and non-negative diagonal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidState`] describing the first violated
+    /// property.
+    pub fn validate(&self, tol: f64) -> Result<(), QsimError> {
+        let t = self.trace();
+        if !t.approx_eq(C64::ONE, tol.max(1e-9) * self.dim as f64) {
+            return Err(QsimError::InvalidState(format!("trace is {t}, expected 1")));
+        }
+        for r in 0..self.dim {
+            if self.entry(r, r).re < -tol {
+                return Err(QsimError::InvalidState(format!(
+                    "negative diagonal entry {} at index {r}",
+                    self.entry(r, r)
+                )));
+            }
+            for c in (r + 1)..self.dim {
+                if !self.entry(r, c).approx_eq(self.entry(c, r).conj(), tol) {
+                    return Err(QsimError::InvalidState(format!(
+                        "not Hermitian at ({r},{c})"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies ρ → M ρ M† for an arbitrary 2×2 matrix `m` on qubit `q`.
+    ///
+    /// This is the shared kernel behind unitary gates and Kraus operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n` or `m` is not 2×2.
+    pub fn apply_conjugation_1q(&mut self, q: usize, m: &Mat) {
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        assert_eq!((m.rows(), m.cols()), (2, 2), "expected a 2x2 matrix");
+        let mask = 1usize << q;
+        let dim = self.dim;
+        let u = [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]];
+        // Left multiply: rows.
+        for i in 0..dim {
+            if i & mask != 0 {
+                continue;
+            }
+            let r0 = i;
+            let r1 = i | mask;
+            for c in 0..dim {
+                let a = self.data[r0 * dim + c];
+                let b = self.data[r1 * dim + c];
+                self.data[r0 * dim + c] = u[0] * a + u[1] * b;
+                self.data[r1 * dim + c] = u[2] * a + u[3] * b;
+            }
+        }
+        // Right multiply by M†: columns.
+        for r in 0..dim {
+            let row = r * dim;
+            for i in 0..dim {
+                if i & mask != 0 {
+                    continue;
+                }
+                let c0 = i;
+                let c1 = i | mask;
+                let a = self.data[row + c0];
+                let b = self.data[row + c1];
+                self.data[row + c0] = a * u[0].conj() + b * u[1].conj();
+                self.data[row + c1] = a * u[2].conj() + b * u[3].conj();
+            }
+        }
+    }
+
+    /// Applies ρ → M ρ M† for an arbitrary 4×4 matrix on qubits
+    /// `(q_hi, q_lo)`, where the matrix basis index is `(bit_hi << 1) | bit_lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range, or `m` is not 4×4.
+    pub fn apply_conjugation_2q(&mut self, q_hi: usize, q_lo: usize, m: &Mat) {
+        assert!(q_hi < self.n && q_lo < self.n, "qubit out of range");
+        assert_ne!(q_hi, q_lo, "two-qubit gate requires distinct qubits");
+        assert_eq!((m.rows(), m.cols()), (4, 4), "expected a 4x4 matrix");
+        let mh = 1usize << q_hi;
+        let ml = 1usize << q_lo;
+        let dim = self.dim;
+        let idx = |base: usize, k: usize| -> usize {
+            let hi = (k >> 1) & 1;
+            let lo = k & 1;
+            base | (hi * mh) | (lo * ml)
+        };
+        // Left multiply.
+        let mut tmp = [C64::ZERO; 4];
+        for base in 0..dim {
+            if base & (mh | ml) != 0 {
+                continue;
+            }
+            for c in 0..dim {
+                for (k, t) in tmp.iter_mut().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for j in 0..4 {
+                        acc += m[(k, j)] * self.data[idx(base, j) * dim + c];
+                    }
+                    *t = acc;
+                }
+                for (k, t) in tmp.iter().enumerate() {
+                    self.data[idx(base, k) * dim + c] = *t;
+                }
+            }
+        }
+        // Right multiply by M†.
+        for r in 0..dim {
+            let row = r * dim;
+            for base in 0..dim {
+                if base & (mh | ml) != 0 {
+                    continue;
+                }
+                for (k, t) in tmp.iter_mut().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for j in 0..4 {
+                        acc += self.data[row + idx(base, j)] * m[(k, j)].conj();
+                    }
+                    *t = acc;
+                }
+                for (k, t) in tmp.iter().enumerate() {
+                    self.data[row + idx(base, k)] = *t;
+                }
+            }
+        }
+    }
+
+    /// Applies a single-qubit unitary gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not unitary (debug builds only) or dimensions mismatch.
+    pub fn apply_1q(&mut self, q: usize, u: &Mat) {
+        debug_assert!(u.is_unitary(1e-9), "apply_1q requires a unitary matrix");
+        self.apply_conjugation_1q(q, u);
+    }
+
+    /// Applies a two-qubit unitary gate on `(q_hi, q_lo)`.
+    ///
+    /// For [`Mat::cnot`], `q_hi` is the control and `q_lo` the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not unitary (debug builds only) or dimensions mismatch.
+    pub fn apply_2q(&mut self, q_hi: usize, q_lo: usize, u: &Mat) {
+        debug_assert!(u.is_unitary(1e-9), "apply_2q requires a unitary matrix");
+        self.apply_conjugation_2q(q_hi, q_lo, u);
+    }
+
+    /// Tensor product `self ⊗ other`; `other`'s qubits become the new
+    /// high-order qubits `n..n+m`.
+    pub fn tensor(&self, other: &DensityMatrix) -> DensityMatrix {
+        let n = self.n + other.n;
+        assert!(n <= 14, "tensor product would exceed the 14-qubit limit");
+        let dim = 1usize << n;
+        let mut data = vec![C64::ZERO; dim * dim];
+        for r2 in 0..other.dim {
+            for c2 in 0..other.dim {
+                let v2 = other.entry(r2, c2);
+                if v2 == C64::ZERO {
+                    continue;
+                }
+                for r1 in 0..self.dim {
+                    for c1 in 0..self.dim {
+                        let v1 = self.entry(r1, c1);
+                        if v1 == C64::ZERO {
+                            continue;
+                        }
+                        let r = (r2 << self.n) | r1;
+                        let c = (c2 << self.n) | c1;
+                        data[r * dim + c] = v1 * v2;
+                    }
+                }
+            }
+        }
+        DensityMatrix { n, dim, data }
+    }
+
+    /// Traces out all qubits not in `keep`; kept qubit `keep[j]` becomes
+    /// qubit `j` of the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` contains duplicates or out-of-range indices.
+    pub fn partial_trace(&self, keep: &[usize]) -> DensityMatrix {
+        let mut seen = vec![false; self.n];
+        for &q in keep {
+            assert!(q < self.n, "kept qubit {q} out of range");
+            assert!(!seen[q], "duplicate kept qubit {q}");
+            seen[q] = true;
+        }
+        let traced: Vec<usize> = (0..self.n).filter(|q| !seen[*q]).collect();
+        let kn = keep.len();
+        let kdim = 1usize << kn;
+        let tdim = 1usize << traced.len();
+        let expand = |bits: usize, positions: &[usize]| -> usize {
+            let mut out = 0usize;
+            for (j, &q) in positions.iter().enumerate() {
+                if (bits >> j) & 1 == 1 {
+                    out |= 1 << q;
+                }
+            }
+            out
+        };
+        let mut data = vec![C64::ZERO; kdim * kdim];
+        for rk in 0..kdim {
+            let rbase = expand(rk, keep);
+            for ck in 0..kdim {
+                let cbase = expand(ck, keep);
+                let mut acc = C64::ZERO;
+                for t in 0..tdim {
+                    let toff = expand(t, &traced);
+                    acc += self.entry(rbase | toff, cbase | toff);
+                }
+                data[rk * kdim + ck] = acc;
+            }
+        }
+        DensityMatrix {
+            n: kn,
+            dim: kdim,
+            data,
+        }
+    }
+
+    /// Expectation value `tr(ρ P)` of the Pauli string with X support
+    /// `xmask` and Z support `zmask` (Y where both bits are set).
+    pub fn expectation_pauli(&self, xmask: usize, zmask: usize) -> C64 {
+        assert!(
+            xmask < self.dim && zmask < self.dim,
+            "pauli mask out of range"
+        );
+        let ny = (xmask & zmask).count_ones();
+        // i^{ny} prefactor from Y = i X Z.
+        let prefactor = match ny % 4 {
+            0 => C64::ONE,
+            1 => C64::I,
+            2 => -C64::ONE,
+            _ => -C64::I,
+        };
+        let mut acc = C64::ZERO;
+        for b in 0..self.dim {
+            let sign = if ((b & zmask).count_ones()) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+            acc += self.entry(b, b ^ xmask).scale(sign);
+        }
+        acc * prefactor
+    }
+
+    /// Rescales ρ by `1/p` (used after post-selection).
+    pub fn renormalize(&mut self, p: f64) {
+        assert!(p > 0.0, "cannot renormalize by non-positive probability {p}");
+        let inv = 1.0 / p;
+        for v in &mut self.data {
+            *v = v.scale(inv);
+        }
+    }
+
+    /// Borrows the row-major backing data.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Converts into a [`Mat`] (for diagnostics and tests).
+    pub fn to_mat(&self) -> Mat {
+        Mat::from_rows(self.dim, self.dim, self.data.clone())
+    }
+}
+
+impl fmt::Debug for DensityMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DensityMatrix {{ n: {}, trace: {}, purity: {:.6} }}",
+            self.n,
+            self.trace(),
+            self.purity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn zero_state_is_pure_and_valid() {
+        let rho = DensityMatrix::zero_state(3);
+        assert_eq!(rho.num_qubits(), 3);
+        assert!((rho.purity() - 1.0).abs() < TOL);
+        rho.validate(TOL).unwrap();
+    }
+
+    #[test]
+    fn x_gate_flips_population() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_1q(1, &Mat::pauli_x());
+        assert!((rho.diagonal_prob(0b10) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn bell_state_construction() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_1q(0, &Mat::hadamard());
+        rho.apply_2q(0, 1, &Mat::cnot());
+        assert!((rho.diagonal_prob(0) - 0.5).abs() < TOL);
+        assert!((rho.diagonal_prob(3) - 0.5).abs() < TOL);
+        assert!(rho.entry(0, 3).approx_eq(C64::real(0.5), TOL));
+        assert!((rho.purity() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cnot_direction_respected() {
+        // Control = qubit 1, target = qubit 0 with |01> (qubit0=1): control is 0 -> no flip.
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_1q(0, &Mat::pauli_x());
+        rho.apply_2q(1, 0, &Mat::cnot());
+        assert!((rho.diagonal_prob(0b01) - 1.0).abs() < TOL);
+        // Now control = qubit 0 (set), target qubit 1 -> flips.
+        rho.apply_2q(0, 1, &Mat::cnot());
+        assert!((rho.diagonal_prob(0b11) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn from_pure_normalizes() {
+        let psi = [C64::real(1.0), C64::real(1.0)];
+        let rho = DensityMatrix::from_pure(&psi).unwrap();
+        assert!((rho.diagonal_prob(0) - 0.5).abs() < TOL);
+        rho.validate(TOL).unwrap();
+    }
+
+    #[test]
+    fn from_pure_rejects_bad_input() {
+        assert!(DensityMatrix::from_pure(&[]).is_err());
+        assert!(DensityMatrix::from_pure(&[C64::ZERO, C64::ZERO]).is_err());
+        assert!(DensityMatrix::from_pure(&[C64::ONE, C64::ONE, C64::ONE]).is_err());
+    }
+
+    #[test]
+    fn maximally_mixed_purity() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        assert!((rho.purity() - 0.25).abs() < TOL);
+        rho.validate(TOL).unwrap();
+    }
+
+    #[test]
+    fn partial_trace_of_bell_is_mixed() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_1q(0, &Mat::hadamard());
+        rho.apply_2q(0, 1, &Mat::cnot());
+        let red = rho.partial_trace(&[0]);
+        assert_eq!(red.num_qubits(), 1);
+        assert!((red.diagonal_prob(0) - 0.5).abs() < TOL);
+        assert!((red.purity() - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn partial_trace_of_product_state() {
+        let mut a = DensityMatrix::zero_state(1);
+        a.apply_1q(0, &Mat::pauli_x());
+        let b = DensityMatrix::zero_state(1);
+        let ab = a.tensor(&b); // qubit 0 = |1>, qubit 1 = |0>
+        assert!((ab.diagonal_prob(0b01) - 1.0).abs() < TOL);
+        let ra = ab.partial_trace(&[0]);
+        assert!((ra.diagonal_prob(1) - 1.0).abs() < TOL);
+        let rb = ab.partial_trace(&[1]);
+        assert!((rb.diagonal_prob(0) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn tensor_trace_is_product_of_traces() {
+        let a = DensityMatrix::maximally_mixed(1);
+        let b = DensityMatrix::zero_state(2);
+        let ab = a.tensor(&b);
+        assert_eq!(ab.num_qubits(), 3);
+        assert!(ab.trace().approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn pauli_expectations_on_bell_state() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_1q(0, &Mat::hadamard());
+        rho.apply_2q(0, 1, &Mat::cnot());
+        // Φ+ stabilizers: XX = +1, ZZ = +1, YY = -1.
+        assert!(rho.expectation_pauli(0b11, 0b00).approx_eq(C64::ONE, TOL));
+        assert!(rho.expectation_pauli(0b00, 0b11).approx_eq(C64::ONE, TOL));
+        assert!(rho
+            .expectation_pauli(0b11, 0b11)
+            .approx_eq(-C64::ONE, TOL));
+        // Single-qubit Z has zero expectation.
+        assert!(rho.expectation_pauli(0b00, 0b01).approx_eq(C64::ZERO, TOL));
+    }
+
+    #[test]
+    fn unitary_preserves_trace_and_purity() {
+        let mut rho = DensityMatrix::zero_state(3);
+        rho.apply_1q(0, &Mat::hadamard());
+        rho.apply_1q(2, &Mat::t_gate());
+        rho.apply_2q(0, 2, &Mat::cz());
+        rho.apply_2q(2, 1, &Mat::cnot());
+        assert!(rho.trace().approx_eq(C64::ONE, TOL));
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+        rho.validate(1e-10).unwrap();
+    }
+
+    #[test]
+    fn swap_gate_exchanges_qubits() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_1q(0, &Mat::pauli_x());
+        rho.apply_2q(0, 1, &Mat::swap());
+        assert!((rho.diagonal_prob(0b10) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn two_qubit_gate_same_qubit_panics() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_2q(1, 1, &Mat::cnot());
+    }
+
+    #[test]
+    fn renormalize_restores_trace() {
+        let mut rho = DensityMatrix::zero_state(1);
+        for v in 0..2 {
+            let e = rho.entry(v, v).scale(0.5);
+            *rho.entry_mut(v, v) = e;
+        }
+        rho.renormalize(0.5);
+        assert!(rho.trace().approx_eq(C64::ONE, TOL));
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the density-matrix substrate.
+
+use hetarch_qsim::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random single-qubit unitary from the HetArch gate set.
+fn arb_1q_unitary() -> impl Strategy<Value = Mat> {
+    prop_oneof![
+        Just(Mat::pauli_x()),
+        Just(Mat::pauli_y()),
+        Just(Mat::pauli_z()),
+        Just(Mat::hadamard()),
+        Just(Mat::s_gate()),
+        Just(Mat::t_gate()),
+        (0.0..std::f64::consts::TAU).prop_map(Mat::rx),
+        (0.0..std::f64::consts::TAU).prop_map(Mat::ry),
+        (0.0..std::f64::consts::TAU).prop_map(Mat::rz),
+    ]
+}
+
+fn arb_2q_unitary() -> impl Strategy<Value = Mat> {
+    prop_oneof![
+        Just(Mat::cnot()),
+        Just(Mat::cz()),
+        Just(Mat::swap()),
+        Just(Mat::iswap()),
+    ]
+}
+
+/// Strategy: random normalized Bell-diagonal components.
+fn arb_bell_diagonal() -> impl Strategy<Value = BellDiagonal> {
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0)
+        .prop_filter("non-zero mass", |(a, b, c, d)| a + b + c + d > 1e-6)
+        .prop_map(|(a, b, c, d)| BellDiagonal::new([a, b, c, d]))
+}
+
+fn arb_pauli_probs() -> impl Strategy<Value = PauliProbs> {
+    (0.0f64..0.3, 0.0f64..0.3, 0.0f64..0.3).prop_map(|(px, py, pz)| PauliProbs { px, py, pz })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random circuits of unitaries keep ρ a valid pure state.
+    #[test]
+    fn random_unitary_circuits_preserve_validity(
+        ops in proptest::collection::vec((arb_1q_unitary(), 0usize..3), 1..12),
+        two_qs in proptest::collection::vec((arb_2q_unitary(), 0usize..3, 0usize..3), 0..6),
+    ) {
+        let mut rho = DensityMatrix::zero_state(3);
+        for (u, q) in &ops {
+            rho.apply_1q(*q, u);
+        }
+        for (u, a, b) in &two_qs {
+            if a != b {
+                rho.apply_2q(*a, *b, u);
+            }
+        }
+        rho.validate(1e-8).unwrap();
+        prop_assert!((rho.purity() - 1.0).abs() < 1e-8);
+    }
+
+    /// Channels keep ρ physical (trace one, Hermitian, non-negative diagonal).
+    #[test]
+    fn channels_preserve_physicality(
+        gamma in 0.0f64..1.0,
+        p_deph in 0.0f64..1.0,
+        p_depol in 0.0f64..1.0,
+        seed_ops in proptest::collection::vec((arb_1q_unitary(), 0usize..2), 0..6),
+    ) {
+        let mut rho = DensityMatrix::zero_state(2);
+        for (u, q) in &seed_ops {
+            rho.apply_1q(*q, u);
+        }
+        Kraus1::amplitude_damping(gamma).unwrap().apply(&mut rho, 0);
+        Kraus1::phase_flip(p_deph).unwrap().apply(&mut rho, 1);
+        Kraus1::depolarizing(p_depol).unwrap().apply(&mut rho, 0);
+        Kraus2::depolarizing(p_depol).unwrap().apply(&mut rho, 0, 1);
+        rho.validate(1e-8).unwrap();
+        // Purity can only decrease from a pure state.
+        prop_assert!(rho.purity() <= 1.0 + 1e-9);
+    }
+
+    /// Partial trace of a product state recovers the factors.
+    #[test]
+    fn partial_trace_inverts_tensor(
+        ops_a in proptest::collection::vec(arb_1q_unitary(), 0..4),
+        ops_b in proptest::collection::vec(arb_1q_unitary(), 0..4),
+    ) {
+        let mut a = DensityMatrix::zero_state(1);
+        for u in &ops_a { a.apply_1q(0, u); }
+        let mut b = DensityMatrix::zero_state(1);
+        for u in &ops_b { b.apply_1q(0, u); }
+        let ab = a.tensor(&b);
+        let ra = ab.partial_trace(&[0]);
+        let rb = ab.partial_trace(&[1]);
+        for r in 0..2 {
+            for c in 0..2 {
+                prop_assert!(ra.entry(r, c).approx_eq(a.entry(r, c), 1e-10));
+                prop_assert!(rb.entry(r, c).approx_eq(b.entry(r, c), 1e-10));
+            }
+        }
+    }
+
+    /// Bell-diagonal Pauli-noise permutation matches the exact density-matrix
+    /// channel application (the closed form used on the event-sim fast path).
+    #[test]
+    fn bell_diagonal_noise_matches_density_matrix(
+        pair in arb_bell_diagonal(),
+        probs in arb_pauli_probs(),
+        qubit in 0usize..2,
+    ) {
+        let mut fast = pair;
+        fast.apply_pauli_noise(probs);
+
+        let mut rho = pair.to_density_matrix();
+        probs.channel().unwrap().apply(&mut rho, qubit);
+        let exact = BellDiagonal::from_density_matrix(&rho);
+
+        for k in 0..4 {
+            prop_assert!(
+                (fast.components()[k] - exact.components()[k]).abs() < 1e-9,
+                "component {} mismatch: {} vs {}", k, fast.components()[k], exact.components()[k]
+            );
+        }
+    }
+
+    /// The bilinear DEJMPS table agrees with the exact 4-qubit simulation for
+    /// arbitrary Bell-diagonal inputs and noise settings.
+    #[test]
+    fn dejmps_table_matches_exact(
+        a in arb_bell_diagonal(),
+        b in arb_bell_diagonal(),
+        p2q in 0.0f64..0.05,
+        meas in 0.0f64..0.05,
+    ) {
+        let noise = DistillNoise { p2q, p1q: p2q / 10.0, meas_flip: meas };
+        let table = DejmpsTable::new(&noise);
+        let exact = hetarch_qsim::bell::dejmps_density(&a, &b, &noise);
+        let fast = table.round(&a, &b);
+        match (exact, fast) {
+            (Some(e), Some(f)) => {
+                prop_assert!((e.success_prob - f.success_prob).abs() < 1e-9);
+                for k in 0..4 {
+                    prop_assert!((e.pair.components()[k] - f.pair.components()[k]).abs() < 1e-8);
+                }
+            }
+            (None, None) => {}
+            (e, f) => prop_assert!(false, "success mismatch: {:?} vs {:?}", e.is_some(), f.is_some()),
+        }
+    }
+
+    /// DEJMPS on two identical Werner pairs with F > 0.5 increases fidelity.
+    #[test]
+    fn dejmps_improves_distillable_werner(f in 0.55f64..0.99) {
+        let pair = BellDiagonal::werner(f);
+        let out = hetarch_qsim::bell::dejmps_density(
+            &pair, &pair, &DistillNoise::default()).unwrap();
+        prop_assert!(out.pair.fidelity() > f - 1e-12,
+            "distillation decreased fidelity: {} -> {}", f, out.pair.fidelity());
+    }
+
+    /// Idle twirl probabilities are valid and monotone in duration.
+    #[test]
+    fn idle_twirl_monotone(t1_us in 50.0f64..5000.0, ratio in 0.2f64..2.0, t_us in 0.1f64..100.0) {
+        let t1 = t1_us * 1e-6;
+        let t2 = (t1 * ratio).min(2.0 * t1);
+        let idle = IdleParams::new(t1, t2).unwrap();
+        let p_short = idle.twirl_probs(t_us * 1e-6);
+        let p_long = idle.twirl_probs(t_us * 2e-6);
+        prop_assert!(p_short.total() >= 0.0 && p_short.total() <= 1.0);
+        prop_assert!(p_long.total() + 1e-12 >= p_short.total());
+    }
+
+    /// Measurement branch probabilities sum to one.
+    #[test]
+    fn projection_probabilities_sum_to_one(
+        ops in proptest::collection::vec((arb_1q_unitary(), 0usize..2), 0..8),
+        q in 0usize..2,
+    ) {
+        let mut rho = DensityMatrix::zero_state(2);
+        for (u, qq) in &ops { rho.apply_1q(*qq, u); }
+        let mut b0 = rho.clone();
+        let p0 = hetarch_qsim::measure::project_z(&mut b0, q, false);
+        let mut b1 = rho.clone();
+        let p1 = hetarch_qsim::measure::project_z(&mut b1, q, true);
+        prop_assert!((p0 + p1 - 1.0).abs() < 1e-9);
+    }
+}

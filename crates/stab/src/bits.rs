@@ -1,0 +1,171 @@
+//! Bit-packed tables for batched Monte-Carlo results.
+
+use serde::{Deserialize, Serialize};
+
+/// A rows × shots bit matrix, packed 64 shots per word.
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_stab::bits::BitTable;
+///
+/// let mut t = BitTable::new(2, 100);
+/// t.set(1, 70, true);
+/// assert!(t.get(1, 70));
+/// assert_eq!(t.count_ones(1), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitTable {
+    rows: usize,
+    shots: usize,
+    words: usize,
+    data: Vec<u64>,
+}
+
+impl BitTable {
+    /// Creates an all-zero table.
+    pub fn new(rows: usize, shots: usize) -> Self {
+        let words = shots.div_ceil(64).max(1);
+        BitTable {
+            rows,
+            shots,
+            words,
+            data: vec![0; rows * words],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of shots (columns).
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// Words per row.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Reads bit (`row`, `shot`).
+    #[inline]
+    pub fn get(&self, row: usize, shot: usize) -> bool {
+        debug_assert!(row < self.rows && shot < self.shots);
+        (self.data[row * self.words + shot / 64] >> (shot % 64)) & 1 == 1
+    }
+
+    /// Writes bit (`row`, `shot`).
+    #[inline]
+    pub fn set(&mut self, row: usize, shot: usize, v: bool) {
+        debug_assert!(row < self.rows && shot < self.shots);
+        let idx = row * self.words + shot / 64;
+        let bit = 1u64 << (shot % 64);
+        self.data[idx] = (self.data[idx] & !bit) | if v { bit } else { 0 };
+    }
+
+    /// Borrows a row as words.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[u64] {
+        &self.data[row * self.words..(row + 1) * self.words]
+    }
+
+    /// Mutably borrows a row as words.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [u64] {
+        &mut self.data[row * self.words..(row + 1) * self.words]
+    }
+
+    /// XORs `src` into row `row`.
+    pub fn xor_row(&mut self, row: usize, src: &[u64]) {
+        let dst = self.row_mut(row);
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+    }
+
+    /// Sets every valid bit of `row` (bits past `shots` stay zero).
+    pub fn fill_row(&mut self, row: usize) {
+        let shots = self.shots;
+        let words = self.words;
+        let dst = self.row_mut(row);
+        for (w, d) in dst.iter_mut().enumerate() {
+            let remaining = shots.saturating_sub(w * 64);
+            *d = if remaining >= 64 {
+                u64::MAX
+            } else if remaining == 0 {
+                0
+            } else {
+                (1u64 << remaining) - 1
+            };
+        }
+        let _ = words;
+    }
+
+    /// Number of set bits in `row`.
+    pub fn count_ones(&self, row: usize) -> usize {
+        self.row(row).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the set shot indices in `row`.
+    pub fn iter_ones(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        let shots = self.shots;
+        self.row(row).iter().enumerate().flat_map(move |(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w * 64 + b)
+                }
+            })
+            .filter(move |&s| s < shots)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = BitTable::new(3, 130);
+        for (r, s) in [(0, 0), (1, 63), (1, 64), (2, 129)] {
+            t.set(r, s, true);
+            assert!(t.get(r, s));
+        }
+        assert!(!t.get(0, 1));
+    }
+
+    #[test]
+    fn xor_row_combines() {
+        let mut t = BitTable::new(2, 64);
+        t.set(0, 3, true);
+        let src = t.row(0).to_vec();
+        t.xor_row(1, &src);
+        assert!(t.get(1, 3));
+        t.xor_row(1, &src);
+        assert!(!t.get(1, 3));
+    }
+
+    #[test]
+    fn fill_row_respects_shot_count() {
+        let mut t = BitTable::new(1, 70);
+        t.fill_row(0);
+        assert_eq!(t.count_ones(0), 70);
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_indices() {
+        let mut t = BitTable::new(1, 200);
+        for s in [5, 64, 65, 199] {
+            t.set(0, s, true);
+        }
+        let got: Vec<_> = t.iter_ones(0).collect();
+        assert_eq!(got, vec![5, 64, 65, 199]);
+    }
+}

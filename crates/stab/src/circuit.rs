@@ -1,0 +1,438 @@
+//! Stabilizer circuits with circuit-level noise annotations.
+//!
+//! The instruction set mirrors the subset of Stim's language the HetArch
+//! experiments need: Clifford gates, measurement/reset, stochastic Pauli
+//! noise, and detector/observable annotations over absolute measurement
+//! indices.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-qubit Clifford gates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gate1 {
+    /// Hadamard.
+    H,
+    /// Phase gate.
+    S,
+    /// Inverse phase gate.
+    SDag,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+/// Two-qubit Clifford gates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gate2 {
+    /// Controlled-X (first qubit is the control).
+    Cx,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// SWAP.
+    Swap,
+}
+
+/// Independent X/Y/Z error probabilities (a stochastic Pauli channel).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PauliErr {
+    /// Probability of an X error.
+    pub px: f64,
+    /// Probability of a Y error.
+    pub py: f64,
+    /// Probability of a Z error.
+    pub pz: f64,
+}
+
+impl PauliErr {
+    /// Total error probability.
+    pub fn total(&self) -> f64 {
+        self.px + self.py + self.pz
+    }
+}
+
+/// One circuit instruction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// A single-qubit gate applied to each listed qubit.
+    Gate1(Gate1, Vec<u32>),
+    /// A two-qubit gate applied to each listed pair.
+    Gate2(Gate2, Vec<(u32, u32)>),
+    /// Z-basis measurement of each listed qubit, appending one record bit
+    /// per qubit; each recorded bit flips with probability `flip`.
+    Measure {
+        /// Measured qubits, in record order.
+        targets: Vec<u32>,
+        /// Classical readout flip probability.
+        flip: f64,
+    },
+    /// Reset each listed qubit to `|0⟩`.
+    Reset(Vec<u32>),
+    /// Measure (with readout flip probability) then reset each qubit.
+    MeasureReset {
+        /// Measured-and-reset qubits, in record order.
+        targets: Vec<u32>,
+        /// Classical readout flip probability.
+        flip: f64,
+    },
+    /// Stochastic Pauli noise applied independently to each listed qubit.
+    PauliNoise(PauliErr, Vec<u32>),
+    /// Single-qubit depolarizing noise (`p/3` each for X, Y, Z).
+    Depolarize1(f64, Vec<u32>),
+    /// Two-qubit depolarizing noise (`p/15` for each non-identity pair
+    /// Pauli).
+    Depolarize2(f64, Vec<(u32, u32)>),
+    /// A detector: the XOR of the listed (absolute) measurement record
+    /// indices, which must be deterministic under zero noise.
+    Detector(Vec<usize>),
+    /// Adds the listed measurement record indices to logical observable `k`.
+    Observable(u32, Vec<usize>),
+    /// A timing barrier (no semantic effect; keeps schedules readable).
+    Tick,
+}
+
+/// A stabilizer circuit.
+///
+/// Build with the fluent methods; measurement-producing methods return the
+/// absolute record indices so detectors can be declared without manual
+/// bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_stab::circuit::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(&[0]);
+/// c.cx(&[(0, 1)]);
+/// c.depolarize1(1e-3, &[0, 1]);
+/// let m = c.measure(&[0, 1], 0.0);
+/// c.detector(&[m[0], m[1]]); // parity of a Bell pair is deterministic
+/// assert_eq!(c.num_measurements(), 2);
+/// assert_eq!(c.num_detectors(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: u32,
+    instructions: Vec<Instruction>,
+    num_measurements: usize,
+    num_detectors: usize,
+    num_observables: u32,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Circuit {
+            num_qubits,
+            ..Default::default()
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of measurement record bits produced per shot.
+    pub fn num_measurements(&self) -> usize {
+        self.num_measurements
+    }
+
+    /// Number of declared detectors.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of logical observables (max declared index + 1).
+    pub fn num_observables(&self) -> u32 {
+        self.num_observables
+    }
+
+    /// The instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    fn check_targets(&self, qs: &[u32]) {
+        for &q in qs {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+        }
+    }
+
+    fn check_pairs(&self, qs: &[(u32, u32)]) {
+        for &(a, b) in qs {
+            assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+            assert_ne!(a, b, "two-qubit targets must be distinct");
+        }
+    }
+
+    /// Appends a single-qubit gate layer.
+    pub fn gate1(&mut self, g: Gate1, qs: &[u32]) -> &mut Self {
+        self.check_targets(qs);
+        self.instructions.push(Instruction::Gate1(g, qs.to_vec()));
+        self
+    }
+
+    /// Appends Hadamards.
+    pub fn h(&mut self, qs: &[u32]) -> &mut Self {
+        self.gate1(Gate1::H, qs)
+    }
+
+    /// Appends S gates.
+    pub fn s(&mut self, qs: &[u32]) -> &mut Self {
+        self.gate1(Gate1::S, qs)
+    }
+
+    /// Appends X gates.
+    pub fn x(&mut self, qs: &[u32]) -> &mut Self {
+        self.gate1(Gate1::X, qs)
+    }
+
+    /// Appends Z gates.
+    pub fn z(&mut self, qs: &[u32]) -> &mut Self {
+        self.gate1(Gate1::Z, qs)
+    }
+
+    /// Appends a two-qubit gate layer.
+    pub fn gate2(&mut self, g: Gate2, pairs: &[(u32, u32)]) -> &mut Self {
+        self.check_pairs(pairs);
+        self.instructions.push(Instruction::Gate2(g, pairs.to_vec()));
+        self
+    }
+
+    /// Appends CNOTs.
+    pub fn cx(&mut self, pairs: &[(u32, u32)]) -> &mut Self {
+        self.gate2(Gate2::Cx, pairs)
+    }
+
+    /// Appends CZs.
+    pub fn cz(&mut self, pairs: &[(u32, u32)]) -> &mut Self {
+        self.gate2(Gate2::Cz, pairs)
+    }
+
+    /// Appends SWAPs.
+    pub fn swap(&mut self, pairs: &[(u32, u32)]) -> &mut Self {
+        self.gate2(Gate2::Swap, pairs)
+    }
+
+    /// Appends Z-basis measurements; returns the absolute record indices.
+    pub fn measure(&mut self, qs: &[u32], flip: f64) -> Vec<usize> {
+        self.check_targets(qs);
+        check_prob(flip);
+        let start = self.num_measurements;
+        self.num_measurements += qs.len();
+        self.instructions.push(Instruction::Measure {
+            targets: qs.to_vec(),
+            flip,
+        });
+        (start..self.num_measurements).collect()
+    }
+
+    /// Appends measure-and-reset operations; returns the record indices.
+    pub fn measure_reset(&mut self, qs: &[u32], flip: f64) -> Vec<usize> {
+        self.check_targets(qs);
+        check_prob(flip);
+        let start = self.num_measurements;
+        self.num_measurements += qs.len();
+        self.instructions.push(Instruction::MeasureReset {
+            targets: qs.to_vec(),
+            flip,
+        });
+        (start..self.num_measurements).collect()
+    }
+
+    /// Appends resets.
+    pub fn reset(&mut self, qs: &[u32]) -> &mut Self {
+        self.check_targets(qs);
+        self.instructions.push(Instruction::Reset(qs.to_vec()));
+        self
+    }
+
+    /// Appends independent stochastic Pauli noise.
+    pub fn pauli_noise(&mut self, err: PauliErr, qs: &[u32]) -> &mut Self {
+        self.check_targets(qs);
+        assert!(err.px >= 0.0 && err.py >= 0.0 && err.pz >= 0.0 && err.total() <= 1.0,
+            "invalid pauli error probabilities");
+        if err.total() > 0.0 {
+            self.instructions.push(Instruction::PauliNoise(err, qs.to_vec()));
+        }
+        self
+    }
+
+    /// Appends single-qubit depolarizing noise.
+    pub fn depolarize1(&mut self, p: f64, qs: &[u32]) -> &mut Self {
+        self.check_targets(qs);
+        check_prob(p);
+        if p > 0.0 {
+            self.instructions.push(Instruction::Depolarize1(p, qs.to_vec()));
+        }
+        self
+    }
+
+    /// Appends two-qubit depolarizing noise.
+    pub fn depolarize2(&mut self, p: f64, pairs: &[(u32, u32)]) -> &mut Self {
+        self.check_pairs(pairs);
+        check_prob(p);
+        if p > 0.0 {
+            self.instructions.push(Instruction::Depolarize2(p, pairs.to_vec()));
+        }
+        self
+    }
+
+    /// Declares a detector over absolute measurement record indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index refers to a measurement that does not exist yet.
+    pub fn detector(&mut self, meas: &[usize]) -> usize {
+        for &m in meas {
+            assert!(m < self.num_measurements, "measurement index {m} not yet recorded");
+        }
+        self.instructions.push(Instruction::Detector(meas.to_vec()));
+        self.num_detectors += 1;
+        self.num_detectors - 1
+    }
+
+    /// Adds measurement record indices to logical observable `k`.
+    pub fn observable(&mut self, k: u32, meas: &[usize]) -> &mut Self {
+        for &m in meas {
+            assert!(m < self.num_measurements, "measurement index {m} not yet recorded");
+        }
+        self.instructions.push(Instruction::Observable(k, meas.to_vec()));
+        self.num_observables = self.num_observables.max(k + 1);
+        self
+    }
+
+    /// Appends a timing barrier.
+    pub fn tick(&mut self) -> &mut Self {
+        self.instructions.push(Instruction::Tick);
+        self
+    }
+
+    /// Appends all instructions of `other` (indices are shifted so `other`'s
+    /// detectors and observables keep referring to its own measurements).
+    pub fn append(&mut self, other: &Circuit) {
+        assert!(other.num_qubits <= self.num_qubits, "appended circuit uses more qubits");
+        let offset = self.num_measurements;
+        for inst in &other.instructions {
+            let shifted = match inst {
+                Instruction::Detector(ms) => {
+                    self.num_detectors += 1;
+                    Instruction::Detector(ms.iter().map(|m| m + offset).collect())
+                }
+                Instruction::Observable(k, ms) => {
+                    self.num_observables = self.num_observables.max(k + 1);
+                    Instruction::Observable(*k, ms.iter().map(|m| m + offset).collect())
+                }
+                other => other.clone(),
+            };
+            self.instructions.push(shifted);
+        }
+        self.num_measurements += other.num_measurements;
+    }
+
+    /// Counts noise instruction sites (error mechanisms before expansion),
+    /// used by the DSE cost ledger.
+    pub fn num_noise_sites(&self) -> usize {
+        self.instructions
+            .iter()
+            .map(|inst| match inst {
+                Instruction::PauliNoise(_, qs) | Instruction::Depolarize1(_, qs) => qs.len(),
+                Instruction::Depolarize2(_, ps) => ps.len(),
+                Instruction::Measure { targets, flip } | Instruction::MeasureReset { targets, flip } => {
+                    if *flip > 0.0 {
+                        targets.len()
+                    } else {
+                        0
+                    }
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+fn check_prob(p: f64) {
+    assert!((0.0..=1.0).contains(&p) && p.is_finite(), "probability {p} outside [0, 1]");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_indices_are_sequential() {
+        let mut c = Circuit::new(3);
+        let a = c.measure(&[0, 1], 0.0);
+        let b = c.measure(&[2], 0.01);
+        assert_eq!(a, vec![0, 1]);
+        assert_eq!(b, vec![2]);
+        assert_eq!(c.num_measurements(), 3);
+    }
+
+    #[test]
+    fn detectors_and_observables_count() {
+        let mut c = Circuit::new(2);
+        let m = c.measure(&[0, 1], 0.0);
+        c.detector(&[m[0]]);
+        c.detector(&[m[0], m[1]]);
+        c.observable(0, &[m[1]]);
+        assert_eq!(c.num_detectors(), 2);
+        assert_eq!(c.num_observables(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet recorded")]
+    fn detector_of_future_measurement_panics() {
+        let mut c = Circuit::new(1);
+        c.detector(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(2);
+        c.h(&[5]);
+    }
+
+    #[test]
+    fn zero_probability_noise_is_elided() {
+        let mut c = Circuit::new(1);
+        c.depolarize1(0.0, &[0]);
+        assert!(c.instructions().is_empty());
+    }
+
+    #[test]
+    fn append_shifts_record_indices() {
+        let mut block = Circuit::new(2);
+        let m = block.measure(&[0, 1], 0.0);
+        block.detector(&[m[0], m[1]]);
+
+        let mut c = Circuit::new(2);
+        c.measure(&[0], 0.0);
+        c.append(&block);
+        assert_eq!(c.num_measurements(), 3);
+        let det = c
+            .instructions()
+            .iter()
+            .find_map(|i| match i {
+                Instruction::Detector(ms) => Some(ms.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(det, vec![1, 2]);
+    }
+
+    #[test]
+    fn noise_site_accounting() {
+        let mut c = Circuit::new(4);
+        c.depolarize1(0.001, &[0, 1, 2]);
+        c.depolarize2(0.01, &[(0, 1), (2, 3)]);
+        c.measure(&[0], 0.02);
+        c.measure(&[1], 0.0);
+        assert_eq!(c.num_noise_sites(), 3 + 2 + 1);
+    }
+}

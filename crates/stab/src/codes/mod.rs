@@ -1,0 +1,12 @@
+//! QEC code definitions: the generic [`StabilizerCode`] type, the small
+//! codes evaluated on the UEC module, and the rotated surface code family.
+
+pub mod code;
+pub mod repetition;
+pub mod small;
+pub mod surface;
+
+pub use code::{typed_string, CodeError, StabilizerCode};
+pub use repetition::repetition_code;
+pub use small::{color_17, reed_muller_15, steane};
+pub use surface::{rotated_surface_code, MemoryBasis, SurfaceDecoder, SurfaceLattice, SurfaceMemory, SurfaceNoise};

@@ -1,0 +1,242 @@
+//! Small QEC codes evaluated on the UEC module (paper §4.2.2, Fig. 9,
+//! Table 3): Steane, the 17-qubit color code, and the 15-qubit Reed–Muller
+//! code. Surface codes come from [`crate::codes::surface`].
+
+use crate::codes::code::{typed_string, StabilizerCode};
+use crate::pauli::Pauli;
+
+/// The Steane `[[7,1,3]]` code (CSS, self-dual, from the classical Hamming
+/// code).
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_stab::codes::steane;
+/// assert_eq!(steane().brute_force_distance(), 3);
+/// ```
+pub fn steane() -> StabilizerCode {
+    let supports: [&[usize]; 3] = [&[3, 4, 5, 6], &[1, 2, 5, 6], &[0, 2, 4, 6]];
+    let mut stabs = Vec::new();
+    for s in supports {
+        stabs.push(typed_string(7, Pauli::X, s));
+    }
+    for s in supports {
+        stabs.push(typed_string(7, Pauli::Z, s));
+    }
+    let all: Vec<usize> = (0..7).collect();
+    StabilizerCode::new(
+        "Steane",
+        7,
+        3,
+        stabs,
+        vec![typed_string(7, Pauli::X, &all)],
+        vec![typed_string(7, Pauli::Z, &all)],
+    )
+    .expect("steane code is valid")
+}
+
+/// The `[[17,1,5]]` distance-5 triangular color code on the 4.8.8
+/// (square-octagon) lattice.
+///
+/// The face set was derived geometrically from a triangular cut of the
+/// square-octagon tiling with one boundary per color (the derivation harness
+/// lives in `tests/color_search.rs`), yielding the standard structure of
+/// seven weight-4 checks plus one weight-8 octagon check. Being a color
+/// code, it is self-dual CSS: each face carries both an X-type and a Z-type
+/// generator.
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_stab::codes::color_17;
+/// let c = color_17();
+/// assert_eq!(c.num_qubits(), 17);
+/// assert_eq!(c.distance(), 5);
+/// ```
+pub fn color_17() -> StabilizerCode {
+    let faces: [&[usize]; 8] = [
+        &[0, 3, 8, 4],
+        &[1, 5, 9, 6],
+        &[2, 7, 6, 1],
+        &[10, 12, 3, 8],
+        &[10, 12, 15, 13],
+        &[11, 9, 6, 7],
+        &[11, 14, 13, 10, 8, 4, 5, 9], // the central octagon
+        &[16, 15, 13, 14],
+    ];
+    let mut stabs = Vec::new();
+    for f in faces {
+        stabs.push(typed_string(17, Pauli::X, f));
+    }
+    for f in faces {
+        stabs.push(typed_string(17, Pauli::Z, f));
+    }
+    let logical: &[usize] = &[0, 1, 2, 4, 5];
+    StabilizerCode::new(
+        "17QCC",
+        17,
+        5,
+        stabs,
+        vec![typed_string(17, Pauli::X, logical)],
+        vec![typed_string(17, Pauli::Z, logical)],
+    )
+    .expect("17-qubit color code is valid")
+}
+
+/// The `[[15,1,3]]` punctured Reed–Muller code (the magic-state-distillation
+/// code with transversal T; non-planar check topology).
+///
+/// Qubits are labelled by the nonzero vectors of `GF(2)⁴` (qubit `q`
+/// corresponds to the vector `q + 1`). X generators are the four weight-8
+/// coordinate hyperplanes; Z generators are those hyperplanes again plus the
+/// six weight-4 pairwise intersections.
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_stab::codes::reed_muller_15;
+/// let c = reed_muller_15();
+/// assert_eq!(c.num_qubits(), 15);
+/// assert_eq!(c.stabilizers().len(), 14);
+/// ```
+pub fn reed_muller_15() -> StabilizerCode {
+    let n = 15;
+    let vec_of = |q: usize| q + 1; // qubit q <-> nonzero vector in GF(2)^4
+    let mut stabs = Vec::new();
+    // X-type: bit i set (4 generators, weight 8).
+    for i in 0..4 {
+        let support: Vec<usize> = (0..n).filter(|&q| (vec_of(q) >> i) & 1 == 1).collect();
+        stabs.push(typed_string(n, Pauli::X, &support));
+    }
+    // Z-type (10 generators spanning the even subcode of punctured RM(2,4)):
+    // the four coordinate hyperplanes again, as Z (weight 8), plus the six
+    // pairwise intersections (weight 4).
+    for i in 0..4 {
+        let support: Vec<usize> = (0..n).filter(|&q| (vec_of(q) >> i) & 1 == 1).collect();
+        stabs.push(typed_string(n, Pauli::Z, &support));
+    }
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            let support: Vec<usize> = (0..n)
+                .filter(|&q| (vec_of(q) >> i) & 1 == 1 && (vec_of(q) >> j) & 1 == 1)
+                .collect();
+            stabs.push(typed_string(n, Pauli::Z, &support));
+        }
+    }
+    let all: Vec<usize> = (0..n).collect();
+    StabilizerCode::new(
+        "RM15",
+        n,
+        3,
+        stabs,
+        vec![typed_string(n, Pauli::X, &all)],
+        vec![typed_string(n, Pauli::Z, &all)],
+    )
+    .expect("reed-muller code is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steane_parameters() {
+        let c = steane();
+        assert_eq!(c.num_qubits(), 7);
+        assert_eq!(c.stabilizers().len(), 6);
+        assert!(c.is_css());
+        assert_eq!(c.brute_force_distance(), 3);
+    }
+
+    #[test]
+    fn color17_parameters() {
+        let c = color_17();
+        assert_eq!(c.num_qubits(), 17);
+        assert_eq!(c.stabilizers().len(), 16);
+        assert!(c.is_css());
+        assert_eq!(c.brute_force_distance(), 5);
+    }
+
+    #[test]
+    fn color17_face_weights_are_448() {
+        let c = color_17();
+        let mut weights: Vec<usize> = c.stabilizers().iter().map(|s| s.weight()).collect();
+        weights.sort_unstable();
+        // 7 squares + 1 octagon per Pauli type.
+        assert_eq!(
+            weights,
+            vec![4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 8, 8]
+        );
+    }
+
+    #[test]
+    fn reed_muller_parameters() {
+        let c = reed_muller_15();
+        assert_eq!(c.num_qubits(), 15);
+        assert_eq!(c.stabilizers().len(), 14);
+        assert!(c.is_css());
+        // Distance: min(d_X, d_Z) = min(7, 3) = 3.
+        assert_eq!(c.brute_force_distance(), 3);
+    }
+
+    #[test]
+    fn reed_muller_x_distance_is_seven() {
+        // The Z-logical coset (flipped by X errors) has min weight 7:
+        // check by sweeping only Z-type stabilizers against logical Z... the
+        // full brute force handles signs; here verify the X-side logical has
+        // a weight-3 representative while the all-X logical does not drop
+        // below 7 when multiplied by X-type stabilizers only.
+        let c = reed_muller_15();
+        let x_stabs: Vec<_> = c
+            .stabilizers()
+            .iter()
+            .filter(|s| s.iter_support().all(|(_, p)| p == crate::pauli::Pauli::X))
+            .cloned()
+            .collect();
+        assert_eq!(x_stabs.len(), 4);
+        let mut best = usize::MAX;
+        for mask in 0u32..(1 << x_stabs.len()) {
+            let mut op = c.logical_x()[0].clone();
+            for (i, s) in x_stabs.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    op.mul_assign(s);
+                }
+            }
+            best = best.min(op.weight());
+        }
+        assert_eq!(best, 7, "X-logical min weight over X-stabilizer coset");
+    }
+
+    #[test]
+    fn syndromes_distinguish_single_errors_up_to_distance() {
+        use crate::pauli::PauliString;
+        use std::collections::HashMap;
+        // For each distance-3+ code, all weight-1 errors have distinct,
+        // nonzero syndromes within their equivalence class.
+        for code in [steane(), color_17(), reed_muller_15()] {
+            let mut seen: HashMap<Vec<bool>, PauliString> = HashMap::new();
+            for q in 0..code.num_qubits() {
+                for p in [Pauli::X, Pauli::Y, Pauli::Z] {
+                    let e = PauliString::from_sparse(code.num_qubits(), &[(q, p)]);
+                    let syn = code.syndrome_of(&e);
+                    assert!(
+                        syn.iter().any(|&b| b),
+                        "{}: weight-1 error {e} is undetected",
+                        code.name()
+                    );
+                    if let Some(prev) = seen.get(&syn) {
+                        // Same syndrome: difference must not be a logical.
+                        let diff = prev.xor(&e);
+                        assert!(
+                            !code.is_logical_error(&diff),
+                            "{}: errors {prev} and {e} are confusable",
+                            code.name()
+                        );
+                    } else {
+                        seen.insert(syn, e);
+                    }
+                }
+            }
+        }
+    }
+}

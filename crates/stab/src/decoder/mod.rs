@@ -1,0 +1,12 @@
+//! Decoders: space-time matching graphs, the union-find decoder for surface
+//! codes, and exact lookup-table decoding for small codes.
+
+pub mod graph;
+pub mod greedy;
+pub mod lookup;
+pub mod unionfind;
+
+pub use graph::MatchingGraph;
+pub use greedy::GreedyMatchingDecoder;
+pub use lookup::LookupDecoder;
+pub use unionfind::UnionFindDecoder;

@@ -1,0 +1,488 @@
+//! Batched Pauli-frame Monte-Carlo sampler.
+//!
+//! The frame sampler is the scalability core of the stabilizer substrate
+//! (the role Stim's frame simulator plays in the paper's evaluation): instead
+//! of simulating quantum states, it tracks only the difference (a Pauli
+//! "frame") between each noisy shot and the noiseless reference execution.
+//! Frames propagate through Clifford gates with bit operations, 64 shots per
+//! machine word.
+//!
+//! Measurement record bits are reported as *flips* relative to the reference
+//! sample produced by the tableau simulator; detectors and observables are
+//! assembled from those flips by [`crate::detector`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bits::BitTable;
+use crate::circuit::{Circuit, Gate1, Gate2, Instruction};
+
+/// Batched Pauli frames for `shots` parallel Monte-Carlo executions.
+#[derive(Clone, Debug)]
+pub struct FrameSampler {
+    num_qubits: usize,
+    shots: usize,
+    words: usize,
+    /// X-frame bits, `[qubit][word]`.
+    x: Vec<u64>,
+    /// Z-frame bits.
+    z: Vec<u64>,
+    rng: StdRng,
+}
+
+/// Measurement-flip output of a frame-sampled circuit execution.
+#[derive(Clone, Debug)]
+pub struct FrameResult {
+    /// `num_measurements × shots` flip bits relative to the reference sample.
+    pub meas_flips: BitTable,
+}
+
+impl FrameSampler {
+    /// Creates a sampler for `num_qubits` qubits and `shots` parallel shots.
+    pub fn new(num_qubits: usize, shots: usize, seed: u64) -> Self {
+        assert!(shots > 0, "need at least one shot");
+        let words = shots.div_ceil(64);
+        FrameSampler {
+            num_qubits,
+            shots,
+            words,
+            x: vec![0; num_qubits * words],
+            z: vec![0; num_qubits * words],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of parallel shots.
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// Runs `circuit`, returning measurement flips per shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit uses more qubits than the sampler has.
+    pub fn run(&mut self, circuit: &Circuit) -> FrameResult {
+        assert!(
+            circuit.num_qubits() as usize <= self.num_qubits,
+            "circuit uses {} qubits, sampler has {}",
+            circuit.num_qubits(),
+            self.num_qubits
+        );
+        let mut meas_flips = BitTable::new(circuit.num_measurements(), self.shots);
+        let mut next_meas = 0usize;
+        for inst in circuit.instructions() {
+            self.apply_instruction(inst, &mut meas_flips, &mut next_meas);
+        }
+        debug_assert_eq!(next_meas, circuit.num_measurements());
+        FrameResult { meas_flips }
+    }
+
+    fn apply_instruction(
+        &mut self,
+        inst: &Instruction,
+        meas_flips: &mut BitTable,
+        next_meas: &mut usize,
+    ) {
+        match inst {
+            Instruction::Gate1(g, qs) => {
+                for &q in qs {
+                    self.gate1(*g, q as usize);
+                }
+            }
+            Instruction::Gate2(g, pairs) => {
+                for &(a, b) in pairs {
+                    self.gate2(*g, a as usize, b as usize);
+                }
+            }
+            Instruction::Measure { targets, flip } => {
+                for &q in targets {
+                    self.record_measurement(q as usize, *flip, meas_flips, next_meas);
+                    self.randomize_z(q as usize);
+                }
+            }
+            Instruction::MeasureReset { targets, flip } => {
+                for &q in targets {
+                    self.record_measurement(q as usize, *flip, meas_flips, next_meas);
+                    self.clear_frames(q as usize);
+                }
+            }
+            Instruction::Reset(qs) => {
+                for &q in qs {
+                    self.clear_frames(q as usize);
+                }
+            }
+            Instruction::PauliNoise(err, qs) => {
+                for &q in qs {
+                    self.pauli_noise(q as usize, err.px, err.py, err.pz);
+                }
+            }
+            Instruction::Depolarize1(p, qs) => {
+                let third = p / 3.0;
+                for &q in qs {
+                    self.pauli_noise(q as usize, third, third, third);
+                }
+            }
+            Instruction::Depolarize2(p, pairs) => {
+                for &(a, b) in pairs {
+                    self.depolarize2(a as usize, b as usize, *p);
+                }
+            }
+            Instruction::Detector(_) | Instruction::Observable(_, _) | Instruction::Tick => {}
+        }
+    }
+
+    #[inline]
+    fn xrow(&mut self, q: usize) -> &mut [u64] {
+        &mut self.x[q * self.words..(q + 1) * self.words]
+    }
+
+    #[inline]
+    fn zrow(&mut self, q: usize) -> &mut [u64] {
+        &mut self.z[q * self.words..(q + 1) * self.words]
+    }
+
+    fn gate1(&mut self, g: Gate1, q: usize) {
+        match g {
+            Gate1::H => {
+                // X <-> Z.
+                let base = q * self.words;
+                for w in 0..self.words {
+                    std::mem::swap(&mut self.x[base + w], &mut self.z[base + w]);
+                }
+            }
+            // S and S† both map X -> ±Y; frames ignore signs.
+            Gate1::S | Gate1::SDag => {
+                let base = q * self.words;
+                for w in 0..self.words {
+                    self.z[base + w] ^= self.x[base + w];
+                }
+            }
+            // Paulis commute with frames up to phase.
+            Gate1::X | Gate1::Y | Gate1::Z => {}
+        }
+    }
+
+    fn gate2(&mut self, g: Gate2, a: usize, b: usize) {
+        let (ba, bb) = (a * self.words, b * self.words);
+        match g {
+            Gate2::Cx => {
+                // X_c -> X_c X_t ; Z_t -> Z_c Z_t.
+                for w in 0..self.words {
+                    self.x[bb + w] ^= self.x[ba + w];
+                    self.z[ba + w] ^= self.z[bb + w];
+                }
+            }
+            Gate2::Cz => {
+                // X_a -> X_a Z_b ; X_b -> Z_a X_b.
+                for w in 0..self.words {
+                    self.z[bb + w] ^= self.x[ba + w];
+                    self.z[ba + w] ^= self.x[bb + w];
+                }
+            }
+            Gate2::Swap => {
+                for w in 0..self.words {
+                    self.x.swap(ba + w, bb + w);
+                    self.z.swap(ba + w, bb + w);
+                }
+            }
+        }
+    }
+
+    fn record_measurement(
+        &mut self,
+        q: usize,
+        flip: f64,
+        meas_flips: &mut BitTable,
+        next_meas: &mut usize,
+    ) {
+        let row = *next_meas;
+        *next_meas += 1;
+        let xr = self.x[q * self.words..(q + 1) * self.words].to_vec();
+        meas_flips.xor_row(row, &xr);
+        if flip > 0.0 {
+            let hits = self.sample_hits(flip);
+            for shot in hits {
+                let v = meas_flips.get(row, shot);
+                meas_flips.set(row, shot, !v);
+            }
+        }
+    }
+
+    /// After a Z measurement the Z frame on the measured qubit is
+    /// unobservable; randomize it so later anticommuting observations have
+    /// correct statistics (Stim's convention).
+    fn randomize_z(&mut self, q: usize) {
+        let shots = self.shots;
+        let words = self.words;
+        // Draw all words first to avoid borrowing `self.rng` while `zrow` is borrowed.
+        let mut rand_words = vec![0u64; words];
+        for (w, rw) in rand_words.iter_mut().enumerate() {
+            let remaining = shots - (w * 64).min(shots);
+            let mask = if remaining >= 64 {
+                u64::MAX
+            } else if remaining == 0 {
+                0
+            } else {
+                (1u64 << remaining) - 1
+            };
+            *rw = self.rng.gen::<u64>() & mask;
+        }
+        let zr = self.zrow(q);
+        for (zw, rw) in zr.iter_mut().zip(rand_words) {
+            *zw ^= rw;
+        }
+    }
+
+    fn clear_frames(&mut self, q: usize) {
+        self.xrow(q).fill(0);
+        self.zrow(q).fill(0);
+    }
+
+    /// Samples shot indices hit by an event of probability `p`, using
+    /// geometric skipping (efficient for the small `p` regime of QEC noise).
+    fn sample_hits(&mut self, p: f64) -> Vec<usize> {
+        debug_assert!((0.0..=1.0).contains(&p));
+        let mut hits = Vec::new();
+        if p <= 0.0 {
+            return hits;
+        }
+        if p >= 1.0 {
+            hits.extend(0..self.shots);
+            return hits;
+        }
+        let ln_q = (1.0 - p).ln();
+        let mut idx: i64 = -1;
+        loop {
+            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let skip = (u.ln() / ln_q).floor() as i64 + 1;
+            idx += skip.max(1);
+            if idx as usize >= self.shots {
+                break;
+            }
+            hits.push(idx as usize);
+        }
+        hits
+    }
+
+    fn pauli_noise(&mut self, q: usize, px: f64, py: f64, pz: f64) {
+        let total = px + py + pz;
+        if total <= 0.0 {
+            return;
+        }
+        let hits = self.sample_hits(total);
+        for shot in hits {
+            let r: f64 = self.rng.gen_range(0.0..total);
+            let (fx, fz) = if r < px {
+                (true, false)
+            } else if r < px + py {
+                (true, true)
+            } else {
+                (false, true)
+            };
+            let (w, b) = (shot / 64, 1u64 << (shot % 64));
+            if fx {
+                self.x[q * self.words + w] ^= b;
+            }
+            if fz {
+                self.z[q * self.words + w] ^= b;
+            }
+        }
+    }
+
+    fn depolarize2(&mut self, a: usize, b: usize, p: f64) {
+        if p <= 0.0 {
+            return;
+        }
+        let hits = self.sample_hits(p);
+        for shot in hits {
+            // Pick one of the 15 non-identity pair Paulis uniformly.
+            let k = self.rng.gen_range(1..16u8);
+            let (pa, pb) = (k >> 2, k & 3);
+            let (w, bit) = (shot / 64, 1u64 << (shot % 64));
+            // Encoding: 0 = I, 1 = X, 2 = Z, 3 = Y.
+            if pa == 1 || pa == 3 {
+                self.x[a * self.words + w] ^= bit;
+            }
+            if pa == 2 || pa == 3 {
+                self.z[a * self.words + w] ^= bit;
+            }
+            if pb == 1 || pb == 3 {
+                self.x[b * self.words + w] ^= bit;
+            }
+            if pb == 2 || pb == 3 {
+                self.z[b * self.words + w] ^= bit;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_circuit_has_no_flips() {
+        let mut c = Circuit::new(3);
+        c.h(&[0]);
+        c.cx(&[(0, 1), (1, 2)]);
+        c.measure(&[0, 1, 2], 0.0);
+        let mut s = FrameSampler::new(3, 256, 1);
+        let r = s.run(&c);
+        for m in 0..3 {
+            assert_eq!(r.meas_flips.count_ones(m), 0);
+        }
+    }
+
+    #[test]
+    fn x_error_flips_measurement_deterministically() {
+        let mut c = Circuit::new(1);
+        c.pauli_noise(
+            crate::circuit::PauliErr {
+                px: 1.0,
+                py: 0.0,
+                pz: 0.0,
+            },
+            &[0],
+        );
+        c.measure(&[0], 0.0);
+        let mut s = FrameSampler::new(1, 100, 2);
+        let r = s.run(&c);
+        assert_eq!(r.meas_flips.count_ones(0), 100);
+    }
+
+    #[test]
+    fn z_error_does_not_affect_z_measurement() {
+        let mut c = Circuit::new(1);
+        c.pauli_noise(
+            crate::circuit::PauliErr {
+                px: 0.0,
+                py: 0.0,
+                pz: 1.0,
+            },
+            &[0],
+        );
+        c.measure(&[0], 0.0);
+        let mut s = FrameSampler::new(1, 64, 3);
+        let r = s.run(&c);
+        assert_eq!(r.meas_flips.count_ones(0), 0);
+    }
+
+    #[test]
+    fn z_error_through_hadamard_flips() {
+        let mut c = Circuit::new(1);
+        c.pauli_noise(
+            crate::circuit::PauliErr {
+                px: 0.0,
+                py: 0.0,
+                pz: 1.0,
+            },
+            &[0],
+        );
+        c.h(&[0]);
+        c.measure(&[0], 0.0);
+        let mut s = FrameSampler::new(1, 64, 3);
+        let r = s.run(&c);
+        assert_eq!(r.meas_flips.count_ones(0), 64);
+    }
+
+    #[test]
+    fn cx_propagates_x_to_target() {
+        let mut c = Circuit::new(2);
+        c.pauli_noise(
+            crate::circuit::PauliErr {
+                px: 1.0,
+                py: 0.0,
+                pz: 0.0,
+            },
+            &[0],
+        );
+        c.cx(&[(0, 1)]);
+        c.measure(&[0, 1], 0.0);
+        let mut s = FrameSampler::new(2, 64, 4);
+        let r = s.run(&c);
+        assert_eq!(r.meas_flips.count_ones(0), 64);
+        assert_eq!(r.meas_flips.count_ones(1), 64);
+    }
+
+    #[test]
+    fn reset_clears_error_frames() {
+        let mut c = Circuit::new(1);
+        c.pauli_noise(
+            crate::circuit::PauliErr {
+                px: 1.0,
+                py: 0.0,
+                pz: 0.0,
+            },
+            &[0],
+        );
+        c.reset(&[0]);
+        c.measure(&[0], 0.0);
+        let mut s = FrameSampler::new(1, 64, 5);
+        let r = s.run(&c);
+        assert_eq!(r.meas_flips.count_ones(0), 0);
+    }
+
+    #[test]
+    fn error_rate_statistics_match_probability() {
+        let p = 0.07;
+        let mut c = Circuit::new(1);
+        c.pauli_noise(
+            crate::circuit::PauliErr {
+                px: p,
+                py: 0.0,
+                pz: 0.0,
+            },
+            &[0],
+        );
+        c.measure(&[0], 0.0);
+        let shots = 200_000;
+        let mut s = FrameSampler::new(1, shots, 6);
+        let r = s.run(&c);
+        let rate = r.meas_flips.count_ones(0) as f64 / shots as f64;
+        assert!((rate - p).abs() < 0.004, "measured {rate}, expected {p}");
+    }
+
+    #[test]
+    fn depolarize1_produces_two_thirds_flip_rate() {
+        // X and Y flip a Z measurement; Z does not: flip rate = 2p/3.
+        let p = 0.3;
+        let mut c = Circuit::new(1);
+        c.depolarize1(p, &[0]);
+        c.measure(&[0], 0.0);
+        let shots = 200_000;
+        let mut s = FrameSampler::new(1, shots, 7);
+        let r = s.run(&c);
+        let rate = r.meas_flips.count_ones(0) as f64 / shots as f64;
+        assert!((rate - 0.2).abs() < 0.006, "measured {rate}");
+    }
+
+    #[test]
+    fn measurement_flip_probability_applies() {
+        let mut c = Circuit::new(1);
+        c.measure(&[0], 0.25);
+        let shots = 100_000;
+        let mut s = FrameSampler::new(1, shots, 8);
+        let r = s.run(&c);
+        let rate = r.meas_flips.count_ones(0) as f64 / shots as f64;
+        assert!((rate - 0.25).abs() < 0.01, "measured {rate}");
+    }
+
+    #[test]
+    fn depolarize2_marginal_rates() {
+        // Each qubit sees a non-trivial Pauli in 12 of 15 cases; of those,
+        // 8 of 15 flip a Z measurement (X or Y on that qubit).
+        let p = 0.3;
+        let mut c = Circuit::new(2);
+        c.depolarize2(p, &[(0, 1)]);
+        c.measure(&[0, 1], 0.0);
+        let shots = 300_000;
+        let mut s = FrameSampler::new(2, shots, 9);
+        let r = s.run(&c);
+        for m in 0..2 {
+            let rate = r.meas_flips.count_ones(m) as f64 / shots as f64;
+            let expect = p * 8.0 / 15.0;
+            assert!((rate - expect).abs() < 0.01, "qubit {m}: {rate} vs {expect}");
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! CHP (Aaronson–Gottesman) stabilizer tableau simulator.
+//!
+//! The tableau simulator plays two roles in the HetArch stack:
+//!
+//! 1. producing the **reference sample** (noiseless measurement outcomes) that
+//!    anchors the Pauli-frame Monte-Carlo sampler, exactly as Stim does, and
+//! 2. serving as an independently-implemented stabilizer simulator for
+//!    cross-validation against the density-matrix substrate.
+
+use rand::Rng;
+
+use crate::pauli::{Pauli, PauliString};
+
+/// A stabilizer state over `n` qubits in tableau form.
+///
+/// Rows `0..n` are destabilizers, rows `n..2n` are stabilizers.
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_stab::tableau::Tableau;
+///
+/// let mut t = Tableau::new(2);
+/// t.h(0);
+/// t.cx(0, 1);
+/// // A Bell pair measures randomly but with perfect correlation.
+/// assert_eq!(t.prob_one(0), 0.5);
+/// let a = t.measure_forced(0, false);
+/// let b = t.measure_forced(1, false);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tableau {
+    n: usize,
+    words: usize,
+    /// X bit matrix, `2n` rows × `words` words.
+    xs: Vec<u64>,
+    /// Z bit matrix.
+    zs: Vec<u64>,
+    /// Row phases (true = −1).
+    phases: Vec<bool>,
+}
+
+impl Tableau {
+    /// Creates the all-`|0⟩` state on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "tableau needs at least one qubit");
+        let words = n.div_ceil(64);
+        let mut t = Tableau {
+            n,
+            words,
+            xs: vec![0; 2 * n * words],
+            zs: vec![0; 2 * n * words],
+            phases: vec![false; 2 * n],
+        };
+        for q in 0..n {
+            // Destabilizer i = X_i, stabilizer i = Z_i.
+            t.set_x(q, q, true);
+            t.set_z(n + q, q, true);
+        }
+        t
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn get_x(&self, row: usize, q: usize) -> bool {
+        (self.xs[row * self.words + q / 64] >> (q % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn get_z(&self, row: usize, q: usize) -> bool {
+        (self.zs[row * self.words + q / 64] >> (q % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn set_x(&mut self, row: usize, q: usize, v: bool) {
+        let idx = row * self.words + q / 64;
+        let bit = 1u64 << (q % 64);
+        self.xs[idx] = (self.xs[idx] & !bit) | if v { bit } else { 0 };
+    }
+
+    #[inline]
+    fn set_z(&mut self, row: usize, q: usize, v: bool) {
+        let idx = row * self.words + q / 64;
+        let bit = 1u64 << (q % 64);
+        self.zs[idx] = (self.zs[idx] & !bit) | if v { bit } else { 0 };
+    }
+
+    /// Applies a Hadamard on qubit `q`.
+    pub fn h(&mut self, q: usize) {
+        self.check_q(q);
+        for row in 0..2 * self.n {
+            let x = self.get_x(row, q);
+            let z = self.get_z(row, q);
+            if x && z {
+                self.phases[row] = !self.phases[row];
+            }
+            self.set_x(row, q, z);
+            self.set_z(row, q, x);
+        }
+    }
+
+    /// Applies the phase gate S on qubit `q`.
+    pub fn s(&mut self, q: usize) {
+        self.check_q(q);
+        for row in 0..2 * self.n {
+            let x = self.get_x(row, q);
+            let z = self.get_z(row, q);
+            if x && z {
+                self.phases[row] = !self.phases[row];
+            }
+            self.set_z(row, q, x ^ z);
+        }
+    }
+
+    /// Applies S† on qubit `q`.
+    pub fn s_dag(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Applies Pauli X on qubit `q`.
+    pub fn x(&mut self, q: usize) {
+        self.check_q(q);
+        for row in 0..2 * self.n {
+            if self.get_z(row, q) {
+                self.phases[row] = !self.phases[row];
+            }
+        }
+    }
+
+    /// Applies Pauli Y on qubit `q`.
+    pub fn y(&mut self, q: usize) {
+        self.check_q(q);
+        for row in 0..2 * self.n {
+            if self.get_z(row, q) ^ self.get_x(row, q) {
+                self.phases[row] = !self.phases[row];
+            }
+        }
+    }
+
+    /// Applies Pauli Z on qubit `q`.
+    pub fn z(&mut self, q: usize) {
+        self.check_q(q);
+        for row in 0..2 * self.n {
+            if self.get_x(row, q) {
+                self.phases[row] = !self.phases[row];
+            }
+        }
+    }
+
+    /// Applies a CNOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t` or either is out of range.
+    pub fn cx(&mut self, c: usize, t: usize) {
+        self.check_q(c);
+        self.check_q(t);
+        assert_ne!(c, t, "cx requires distinct qubits");
+        for row in 0..2 * self.n {
+            let xc = self.get_x(row, c);
+            let zc = self.get_z(row, c);
+            let xt = self.get_x(row, t);
+            let zt = self.get_z(row, t);
+            if xc && zt && (xt == zc) {
+                self.phases[row] = !self.phases[row];
+            }
+            self.set_x(row, t, xt ^ xc);
+            self.set_z(row, c, zc ^ zt);
+        }
+    }
+
+    /// Applies a CZ between `a` and `b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// Applies a SWAP between `a` and `b`.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.cx(a, b);
+        self.cx(b, a);
+        self.cx(a, b);
+    }
+
+    /// Probability of measuring `1` on qubit `q`: `0.0`, `0.5` or `1.0` for
+    /// stabilizer states.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        self.check_q(q);
+        for row in self.n..2 * self.n {
+            if self.get_x(row, q) {
+                return 0.5;
+            }
+        }
+        // Deterministic: compute via scratch rowsum.
+        if self.deterministic_outcome(q) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Measures qubit `q` in the Z basis using `rng` for random outcomes.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        let coin = rng.gen::<bool>();
+        self.measure_with(q, coin)
+    }
+
+    /// Measures qubit `q`, forcing the outcome to `forced` when the result is
+    /// random (used for reference samples).
+    pub fn measure_forced(&mut self, q: usize, forced: bool) -> bool {
+        self.measure_with(q, forced)
+    }
+
+    /// Resets qubit `q` to `|0⟩` (forced-zero measurement followed by a
+    /// conditional X).
+    pub fn reset_forced(&mut self, q: usize) {
+        if self.measure_forced(q, false) {
+            self.x(q);
+        }
+    }
+
+    fn measure_with(&mut self, q: usize, random_outcome: bool) -> bool {
+        self.check_q(q);
+        let n = self.n;
+        // Find a stabilizer with X on q.
+        let p = (n..2 * n).find(|&row| self.get_x(row, q));
+        if let Some(p) = p {
+            // Random outcome.
+            for row in 0..2 * n {
+                if row != p && self.get_x(row, q) {
+                    self.rowsum(row, p);
+                }
+            }
+            // Destabilizer p-n ← old stabilizer p.
+            self.copy_row(p - n, p);
+            // Stabilizer p ← ±Z_q.
+            self.clear_row(p);
+            self.set_z(p, q, true);
+            self.phases[p] = random_outcome;
+            random_outcome
+        } else {
+            self.deterministic_outcome(q)
+        }
+    }
+
+    /// Computes the deterministic measurement outcome of qubit `q` (must be
+    /// deterministic).
+    fn deterministic_outcome(&self, q: usize) -> bool {
+        // Scratch row accumulation: sum stabilizer rows i+n over destabilizers
+        // i that have X on q.
+        let n = self.n;
+        let mut sx = vec![0u64; self.words];
+        let mut sz = vec![0u64; self.words];
+        let mut sphase = 0u32; // accumulated i-exponent (mod 4), 2 = minus.
+        for i in 0..n {
+            if self.get_x(i, q) {
+                let row = i + n;
+                sphase = (sphase
+                    + 2 * (self.phases[row] as u32)
+                    + phase_exponent(&sx, &sz, self.row_x(row), self.row_z(row)))
+                    % 4;
+                for w in 0..self.words {
+                    sx[w] ^= self.row_x(row)[w];
+                    sz[w] ^= self.row_z(row)[w];
+                }
+            }
+        }
+        debug_assert!(sphase % 2 == 0, "scratch phase must be real");
+        sphase == 2
+    }
+
+    #[inline]
+    fn row_x(&self, row: usize) -> &[u64] {
+        &self.xs[row * self.words..(row + 1) * self.words]
+    }
+
+    #[inline]
+    fn row_z(&self, row: usize) -> &[u64] {
+        &self.zs[row * self.words..(row + 1) * self.words]
+    }
+
+    fn copy_row(&mut self, dst: usize, src: usize) {
+        for w in 0..self.words {
+            self.xs[dst * self.words + w] = self.xs[src * self.words + w];
+            self.zs[dst * self.words + w] = self.zs[src * self.words + w];
+        }
+        self.phases[dst] = self.phases[src];
+    }
+
+    fn clear_row(&mut self, row: usize) {
+        for w in 0..self.words {
+            self.xs[row * self.words + w] = 0;
+            self.zs[row * self.words + w] = 0;
+        }
+        self.phases[row] = false;
+    }
+
+    /// Row h ← row h · row i (Aaronson–Gottesman "rowsum").
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let exp = {
+            let hx = self.row_x(h).to_vec();
+            let hz = self.row_z(h).to_vec();
+            (2 * (self.phases[h] as u32)
+                + 2 * (self.phases[i] as u32)
+                + phase_exponent(&hx, &hz, self.row_x(i), self.row_z(i)))
+                % 4
+        };
+        // Destabilizer rows may anticommute with the pivot; their phases are
+        // bookkeeping-only in Aaronson–Gottesman, so odd exponents are
+        // tolerated there and collapsed arbitrarily.
+        debug_assert!(h < self.n || exp % 2 == 0, "stabilizer rowsum must stay hermitian");
+        self.phases[h] = exp >= 2;
+        for w in 0..self.words {
+            self.xs[h * self.words + w] ^= self.xs[i * self.words + w];
+            self.zs[h * self.words + w] ^= self.zs[i * self.words + w];
+        }
+    }
+
+    fn check_q(&self, q: usize) {
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+    }
+
+    /// Returns stabilizer generator `i` (0-based) as a [`PauliString`].
+    pub fn stabilizer(&self, i: usize) -> PauliString {
+        assert!(i < self.n, "stabilizer index {i} out of range");
+        let row = i + self.n;
+        let mut p = PauliString::identity(self.n);
+        for q in 0..self.n {
+            p.set(
+                q,
+                Pauli::from_xz(self.get_x(row, q), self.get_z(row, q)),
+            );
+        }
+        if self.phases[row] {
+            p.negate();
+        }
+        p
+    }
+}
+
+/// Accumulated i-exponent when multiplying the Pauli with bits `(x1, z1)` by
+/// the Pauli with bits `(x2, z2)` (per-word, summed mod 4).
+fn phase_exponent(x1v: &[u64], z1v: &[u64], x2v: &[u64], z2v: &[u64]) -> u32 {
+    let mut plus = 0u64;
+    let mut minus = 0u64;
+    for w in 0..x1v.len() {
+        let (x1, z1, x2, z2) = (x1v[w], z1v[w], x2v[w], z2v[w]);
+        // g(x1,z1 ; x2,z2) per bit; note argument order: row1 multiplied by row2.
+        // Cases where the contribution is +1:
+        let p = (x1 & z1 & z2 & !x2) | (x1 & !z1 & x2 & z2) | (!x1 & z1 & x2 & !z2);
+        // Cases where the contribution is −1:
+        let m = (x1 & z1 & x2 & !z2) | (x1 & !z1 & !x2 & z2) | (!x1 & z1 & x2 & z2);
+        plus += p.count_ones() as u64;
+        minus += m.count_ones() as u64;
+    }
+    (((plus as i64 - minus as i64) % 4 + 4) % 4) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_state_measures_zero() {
+        let mut t = Tableau::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for q in 0..3 {
+            assert_eq!(t.prob_one(q), 0.0);
+            assert!(!t.measure(q, &mut rng));
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut t = Tableau::new(2);
+        t.x(1);
+        assert_eq!(t.prob_one(1), 1.0);
+        assert_eq!(t.prob_one(0), 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(t.measure(1, &mut rng));
+    }
+
+    #[test]
+    fn hadamard_randomizes_then_collapses() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        assert_eq!(t.prob_one(0), 0.5);
+        let out = t.measure_forced(0, true);
+        assert!(out);
+        assert_eq!(t.prob_one(0), 1.0);
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut saw = [false; 2];
+        for _ in 0..64 {
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cx(0, 1);
+            let a = t.measure(0, &mut rng);
+            let b = t.measure(1, &mut rng);
+            assert_eq!(a, b);
+            saw[a as usize] = true;
+        }
+        assert!(saw[0] && saw[1], "both outcomes should occur");
+    }
+
+    #[test]
+    fn ghz_stabilizers() {
+        let mut t = Tableau::new(3);
+        t.h(0);
+        t.cx(0, 1);
+        t.cx(1, 2);
+        // All-equal outcomes.
+        for _ in 0..16 {
+            let mut t2 = t.clone();
+            let a = t2.measure_forced(0, true);
+            let b = t2.measure_forced(1, false); // now deterministic
+            let c = t2.measure_forced(2, false);
+            assert_eq!(a, b);
+            assert_eq!(b, c);
+        }
+    }
+
+    #[test]
+    fn s_gate_turns_plus_into_plus_i() {
+        // H then S then H: |0> -> |+> -> |+i> -> measure should be random;
+        // but H S S H |0> = HZH|0> = X|0> = |1>.
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.s(0);
+        t.h(0);
+        assert_eq!(t.prob_one(0), 1.0);
+    }
+
+    #[test]
+    fn s_dag_inverts_s() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.s_dag(0);
+        t.h(0);
+        assert_eq!(t.prob_one(0), 0.0);
+    }
+
+    #[test]
+    fn cz_phase_kickback() {
+        // |++> -CZ-> entangled: measuring one in X basis...
+        // Simpler check: CZ with control |1>: H(1);X(0);CZ(0,1);H(1) == X(0) Z-kick -> |1>H Z H = |1>X? Use algebra:
+        // X(0); H(1); CZ(0,1); H(1) should equal X(0) X(1)? CZ with qubit0=1 applies Z to qubit1: HZH = X.
+        let mut t = Tableau::new(2);
+        t.x(0);
+        t.h(1);
+        t.cz(0, 1);
+        t.h(1);
+        assert_eq!(t.prob_one(1), 1.0);
+        assert_eq!(t.prob_one(0), 1.0);
+    }
+
+    #[test]
+    fn swap_moves_excitation() {
+        let mut t = Tableau::new(2);
+        t.x(0);
+        t.swap(0, 1);
+        assert_eq!(t.prob_one(0), 0.0);
+        assert_eq!(t.prob_one(1), 1.0);
+    }
+
+    #[test]
+    fn reset_after_entanglement() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cx(0, 1);
+        t.reset_forced(0);
+        assert_eq!(t.prob_one(0), 0.0);
+        // Measuring one half of the Bell pair collapsed the partner to the
+        // same (forced-zero) outcome.
+        assert_eq!(t.prob_one(1), 0.0);
+    }
+
+    #[test]
+    fn stabilizer_extraction() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cx(0, 1);
+        let stabs: Vec<String> = (0..2).map(|i| t.stabilizer(i).to_string()).collect();
+        // Generators of the Bell pair: ±XX and ±ZZ in some order.
+        let set: std::collections::HashSet<_> = stabs.iter().cloned().collect();
+        assert!(
+            set.contains("+XX") && set.contains("+ZZ"),
+            "unexpected stabilizers {stabs:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_measurement_is_stable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = Tableau::new(4);
+        t.h(0);
+        t.cx(0, 2);
+        t.s(2);
+        t.h(3);
+        t.cx(3, 1);
+        for q in 0..4 {
+            let first = t.measure(q, &mut rng);
+            for _ in 0..3 {
+                assert_eq!(t.measure(q, &mut rng), first);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_tableau_cross_word() {
+        let mut t = Tableau::new(130);
+        t.h(0);
+        t.cx(0, 129);
+        let a = t.measure_forced(0, true);
+        let b = t.measure_forced(129, false);
+        assert_eq!(a, b);
+    }
+}

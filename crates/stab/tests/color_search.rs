@@ -1,0 +1,199 @@
+//! Dev harness: derive the [[17,1,5]] 4.8.8 triangular color code from the
+//! square-octagon tiling by scanning triangular cuts.
+//!
+//! Run manually with:
+//! `cargo test -p hetarch-stab --test color_search -- --ignored --nocapture`
+
+use std::collections::BTreeMap;
+
+type V = (i32, i32);
+
+/// Faces of the square-octagon tiling with a 3-coloring:
+/// color 0/1 = octagons by center parity, color 2 = squares.
+fn tiling_faces(range: i32) -> Vec<(u8, Vec<V>)> {
+    let mut faces = Vec::new();
+    for i in -range..=range {
+        for j in -range..=range {
+            let (cx, cy) = (4 * i, 4 * j);
+            faces.push((
+                ((i + j).rem_euclid(2)) as u8,
+                vec![
+                    (cx + 1, cy + 2),
+                    (cx + 2, cy + 1),
+                    (cx + 2, cy - 1),
+                    (cx + 1, cy - 2),
+                    (cx - 1, cy - 2),
+                    (cx - 2, cy - 1),
+                    (cx - 2, cy + 1),
+                    (cx - 1, cy + 2),
+                ],
+            ));
+            faces.push((
+                2,
+                vec![
+                    (cx + 1, cy + 2),
+                    (cx + 2, cy + 1),
+                    (cx + 3, cy + 2),
+                    (cx + 2, cy + 3),
+                ],
+            ));
+        }
+    }
+    faces
+}
+
+fn rank_gf2(rows: &[u32]) -> usize {
+    let mut rows = rows.to_vec();
+    let mut rank = 0;
+    for bit in 0..32 {
+        if let Some(pos) = (rank..rows.len()).find(|&r| rows[r] >> bit & 1 == 1) {
+            rows.swap(rank, pos);
+            for r in 0..rows.len() {
+                if r != rank && rows[r] >> bit & 1 == 1 {
+                    rows[r] ^= rows[rank];
+                }
+            }
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// Find a vector in ker(checks) \ rowspace(checks) (self-dual CSS logical).
+fn find_logical(checks: &[u32], n: usize) -> Option<u32> {
+    for cand in 1u32..(1 << n) {
+        // Must commute with all checks: even overlap.
+        if checks.iter().all(|&c| (c & cand).count_ones() % 2 == 0) {
+            // Must not be in rowspace.
+            let r0 = rank_gf2(checks);
+            let mut with = checks.to_vec();
+            with.push(cand);
+            if rank_gf2(&with) > r0 {
+                return Some(cand);
+            }
+        }
+    }
+    None
+}
+
+fn min_coset_weight(logical: u32, checks: &[u32]) -> u32 {
+    let r = checks.len();
+    let mut best = u32::MAX;
+    for mask in 0u32..(1 << r) {
+        let mut v = logical;
+        for (i, &c) in checks.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                v ^= c;
+            }
+        }
+        best = best.min(v.count_ones());
+    }
+    best
+}
+
+#[test]
+#[ignore = "dev search harness; run manually"]
+fn search_triangular_cuts() {
+    let faces = tiling_faces(3);
+    let mut found = 0;
+    let color_assignments: Vec<[u8; 3]> = vec![
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    for y0 in -6i32..=2 {
+        for b in -6i32..=2 {
+            for a in 2i32..=14 {
+                for colors in &color_assignments {
+                // Right triangle: keep (x, y) with y >= y0, x >= b, x + y <= a.
+                // Boundary 0 = bottom (y), 1 = hypotenuse (x+y), 2 = left (x),
+                // with colors[k] the face color *removed* at boundary k.
+                let keep = |&(x, y): &V| y >= y0 && x + y <= a && x >= b;
+                let mut kept_faces: Vec<Vec<V>> = faces
+                    .iter()
+                    .filter_map(|(color, f)| {
+                        let kept: Vec<V> = f.iter().copied().filter(|v| keep(v)).collect();
+                        if kept.is_empty() || kept.len() == f.len() {
+                            return if kept.is_empty() { None } else { Some(kept) };
+                        }
+                        // Face is cut: identify which boundaries cut it.
+                        let crosses = [
+                            f.iter().any(|&(_, y)| y < y0),
+                            f.iter().any(|&(x, y)| x + y > a),
+                            f.iter().any(|&(x, _)| x < b),
+                        ];
+                        let dropped = (0..3).any(|k| crosses[k] && colors[k] == *color);
+                        if dropped || kept.len() < 2 {
+                            None
+                        } else {
+                            Some(kept)
+                        }
+                    })
+                    .collect();
+                kept_faces.sort();
+                kept_faces.dedup();
+                let mut verts: Vec<V> = kept_faces.iter().flatten().copied().collect();
+                verts.sort();
+                verts.dedup();
+                if !(15..=19).contains(&verts.len()) {
+                    continue;
+                }
+                let n = verts.len();
+                let index: BTreeMap<V, usize> =
+                    verts.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+                let masks: Vec<u32> = kept_faces
+                    .iter()
+                    .map(|f| f.iter().fold(0u32, |m, v| m | 1 << index[v]))
+                    .collect();
+                // Pairwise even overlap (X_i vs Z_j commute).
+                let commuting = masks.iter().enumerate().all(|(i, &mi)| {
+                    masks[i + 1..]
+                        .iter()
+                        .all(|&mj| (mi & mj).count_ones() % 2 == 0)
+                });
+                if !commuting {
+                    continue;
+                }
+                let r = rank_gf2(&masks);
+                let k = n.checked_sub(2 * r);
+                println!(
+                    "candidate n={n} faces={} rank={r} k={k:?} cut y0={y0} a={a} b={b} colors={colors:?}",
+                    masks.len()
+                );
+                if k != Some(1) || n != 17 {
+                    continue;
+                }
+                if masks.len() > 12 {
+                    continue; // too many generators for the coset sweep
+                }
+                let Some(logical) = find_logical(&masks, 17) else {
+                    continue;
+                };
+                let d = min_coset_weight(logical, &masks);
+                println!("  -> distance {d}");
+                if d == 5 {
+                    found += 1;
+                    println!("== FOUND [[17,1,5]] cut y0={y0} a={a} b={b} colors={colors:?} ==");
+                    println!("faces ({}):", masks.len());
+                    for f in &kept_faces {
+                        let idxs: Vec<usize> = f.iter().map(|v| index[v]).collect();
+                        println!("  {idxs:?}  coords {f:?}");
+                    }
+                    let lbits: Vec<usize> =
+                        (0..17).filter(|i| logical >> i & 1 == 1).collect();
+                    println!("logical: {lbits:?}");
+                    println!("vertices: {verts:?}");
+                    if found >= 3 {
+                        return;
+                    }
+                }
+                }
+            }
+        }
+    }
+    println!("total matches: {found}");
+    assert!(found > 0, "no [[17,1,5]] cut found");
+}

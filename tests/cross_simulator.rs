@@ -1,0 +1,158 @@
+//! Cross-validation between the two independent simulation substrates: the
+//! density-matrix simulator (hetarch-qsim) and the stabilizer tableau /
+//! frame sampler (hetarch-stab).
+
+use hetarch::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Applies the same random Clifford circuit to both simulators and compares
+/// single-qubit Z-measurement probabilities.
+#[test]
+fn tableau_matches_density_matrix_on_random_cliffords() {
+    let n = 4;
+    let mut rng = StdRng::seed_from_u64(2024);
+    for trial in 0..25 {
+        let mut dm = DensityMatrix::zero_state(n);
+        let mut tb = Tableau::new(n);
+        for _ in 0..30 {
+            match rng.gen_range(0..5) {
+                0 => {
+                    let q = rng.gen_range(0..n);
+                    gates::h(&mut dm, q);
+                    tb.h(q);
+                }
+                1 => {
+                    let q = rng.gen_range(0..n);
+                    gates::s(&mut dm, q);
+                    tb.s(q);
+                }
+                2 => {
+                    let a = rng.gen_range(0..n);
+                    let b = (a + rng.gen_range(1..n)) % n;
+                    gates::cnot(&mut dm, a, b);
+                    tb.cx(a, b);
+                }
+                3 => {
+                    let a = rng.gen_range(0..n);
+                    let b = (a + rng.gen_range(1..n)) % n;
+                    gates::cz(&mut dm, a, b);
+                    tb.cz(a, b);
+                }
+                _ => {
+                    let q = rng.gen_range(0..n);
+                    gates::x(&mut dm, q);
+                    tb.x(q);
+                }
+            }
+        }
+        for q in 0..n {
+            let p_dm = hetarch::qsim::measure::prob_one(&dm, q);
+            let p_tb = tb.prob_one(q);
+            assert!(
+                (p_dm - p_tb).abs() < 1e-9,
+                "trial {trial}, qubit {q}: dm {p_dm} vs tableau {p_tb}"
+            );
+        }
+    }
+}
+
+/// Collapse consistency: measuring in one simulator and conditioning the
+/// other on the same outcome keeps them in lockstep.
+#[test]
+fn measurement_collapse_agrees() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..20 {
+        let mut dm = DensityMatrix::zero_state(3);
+        let mut tb = Tableau::new(3);
+        gates::h(&mut dm, 0);
+        tb.h(0);
+        gates::cnot(&mut dm, 0, 1);
+        tb.cx(0, 1);
+        gates::cnot(&mut dm, 1, 2);
+        tb.cx(1, 2);
+
+        let outcome = rng.gen::<bool>();
+        let got = tb.measure_forced(0, outcome);
+        assert_eq!(got, outcome, "GHZ first measurement is random");
+        // Condition the density matrix on the same outcome.
+        hetarch::qsim::measure::postselect_z(&mut dm, 0, outcome).expect("non-zero branch");
+        for q in 1..3 {
+            let p_dm = hetarch::qsim::measure::prob_one(&dm, q);
+            let p_tb = tb.prob_one(q);
+            assert!((p_dm - p_tb).abs() < 1e-9);
+        }
+    }
+}
+
+/// The frame sampler's depolarizing statistics match the density-matrix
+/// channel: a depolarized |0> measured in Z flips with probability 2p/3.
+#[test]
+fn frame_sampler_statistics_match_channel() {
+    let p = 0.24;
+    // Density matrix: exact flip probability.
+    let mut dm = DensityMatrix::zero_state(1);
+    Kraus1::depolarizing(p).unwrap().apply(&mut dm, 0);
+    let exact = hetarch::qsim::measure::prob_one(&dm, 0);
+
+    // Frame sampler: Monte Carlo.
+    let mut c = Circuit::new(1);
+    c.depolarize1(p, &[0]);
+    c.measure(&[0], 0.0);
+    let shots = 400_000;
+    let mut sampler = hetarch::stab::frame::FrameSampler::new(1, shots, 99);
+    let flips = sampler.run(&c).meas_flips.count_ones(0) as f64 / shots as f64;
+
+    assert!(
+        (flips - exact).abs() < 0.003,
+        "frame sampler {flips} vs exact {exact}"
+    );
+}
+
+/// The Pauli-twirled idle model used by the stabilizer side reproduces the
+/// exact T1/T2 channel's measurement statistics on Z-basis states.
+#[test]
+fn twirled_idle_matches_exact_channel_populations() {
+    let idle = IdleParams::new(0.5e-3, 0.4e-3).unwrap();
+    let t = 50e-6;
+
+    // Exact: |1> decays to e^{-t/T1}.
+    let mut dm = DensityMatrix::zero_state(1);
+    gates::x(&mut dm, 0);
+    idle.channel(t).unwrap().apply(&mut dm, 0);
+    let exact = hetarch::qsim::measure::prob_one(&dm, 0);
+
+    // Twirl: X or Y flips |1>.
+    let probs = idle.twirl_probs(t);
+    let twirl = 1.0 - (probs.px + probs.py);
+    // The twirl symmetrizes decay (no spontaneous-emission bias), so it
+    // differs from the exact channel by at most gamma/2.
+    let gamma = 1.0 - (-t / idle.t1).exp();
+    assert!(
+        (exact - twirl).abs() <= gamma / 2.0 + 1e-9,
+        "exact {exact} vs twirl {twirl} (gamma = {gamma})"
+    );
+}
+
+/// A Bell pair built by each substrate yields identical stabilizer
+/// expectation values.
+#[test]
+fn bell_pair_stabilizers_agree() {
+    let mut dm = DensityMatrix::zero_state(2);
+    gates::h(&mut dm, 0);
+    gates::cnot(&mut dm, 0, 1);
+    // XX and ZZ expectations from the density matrix.
+    let xx = dm.expectation_pauli(0b11, 0b00);
+    let zz = dm.expectation_pauli(0b00, 0b11);
+    assert!((xx.re - 1.0).abs() < 1e-10);
+    assert!((zz.re - 1.0).abs() < 1e-10);
+
+    // The tableau's stabilizer generators are +XX and +ZZ.
+    let mut tb = Tableau::new(2);
+    tb.h(0);
+    tb.cx(0, 1);
+    let gens: std::collections::HashSet<String> =
+        (0..2).map(|i| tb.stabilizer(i).to_string()).collect();
+    assert!(gens.contains("+XX"));
+    assert!(gens.contains("+ZZ"));
+}

