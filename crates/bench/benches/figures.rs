@@ -56,8 +56,11 @@ fn bench_table4_point(c: &mut Criterion) {
         .sample_size(10)
         .bench_function("table4_point_sc3_sc4", |b| {
             b.iter(|| {
-                let mut cfg =
-                    CtConfig::heterogeneous(rotated_surface_code(3), rotated_surface_code(4), 50e-3);
+                let mut cfg = CtConfig::heterogeneous(
+                    rotated_surface_code(3),
+                    rotated_surface_code(4),
+                    50e-3,
+                );
                 cfg.shots = 1_000;
                 CtModule::new(cfg).evaluate()
             });

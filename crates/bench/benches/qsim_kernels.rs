@@ -28,7 +28,10 @@ fn bench_channels(c: &mut Criterion) {
     let mut group = c.benchmark_group("dm_channels");
     let depol1 = Kraus1::depolarizing(0.01).unwrap();
     let depol2 = Kraus2::depolarizing(0.01).unwrap();
-    let idle = IdleParams::new(0.5e-3, 0.5e-3).unwrap().channel(1e-6).unwrap();
+    let idle = IdleParams::new(0.5e-3, 0.5e-3)
+        .unwrap()
+        .channel(1e-6)
+        .unwrap();
     for n in [4usize, 6] {
         group.bench_with_input(BenchmarkId::new("depolarize1", n), &n, |b, &n| {
             let mut rho = DensityMatrix::zero_state(n);

@@ -2,16 +2,19 @@
 //! search, schedule construction, and Monte-Carlo cycles.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hetarch::prelude::*;
 use hetarch::modules::uec::{build_schedule, search_assignment};
+use hetarch::prelude::*;
 
 fn usc() -> UscChannel {
-    UscCell::new(
-        catalog::coherence_limited_compute(0.5e-3),
-        catalog::coherence_limited_storage(50e-3),
-    )
-    .unwrap()
-    .characterize()
+    // Shared library: the second bench asking for this channel gets the
+    // cached characterization instead of re-simulating.
+    static LIB: std::sync::OnceLock<CellLibrary> = std::sync::OnceLock::new();
+    let lib = LIB.get_or_init(CellLibrary::new);
+    (*lib.get::<UscCell>(
+        &catalog::coherence_limited_compute(0.5e-3),
+        &catalog::coherence_limited_storage(50e-3),
+    ))
+    .clone()
 }
 
 fn bench_assignment_search(c: &mut Criterion) {
@@ -64,5 +67,10 @@ fn bench_monte_carlo(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_assignment_search, bench_schedule_build, bench_monte_carlo);
+criterion_group!(
+    benches,
+    bench_assignment_search,
+    bench_schedule_build,
+    bench_monte_carlo
+);
 criterion_main!(benches);

@@ -15,7 +15,10 @@ use hetarch::prelude::*;
 use hetarch_bench::{header, shots};
 
 fn main() {
-    header("Ablations", "Design-choice ablations called out in DESIGN.md");
+    header(
+        "Ablations",
+        "Design-choice ablations called out in DESIGN.md",
+    );
     let n = shots(10_000);
 
     // --- 1. DEJMPS fast path. -------------------------------------------
@@ -106,7 +109,10 @@ fn main() {
             ..UecNoise::default()
         };
         let r = UecModule::new(steane(), usc.clone(), noise).logical_error_rate(n, 42);
-        println!("   p_swap = {:>6.4}: logical {:.4}", p_swap, r.logical_error_rate);
+        println!(
+            "   p_swap = {:>6.4}: logical {:.4}",
+            p_swap, r.logical_error_rate
+        );
     }
     println!();
 
@@ -130,7 +136,10 @@ fn main() {
         serial_duration * 1e6
     );
     let r = module.logical_error_rate(n.min(5_000), 7);
-    println!("   d=6 chained logical error per cycle: {:.4}", r.logical_error_rate);
+    println!(
+        "   d=6 chained logical error per cycle: {:.4}",
+        r.logical_error_rate
+    );
     println!();
 
     // --- 6. Surface-code decoder ablation. -------------------------------

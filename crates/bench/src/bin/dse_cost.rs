@@ -19,7 +19,12 @@ fn main() {
         // (name, cell sims (qubits), module span (qubits), module-level ops)
         ("distillation", vec![2, 2, 4], 16, 200_000),
         ("UEC memory (17QCC)", vec![2, 5], 17 + 4, 500_000),
-        ("code teleportation", vec![2, 2, 4, 4, 5], 24 + 16, 1_000_000),
+        (
+            "code teleportation",
+            vec![2, 2, 4, 4, 5],
+            24 + 16,
+            1_000_000,
+        ),
     ];
     println!(
         "{:<22} {:>16} {:>16} {:>12}",
@@ -45,21 +50,45 @@ fn main() {
     }
 
     // The cache multiplies the saving across a sweep: characterize once,
-    // reuse at every sweep point.
+    // reuse at every sweep point (and single-flight admission keeps that
+    // true for concurrent sweep workers).
     println!();
     let lib = CellLibrary::new();
     let c = catalog::coherence_limited_compute(0.5e-3);
     let sweep_points = 24;
     for _ in 0..sweep_points {
         for ts in [1e-3, 2.5e-3, 12.5e-3] {
-            lib.register(&c, &catalog::coherence_limited_storage(ts));
+            let storage = catalog::coherence_limited_storage(ts);
+            lib.get::<RegisterCell>(&c, &storage);
+            lib.get::<UscCell>(&c, &storage);
         }
+        lib.get::<ParCheckCell>(&c, &c);
     }
     let stats = lib.stats();
     println!(
         "sweep of {} evaluations: {} cell simulations run, {} served from cache",
-        sweep_points * 3,
+        sweep_points * 7,
         stats.misses,
         stats.hits
     );
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}",
+        "cell", "misses", "hits", "waits"
+    );
+    for kind in CellKind::ALL {
+        let k = stats.kind(kind);
+        println!(
+            "{:<10} {:>8} {:>8} {:>8}",
+            kind.name(),
+            k.misses,
+            k.hits,
+            k.inflight_waits
+        );
+    }
+    println!(
+        "simulation time: {:.1} ms run, {:.1} ms avoided by caching",
+        stats.sim_seconds_run * 1e3,
+        stats.sim_seconds_saved * 1e3
+    );
+    assert_eq!(stats.misses, 7, "one simulation per distinct design point");
 }

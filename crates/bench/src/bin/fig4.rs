@@ -11,7 +11,9 @@ fn main() {
         "Distilled EP rate (kHz) vs generation rate (kHz) and storage coherence",
     );
     let duration = sim_duration(10.0);
-    let gen_rates_khz = [100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0, 100_000.0];
+    let gen_rates_khz = [
+        100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0, 100_000.0,
+    ];
     let ts_ms = [0.5, 1.0, 2.5, 5.0, 12.5, 50.0];
 
     print!("{:>12}", "gen (kHz)");
@@ -23,8 +25,8 @@ fn main() {
         let rate = g * 1e3;
         print!("{g:>12.0}");
         for &ts in &ts_ms {
-            let r = DistillModule::new(DistillConfig::heterogeneous(ts * 1e-3, rate, 4))
-                .run(duration);
+            let r =
+                DistillModule::new(DistillConfig::heterogeneous(ts * 1e-3, rate, 4)).run(duration);
             print!(" {:>9.1}", r.delivered_rate_hz / 1e3);
         }
         let hom = DistillModule::new(DistillConfig::homogeneous(rate, 4)).run(duration);

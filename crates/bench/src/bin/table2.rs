@@ -13,7 +13,7 @@ fn main() {
     let compute = catalog::fixed_frequency_qubit();
     let storage = catalog::multimode_resonator_3d();
 
-    let reg = lib.register(&compute, &storage);
+    let reg = lib.get::<RegisterCell>(&compute, &storage);
     println!("Register  (1 storage + 1 compute, DR2/DR4 compliant)");
     println!(
         "  load/save: F = {:.5} in {:.0} ns; Ts = {:.1} ms over {} modes",
@@ -23,7 +23,7 @@ fn main() {
         reg.modes
     );
 
-    let pc = lib.parcheck(&compute, &compute);
+    let pc = lib.get::<ParCheckCell>(&compute, &compute);
     println!("ParCheck  (2 compute, one with readout)");
     println!(
         "  parity check: F = {:.5} in {:.2} us (1q {:.0} ns / 2q {:.0} ns / readout {:.0} us)",
@@ -34,7 +34,7 @@ fn main() {
         pc.readout_time * 1e6
     );
 
-    let seq = lib.seqop(&compute, &storage);
+    let seq = lib.get::<SeqOpCell>(&compute, &storage);
     println!("SeqOp     (2 Registers + readout compute in a triangle)");
     println!(
         "  stored-qubit CNOT: F = {:.5} in {:.2} us; side parity check F = {:.5}",
@@ -43,7 +43,7 @@ fn main() {
         seq.parity.fidelity
     );
 
-    let usc = lib.usc(&compute, &storage);
+    let usc = lib.get::<UscCell>(&compute, &storage);
     println!("USC       (3 Registers around a readout ancilla)");
     println!(
         "  weight-2 Z check: F = {:.5} in {:.2} us; capacity {} qubits",
@@ -59,11 +59,8 @@ fn main() {
 
     println!();
     println!("Swapping the storage unit (same cells, different device):");
-    for s in [
-        catalog::memory_3d(),
-        catalog::on_chip_multimode_resonator(),
-    ] {
-        let reg = lib.register(&compute, &s);
+    for s in [catalog::memory_3d(), catalog::on_chip_multimode_resonator()] {
+        let reg = lib.get::<RegisterCell>(&compute, &s);
         println!(
             "  Register with {:<38} load F = {:.5}, Ts = {:>5.1} ms",
             s.name,

@@ -92,7 +92,14 @@ fn main() {
         } else {
             format!("{:.1}x (hom)", het / hom)
         };
-        println!("{:<8} {:>10} {:>10.4} {:>10.4} {:>10}", code.name(), pt, het, hom, red);
+        println!(
+            "{:<8} {:>10} {:>10.4} {:>10.4} {:>10}",
+            code.name(),
+            pt,
+            het,
+            hom,
+            red
+        );
     }
     println!();
     println!(

@@ -29,7 +29,10 @@ impl OpChannel {
     /// Panics if the fidelity is outside `[0, 1]` or the duration negative.
     pub fn new(op: impl Into<String>, duration: f64, fidelity: f64, concurrency: u32) -> Self {
         assert!(duration >= 0.0 && duration.is_finite(), "invalid duration");
-        assert!((0.0..=1.0).contains(&fidelity), "invalid fidelity {fidelity}");
+        assert!(
+            (0.0..=1.0).contains(&fidelity),
+            "invalid fidelity {fidelity}"
+        );
         OpChannel {
             op: op.into(),
             duration,

@@ -3,21 +3,23 @@
 //! Quantum standard cells (paper §3.2, Table 2): `Register`, `ParCheck`,
 //! `SeqOp` and the universal stabilizer cell `USC`/`USC-EXT`.
 //!
-//! Each cell is a design-rule-checked symbolic layout
-//! ([`hetarch_devices::topology::DeviceGraph`]) plus a `characterize()`
-//! method that runs exact density-matrix simulations
+//! Each cell implements the [`cell::Cell`] trait: a design-rule-checked
+//! symbolic layout ([`hetarch_devices::topology::DeviceGraph`]) plus a
+//! `characterize()` method that runs exact density-matrix simulations
 //! ([`hetarch_qsim`]) and abstracts the result into channel structs that the
 //! module layer consumes — the boundary that keeps HetArch's hierarchical
-//! simulation tractable.
+//! simulation tractable. The [`library::CellLibrary`] memoizes every cell
+//! kind through one generic, single-flight, persistable cache.
 //!
 //! # Example
 //!
 //! ```
 //! use hetarch_cells::library::CellLibrary;
+//! use hetarch_cells::RegisterCell;
 //! use hetarch_devices::catalog::{fixed_frequency_qubit, multimode_resonator_3d};
 //!
 //! let lib = CellLibrary::new();
-//! let reg = lib.register(&fixed_frequency_qubit(), &multimode_resonator_3d());
+//! let reg = lib.get::<RegisterCell>(&fixed_frequency_qubit(), &multimode_resonator_3d());
 //! assert!(reg.load.fidelity > 0.95);
 //! assert_eq!(reg.modes, 10);
 //! ```
@@ -25,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cell;
 pub mod channel;
 pub mod library;
 pub mod parcheck;
@@ -33,8 +36,9 @@ pub mod register;
 pub mod seqop;
 pub mod usc;
 
+pub use cell::{Cell, CellKind};
 pub use channel::OpChannel;
-pub use library::CellLibrary;
+pub use library::{CacheStats, CellLibrary, CharKey, KindStats};
 pub use parcheck::{ParCheckCell, ParCheckChannel};
 pub use register::{RegisterCell, RegisterChannel};
 pub use seqop::{SeqOpCell, SeqOpChannel};

@@ -156,20 +156,21 @@ mod tests {
 
     #[test]
     fn register_cell_is_rule_compliant() {
-        let cell =
-            RegisterCell::new(fixed_frequency_qubit(), multimode_resonator_3d()).unwrap();
+        let cell = RegisterCell::new(fixed_frequency_qubit(), multimode_resonator_3d()).unwrap();
         assert_eq!(cell.layout().num_devices(), 2);
     }
 
     #[test]
     fn load_fidelity_tracks_swap_error() {
-        let cell =
-            RegisterCell::new(fixed_frequency_qubit(), multimode_resonator_3d()).unwrap();
+        let cell = RegisterCell::new(fixed_frequency_qubit(), multimode_resonator_3d()).unwrap();
         let ch = cell.characterize();
         // Swap error 1e-2: average fidelity should be near 1 - 1e-2 * 4/5
         // (depolarizing average-fidelity relation), minus tiny idle loss.
-        assert!(ch.load.fidelity > 0.985 && ch.load.fidelity < 0.999,
-            "load fidelity {}", ch.load.fidelity);
+        assert!(
+            ch.load.fidelity > 0.985 && ch.load.fidelity < 0.999,
+            "load fidelity {}",
+            ch.load.fidelity
+        );
         assert_eq!(ch.load.duration, 400e-9);
         assert_eq!(ch.modes, 10);
     }

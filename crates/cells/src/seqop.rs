@@ -117,7 +117,10 @@ impl SeqOpCell {
     /// store back, with gate depolarizing and idle decay at every step. The
     /// fidelity averages nine product probes against the ideal CNOT output.
     pub fn characterize(&self) -> SeqOpChannel {
-        let g2 = self.compute.gate_2q.expect("compute devices define 2q gates");
+        let g2 = self
+            .compute
+            .gate_2q
+            .expect("compute devices define 2q gates");
         let swap = self.storage.swap;
         let t_read = self.compute.readout_time.expect("compute has readout");
         let storage_idle =
@@ -275,7 +278,11 @@ mod tests {
     #[test]
     fn parity_check_close_to_parcheck_quality() {
         let ch = cell().characterize();
-        assert!(ch.parity.fidelity > 0.97, "parity fidelity {}", ch.parity.fidelity);
+        assert!(
+            ch.parity.fidelity > 0.97,
+            "parity fidelity {}",
+            ch.parity.fidelity
+        );
     }
 
     #[test]

@@ -368,19 +368,12 @@ mod tests {
 
     #[test]
     fn four_registers_rejected() {
-        let r = UscCell::with_registers(
-            fixed_frequency_qubit(),
-            on_chip_multimode_resonator(),
-            3,
-        );
+        let r = UscCell::with_registers(fixed_frequency_qubit(), on_chip_multimode_resonator(), 3);
         assert!(r.is_ok());
         // 4 registers is a programming error (DR1), enforced by assert.
         let caught = std::panic::catch_unwind(|| {
-            let _ = UscCell::with_registers(
-                fixed_frequency_qubit(),
-                on_chip_multimode_resonator(),
-                4,
-            );
+            let _ =
+                UscCell::with_registers(fixed_frequency_qubit(), on_chip_multimode_resonator(), 4);
         });
         assert!(caught.is_err());
     }

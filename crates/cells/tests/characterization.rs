@@ -1,0 +1,126 @@
+//! Cross-cutting characterization-cache properties: key injectivity over
+//! perturbed device specs, single-flight admission under thread pressure,
+//! and bit-identity of cached vs freshly simulated channels.
+
+use proptest::prelude::*;
+
+use hetarch_cells::{Cell, CellKind, CellLibrary, CharKey, ParCheckCell, RegisterCell};
+use hetarch_devices::catalog::{fixed_frequency_qubit, on_chip_multimode_resonator};
+use hetarch_devices::device::{DeviceSpec, GateSpec};
+
+/// Deterministically perturbs one field of the catalog transmon, covering
+/// every field class the cache key must discriminate: plain floats,
+/// optional floats, optional gate specs, and integer widths.
+fn perturbed_spec(field: usize, x: f64) -> DeviceSpec {
+    let mut s = fixed_frequency_qubit();
+    match field {
+        0 => s.t1 = 1e-6 + x * 1e-3,
+        1 => s.t2 = 1e-6 + x * 1e-3,
+        2 => {
+            s.readout_time = if x < 0.25 {
+                None
+            } else {
+                Some(1e-7 + x * 1e-6)
+            }
+        }
+        3 => {
+            s.gate_1q = if x < 0.25 {
+                None
+            } else {
+                Some(GateSpec::new(1e-8 + x * 1e-7, 1e-3))
+            }
+        }
+        4 => {
+            s.gate_2q = if x < 0.25 {
+                None
+            } else {
+                Some(GateSpec::new(1e-8 + x * 1e-7, 1e-3))
+            }
+        }
+        5 => s.swap = GateSpec::new(1e-8 + x * 1e-7, 1e-4),
+        6 => s.capacity = 1 + (x * 8.0) as u32,
+        _ => s.max_connectivity = 1 + (x * 6.0) as u32,
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    /// The key function is injective on spec pairs: equal specs map to
+    /// equal keys, distinct specs to distinct keys — including the cases
+    /// where the specs differ only in *which* optional field is present.
+    fn charkey_is_injective_over_perturbed_specs(
+        a in (0usize..8, 0.0f64..1.0),
+        b in (0usize..8, 0.0f64..1.0),
+    ) {
+        let spec_a = perturbed_spec(a.0, a.1);
+        let spec_b = perturbed_spec(b.0, b.1);
+        let partner = on_chip_multimode_resonator();
+        let key_a = CharKey::new(CellKind::Register, &spec_a, &partner);
+        let key_b = CharKey::new(CellKind::Register, &spec_b, &partner);
+        prop_assert_eq!(spec_a == spec_b, key_a == key_b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    /// The pair is ordered: `(a, b)` and `(b, a)` key differently whenever
+    /// the specs differ.
+    fn charkey_distinguishes_argument_order(a in (0usize..8, 0.0f64..1.0)) {
+        let spec = perturbed_spec(a.0, a.1);
+        let base = fixed_frequency_qubit();
+        if spec != base {
+            prop_assert_ne!(
+                CharKey::new(CellKind::ParCheck, &spec, &base),
+                CharKey::new(CellKind::ParCheck, &base, &spec)
+            );
+        }
+    }
+}
+
+#[test]
+fn sixteen_thread_hammer_runs_one_simulation() {
+    let lib = CellLibrary::new();
+    let a = fixed_frequency_qubit();
+    std::thread::scope(|scope| {
+        for _ in 0..16 {
+            scope.spawn(|| {
+                lib.get::<ParCheckCell>(&a, &a);
+            });
+        }
+    });
+    let stats = lib.stats();
+    assert_eq!(stats.misses, 1, "single-flight admission must hold");
+    assert_eq!(stats.hits + stats.inflight_waits, 15);
+    assert_eq!(stats.kind(CellKind::ParCheck).misses, 1);
+}
+
+#[test]
+fn cached_channel_is_bit_identical_to_fresh_characterization() {
+    let compute = fixed_frequency_qubit();
+    let storage = on_chip_multimode_resonator();
+    let lib = CellLibrary::new();
+    let cached = lib.get::<RegisterCell>(&compute, &storage);
+    let fresh = RegisterCell::build(compute, storage)
+        .expect("catalog pair obeys the design rules")
+        .characterize();
+    assert_eq!(*cached, fresh);
+    // PartialEq would accept -0.0 == 0.0; compare the raw bit patterns of
+    // the float fields to pin exact reproducibility.
+    assert_eq!(
+        cached.load.fidelity.to_bits(),
+        fresh.load.fidelity.to_bits()
+    );
+    assert_eq!(
+        cached.load.duration.to_bits(),
+        fresh.load.duration.to_bits()
+    );
+    assert_eq!(
+        cached.storage_idle.t1.to_bits(),
+        fresh.storage_idle.t1.to_bits()
+    );
+    assert_eq!(
+        cached.compute_idle.t2.to_bits(),
+        fresh.compute_idle.t2.to_bits()
+    );
+}

@@ -26,7 +26,7 @@
 //!
 //! // Assemble a design-rule-checked Register cell and characterize it.
 //! let lib = CellLibrary::new();
-//! let reg = lib.register(
+//! let reg = lib.get::<RegisterCell>(
 //!     &catalog::fixed_frequency_qubit(),
 //!     &catalog::multimode_resonator_3d(),
 //! );
@@ -51,8 +51,8 @@ pub use hetarch_stab as stab;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use hetarch_cells::{
-        CellLibrary, OpChannel, ParCheckCell, ParCheckChannel, RegisterCell, RegisterChannel,
-        SeqOpCell, SeqOpChannel, UscCell, UscChain, UscChannel,
+        CacheStats, Cell, CellKind, CellLibrary, CharKey, OpChannel, ParCheckCell, ParCheckChannel,
+        RegisterCell, RegisterChannel, SeqOpCell, SeqOpChannel, UscCell, UscChain, UscChannel,
     };
     pub use hetarch_devices::catalog;
     pub use hetarch_devices::rules::validate;

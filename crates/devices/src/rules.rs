@@ -52,7 +52,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: device #{}: {}", self.rule, self.device.0, self.detail)
+        write!(
+            f,
+            "{}: device #{}: {}",
+            self.rule, self.device.0, self.detail
+        )
     }
 }
 

@@ -100,8 +100,16 @@ pub fn explore_surface_coherence(
         let alpha = p.get("alpha");
         let scaled_data = p.get("data") > 0.5;
         let noise = SurfaceNoise {
-            t_data: if scaled_data { base_tc * alpha } else { base_tc },
-            t_anc: if scaled_data { base_tc } else { base_tc * alpha },
+            t_data: if scaled_data {
+                base_tc * alpha
+            } else {
+                base_tc
+            },
+            t_anc: if scaled_data {
+                base_tc
+            } else {
+                base_tc * alpha
+            },
             ..SurfaceNoise::default()
         };
         SurfaceMemory::new(d, d, noise)
@@ -139,9 +147,7 @@ pub fn explore_distill_capacity(
     seed: u64,
 ) -> Vec<CapacityPoint> {
     let mut out = Vec::new();
-    for (input_pairs, output_pairs) in
-        [(2, 1), (3, 3), (6, 3), (9, 3), (12, 6)]
-    {
+    for (input_pairs, output_pairs) in [(2, 1), (3, 3), (6, 3), (9, 3), (12, 6)] {
         let mut cfg = DistillConfig::heterogeneous(ts, gen_rate_hz, seed);
         cfg.input_capacity = input_pairs;
         cfg.output_capacity = output_pairs;
@@ -177,7 +183,7 @@ pub fn explore_compute_choice(
     sim_duration: f64,
     seed: u64,
 ) -> Vec<ComputeChoicePoint> {
-    use hetarch_cells::CellLibrary;
+    use hetarch_cells::{CellLibrary, ParCheckCell, RegisterCell};
     use hetarch_devices::catalog::{
         coherence_limited_storage, fixed_frequency_qubit, flux_tunable_qubit,
     };
@@ -193,8 +199,8 @@ pub fn explore_compute_choice(
         let storage = coherence_limited_storage(ts);
         let lib = CellLibrary::new();
         let mut cfg = DistillConfig::heterogeneous(ts, gen_rate_hz, seed);
-        cfg.register = (*lib.register(&compute, &storage)).clone();
-        cfg.parcheck = (*lib.parcheck(&compute, &compute)).clone();
+        cfg.register = (*lib.get::<RegisterCell>(&compute, &storage)).clone();
+        cfg.parcheck = (*lib.get::<ParCheckCell>(&compute, &compute)).clone();
         let report = DistillModule::new(cfg).run(sim_duration);
         out.push(ComputeChoicePoint {
             device: base.name.clone(),
@@ -212,13 +218,7 @@ mod tests {
 
     #[test]
     fn distill_exploration_finds_sufficient_ts() {
-        let ex = explore_distill_storage(
-            1e6,
-            &[0.5e-3, 2.5e-3, 12.5e-3],
-            1.5e-3,
-            0.5,
-            3,
-        );
+        let ex = explore_distill_storage(1e6, &[0.5e-3, 2.5e-3, 12.5e-3], 1.5e-3, 0.5, 3);
         assert_eq!(ex.points.len(), 3);
         let best = ex.points.iter().map(|p| p.rate_hz).fold(0.0, f64::max);
         assert!(best > 0.0, "no pairs delivered at 1 MHz");
@@ -258,18 +258,27 @@ mod tests {
 
     #[test]
     fn compute_choice_reflects_t2_tradeoff() {
-        let pts = explore_compute_choice(2e6, 12.5e-3, 2e-3, 5);
-        assert_eq!(pts.len(), 2);
-        let transmon = pts.iter().find(|p| p.device.contains("Fixed")).unwrap();
-        let fluxonium = pts.iter().find(|p| p.device.contains("Flux")).unwrap();
-        // The fluxonium's extra flux line shows in the control budget...
-        assert!(fluxonium.control_lines > transmon.control_lines);
-        // ...and its lower T2 costs distillation throughput.
+        // The throughput gap from the fluxonium's lower T2 is smaller than
+        // single-seed Monte-Carlo noise at short sim durations, so compare
+        // rates averaged over several seeds.
+        let mut transmon_sum = 0.0;
+        let mut fluxonium_sum = 0.0;
+        for seed in [5, 6, 7, 8, 9] {
+            let pts = explore_compute_choice(2e6, 12.5e-3, 2e-3, seed);
+            assert_eq!(pts.len(), 2);
+            let transmon = pts.iter().find(|p| p.device.contains("Fixed")).unwrap();
+            let fluxonium = pts.iter().find(|p| p.device.contains("Flux")).unwrap();
+            // The fluxonium's extra flux line shows in the control budget...
+            assert!(fluxonium.control_lines > transmon.control_lines);
+            transmon_sum += transmon.rate_hz;
+            fluxonium_sum += fluxonium.rate_hz;
+        }
+        // ...and its lower T2 costs distillation throughput on average.
         assert!(
-            transmon.rate_hz >= fluxonium.rate_hz,
+            transmon_sum >= fluxonium_sum,
             "transmon {} vs fluxonium {}",
-            transmon.rate_hz,
-            fluxonium.rate_hz
+            transmon_sum / 5.0,
+            fluxonium_sum / 5.0
         );
     }
 

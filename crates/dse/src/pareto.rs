@@ -61,20 +61,17 @@ pub fn knee_point(metrics: &[Vec<f64>]) -> Option<usize> {
             hi[d] = hi[d].max(metrics[i][d]);
         }
     }
-    front
-        .iter()
-        .copied()
-        .min_by(|&a, &b| {
-            let score = |i: usize| -> f64 {
-                (0..dim)
-                    .map(|d| {
-                        let span = (hi[d] - lo[d]).max(f64::MIN_POSITIVE);
-                        ((metrics[i][d] - lo[d]) / span).powi(2)
-                    })
-                    .sum()
-            };
-            score(a).total_cmp(&score(b))
-        })
+    front.iter().copied().min_by(|&a, &b| {
+        let score = |i: usize| -> f64 {
+            (0..dim)
+                .map(|d| {
+                    let span = (hi[d] - lo[d]).max(f64::MIN_POSITIVE);
+                    ((metrics[i][d] - lo[d]) / span).powi(2)
+                })
+                .sum()
+        };
+        score(a).total_cmp(&score(b))
+    })
 }
 
 #[cfg(test)]

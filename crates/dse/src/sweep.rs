@@ -1,6 +1,7 @@
 //! Parallel sweep execution over a design space.
 
-use crossbeam::thread;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use crate::space::{DesignSpace, Point};
 
@@ -39,33 +40,46 @@ where
     F: Fn(&Point) -> T + Sync,
 {
     assert!(workers >= 1, "need at least one worker");
+
+    // Serial path: evaluate in point order with no threading machinery.
+    if workers == 1 {
+        return points
+            .into_iter()
+            .map(|point| {
+                let value = f(&point);
+                (point, value)
+            })
+            .collect();
+    }
+
     let n = points.len();
-    let mut slots: Vec<Option<(Point, T)>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = &AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, (Point, T))>();
     let f = &f;
     let points = &points;
 
-    // Split the output into one-slot mutable views the workers can claim.
-    let slot_refs: Vec<&mut Option<(Point, T)>> = slots.iter_mut().collect();
-    let slot_cells: Vec<parking_lot::Mutex<&mut Option<(Point, T)>>> =
-        slot_refs.into_iter().map(parking_lot::Mutex::new).collect();
-    let slot_cells = &slot_cells;
-
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let tx = tx.clone();
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let point = points[i].clone();
                 let value = f(&point);
-                **slot_cells[i].lock() = Some((point, value));
+                // The receiver outlives the scope; a send can only fail if it
+                // was dropped early, which would mean a sibling panicked.
+                let _ = tx.send((i, (point, value)));
             });
         }
-    })
-    .expect("sweep worker panicked");
+        drop(tx);
+    });
 
+    let mut slots: Vec<Option<(Point, T)>> = (0..n).map(|_| None).collect();
+    for (i, entry) in rx.try_iter() {
+        slots[i] = Some(entry);
+    }
     slots
         .into_iter()
         .map(|s| s.expect("all points evaluated"))
@@ -106,5 +120,13 @@ mod tests {
         let out = sweep(&space, |p| p.get("only") as i64);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1, 42);
+    }
+
+    #[test]
+    fn many_workers_few_points() {
+        let space = DesignSpace::new(vec![Axis::new("x", vec![1.0, 2.0])]);
+        let out = sweep_with_workers(space.points(), |p| p.get("x"), 16);
+        let xs: Vec<f64> = out.iter().map(|(_, v)| *v).collect();
+        assert_eq!(xs, vec![1.0, 2.0]);
     }
 }

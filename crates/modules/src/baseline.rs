@@ -76,9 +76,7 @@ pub fn embed(code: &StabilizerCode) -> Embedding {
                 }
                 let d = support
                     .iter()
-                    .map(|&q| {
-                        ((data[q].0 - p.0).abs() + (data[q].1 - p.1).abs()) as i64
-                    })
+                    .map(|&q| ((data[q].0 - p.0).abs() + (data[q].1 - p.1).abs()) as i64)
                     .sum::<i64>();
                 if best.map(|(_, bd)| d < bd).unwrap_or(true) {
                     best = Some((p, d));
@@ -286,8 +284,7 @@ impl HomModule {
             let residual = error.xor(&correction);
             let true_syn = pack_syndrome(&self.code.syndrome_of(&residual));
             let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
-            if !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
-            {
+            if !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error) {
                 failures += 1;
             }
         }
@@ -381,8 +378,8 @@ mod tests {
     fn surface_code_beats_non_native_codes_homogeneously() {
         let noise = UecNoise::default();
         let shots = 4000;
-        let sc = HomModule::new(rotated_surface_code(3), 0.5e-3, noise)
-            .logical_error_rate(shots, 5);
+        let sc =
+            HomModule::new(rotated_surface_code(3), 0.5e-3, noise).logical_error_rate(shots, 5);
         let rm = HomModule::new(reed_muller_15(), 0.5e-3, noise).logical_error_rate(shots, 5);
         assert!(
             sc.logical_error_rate < rm.logical_error_rate,

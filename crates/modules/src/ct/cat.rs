@@ -70,9 +70,12 @@ mod tests {
     use hetarch_devices::catalog::{coherence_limited_compute, coherence_limited_storage};
 
     fn generator(ts: f64) -> CatGenerator {
-        let ch = SeqOpCell::new(coherence_limited_compute(0.5e-3), coherence_limited_storage(ts))
-            .unwrap()
-            .characterize();
+        let ch = SeqOpCell::new(
+            coherence_limited_compute(0.5e-3),
+            coherence_limited_storage(ts),
+        )
+        .unwrap()
+        .characterize();
         CatGenerator::new(CatParams {
             seqop: ch,
             verify_checks: 2,

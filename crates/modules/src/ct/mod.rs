@@ -18,7 +18,7 @@ pub mod teleport;
 use serde::{Deserialize, Serialize};
 
 use hetarch_cells::channel::sum_error_rates;
-use hetarch_cells::CellLibrary;
+use hetarch_cells::{CellLibrary, SeqOpCell, UscCell};
 use hetarch_devices::catalog::{
     coherence_limited_compute, coherence_limited_storage, homogeneous_pseudo_storage,
 };
@@ -179,7 +179,7 @@ impl CtModule {
         } else {
             homogeneous_pseudo_storage(c.tc, 10)
         };
-        let seqop = lib.seqop(&compute, &storage);
+        let seqop = lib.get::<SeqOpCell>(&compute, &storage);
         let cat = CatGenerator::new(CatParams {
             seqop: (*seqop).clone(),
             verify_checks: cat_size.div_ceil(4),
@@ -240,7 +240,7 @@ impl CtModule {
         match c.arch {
             Architecture::Heterogeneous => {
                 let lib = CellLibrary::new();
-                let usc = lib.usc(
+                let usc = lib.get::<UscCell>(
                     &coherence_limited_compute(c.tc),
                     &coherence_limited_storage(c.ts),
                 );

@@ -99,9 +99,7 @@ pub fn average_remote_cnot_fidelity(pair: &BellDiagonal) -> f64 {
             prepare(&mut probe_c, 0, a);
             let mut probe_t = DensityMatrix::zero_state(1);
             prepare(&mut probe_t, 0, b);
-            let rho = probe_c
-                .tensor(&pair.to_density_matrix())
-                .tensor(&probe_t);
+            let rho = probe_c.tensor(&pair.to_density_matrix()).tensor(&probe_t);
 
             let mut rho = rho;
             gates::cnot(&mut rho, 0, 1);
@@ -213,7 +211,10 @@ mod tests {
         let f2 = average_remote_cnot_fidelity(&BellDiagonal::werner(0.96));
         let slope1 = (f0 - f1) / 0.02;
         let slope2 = (f1 - f2) / 0.02;
-        assert!((slope1 - slope2).abs() < 0.05, "linearity: {slope1} vs {slope2}");
+        assert!(
+            (slope1 - slope2).abs() < 0.05,
+            "linearity: {slope1} vs {slope2}"
+        );
         assert!(slope1 > 0.4 && slope1 < 1.5, "slope {slope1}");
     }
 

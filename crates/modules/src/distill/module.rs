@@ -83,7 +83,7 @@ impl DistillConfig {
     /// with `T_C = 0.5 ms`, per-mode storage coherence `ts`, two 3-mode
     /// input Registers, one 3-mode output Register, target fidelity 0.995.
     pub fn heterogeneous(ts: f64, rate_hz: f64, seed: u64) -> Self {
-        use hetarch_cells::CellLibrary;
+        use hetarch_cells::{CellLibrary, ParCheckCell, RegisterCell};
         use hetarch_devices::catalog::{coherence_limited_compute, coherence_limited_storage};
         let lib = CellLibrary::new();
         let compute = coherence_limited_compute(0.5e-3);
@@ -93,8 +93,8 @@ impl DistillConfig {
             target_fidelity: 0.995,
             input_capacity: 6,
             output_capacity: 3,
-            register: (*lib.register(&compute, &storage)).clone(),
-            parcheck: (*lib.parcheck(&compute, &compute)).clone(),
+            register: (*lib.get::<RegisterCell>(&compute, &storage)).clone(),
+            parcheck: (*lib.get::<ParCheckCell>(&compute, &compute)).clone(),
             policy: Policy::default(),
             consume_output: true,
             trace_interval: None,
@@ -106,7 +106,7 @@ impl DistillConfig {
     /// qubits (`T_S = T_C = 0.5 ms`) and moved with ordinary two-qubit
     /// gates.
     pub fn homogeneous(rate_hz: f64, seed: u64) -> Self {
-        use hetarch_cells::CellLibrary;
+        use hetarch_cells::{CellLibrary, ParCheckCell, RegisterCell};
         use hetarch_devices::catalog::{coherence_limited_compute, homogeneous_pseudo_storage};
         let lib = CellLibrary::new();
         let tc = 0.5e-3;
@@ -117,8 +117,8 @@ impl DistillConfig {
             target_fidelity: 0.995,
             input_capacity: 6,
             output_capacity: 3,
-            register: (*lib.register(&compute, &storage)).clone(),
-            parcheck: (*lib.parcheck(&compute, &compute)).clone(),
+            register: (*lib.get::<RegisterCell>(&compute, &storage)).clone(),
+            parcheck: (*lib.get::<ParCheckCell>(&compute, &compute)).clone(),
             policy: Policy::default(),
             consume_output: true,
             trace_interval: None,
@@ -230,13 +230,11 @@ impl DistillModule {
                     if let Some(out) = self.table.round(&a.pair, &b.pair) {
                         if rng.gen::<f64>() < out.success_prob {
                             report.rounds_succeeded += 1;
-                            let mut kept =
-                                StoredPair::new(out.pair, t);
+                            let mut kept = StoredPair::new(out.pair, t);
                             kept.rounds = a.rounds.max(b.rounds) + 1;
                             // Priority 2: move to the appropriate memory.
                             kept.pair.idle(move_noise, move_noise);
-                            report.best_fidelity =
-                                report.best_fidelity.max(kept.pair.fidelity());
+                            report.best_fidelity = report.best_fidelity.max(kept.pair.fidelity());
                             staged.decay_to(t);
                             output.decay_to(t);
                             if kept.pair.fidelity() >= c.target_fidelity {
@@ -299,8 +297,6 @@ impl DistillModule {
 mod tests {
     use super::*;
 
-    
-
     fn config(ts: f64, rate_hz: f64) -> DistillConfig {
         let mut c = DistillConfig::heterogeneous(ts, rate_hz, 7);
         c.seed = 7;
@@ -313,10 +309,7 @@ mod tests {
         let report = module.run(2e-3);
         assert!(report.arrivals > 1000);
         assert!(report.rounds_attempted > 100);
-        assert!(
-            report.delivered > 0,
-            "no pairs delivered: {report:?}"
-        );
+        assert!(report.delivered > 0, "no pairs delivered: {report:?}");
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl EpSource {
     /// `[0, 0.75]` (a Werner state below fidelity 0.25 is unphysical as an
     /// "entangled" resource) or inverted.
     pub fn new(rate_hz: f64, infidelity_min: f64, infidelity_max: f64) -> Self {
-        assert!(rate_hz > 0.0 && rate_hz.is_finite(), "invalid rate {rate_hz}");
+        assert!(
+            rate_hz > 0.0 && rate_hz.is_finite(),
+            "invalid rate {rate_hz}"
+        );
         assert!(
             (0.0..=0.75).contains(&infidelity_min)
                 && (0.0..=0.75).contains(&infidelity_max)

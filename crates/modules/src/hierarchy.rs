@@ -204,17 +204,20 @@ pub fn distillation_design(
     compute: &hetarch_devices::DeviceSpec,
     storage: &hetarch_devices::DeviceSpec,
 ) -> DesignNode {
+    use hetarch_cells::{Cell, ParCheckCell, RegisterCell};
     let reg_cell = |name: &str| {
-        let cell = hetarch_cells::RegisterCell::new(compute.clone(), storage.clone())
+        let cell = RegisterCell::build(compute.clone(), storage.clone())
             .expect("register obeys the design rules");
-        let ch = lib.register(compute, storage);
-        DesignNode::leaf_cell(name, cell.layout().clone(), 0).with_op(ch.load.clone())
+        let ch = lib.get::<RegisterCell>(compute, storage);
+        DesignNode::leaf_cell(name, cell.layout().clone(), cell.required_readouts())
+            .with_op(ch.load.clone())
     };
     let parcheck = {
-        let cell = hetarch_cells::ParCheckCell::new(compute.clone(), compute.clone())
+        let cell = ParCheckCell::build(compute.clone(), compute.clone())
             .expect("parcheck obeys the design rules");
-        let ch = lib.parcheck(compute, compute);
-        DesignNode::leaf_cell("parcheck", cell.layout().clone(), 1).with_op(ch.parity.clone())
+        let ch = lib.get::<ParCheckCell>(compute, compute);
+        DesignNode::leaf_cell("parcheck", cell.layout().clone(), cell.required_readouts())
+            .with_op(ch.parity.clone())
     };
     DesignNode::new("entanglement-distillation", Level::Module)
         .with_child(
@@ -238,7 +241,10 @@ pub fn uec_design(
 ) -> DesignNode {
     let chain = hetarch_cells::UscChain::new(compute.clone(), storage.clone(), n_ext)
         .expect("chain obeys the design rules");
-    let ch = lib.usc(compute, storage);
+    let ch = lib.get::<hetarch_cells::UscCell>(compute, storage);
+    // The chain is a composite (base USC + n_ext extensions, one readout
+    // ancilla each), not a single Cell, so its readout budget is counted
+    // here rather than through `required_readouts`.
     let usc_leaf = DesignNode::leaf_cell("usc-chain", chain.layout().clone(), 1 + n_ext)
         .with_op(ch.check2.clone());
     DesignNode::new("universal-error-correction", Level::Module).with_child(usc_leaf)
@@ -251,11 +257,12 @@ pub fn ct_design(
     compute: &hetarch_devices::DeviceSpec,
     storage: &hetarch_devices::DeviceSpec,
 ) -> DesignNode {
+    use hetarch_cells::{Cell, SeqOpCell};
     let cat = |name: &str| {
-        let cell = hetarch_cells::SeqOpCell::new(compute.clone(), storage.clone())
+        let cell = SeqOpCell::build(compute.clone(), storage.clone())
             .expect("seqop obeys the design rules");
-        let ch = lib.seqop(compute, storage);
-        DesignNode::leaf_cell(name, cell.layout().clone(), 1)
+        let ch = lib.get::<SeqOpCell>(compute, storage);
+        DesignNode::leaf_cell(name, cell.layout().clone(), cell.required_readouts())
             .with_op(ch.seq_cnot.clone())
             .with_op(ch.parity.clone())
     };
@@ -291,7 +298,8 @@ mod tests {
         assert!(tree.find("nonexistent").is_none());
         // 3 registers x 2 devices + 1 parcheck x 2 devices.
         assert_eq!(tree.num_devices(), 8);
-        tree.validate_tree().expect("rule-compliant by construction");
+        tree.validate_tree()
+            .expect("rule-compliant by construction");
     }
 
     #[test]
@@ -300,10 +308,14 @@ mod tests {
         let (c, s) = devices();
         let tree = distillation_design(&lib, &c, &s);
         let total = tree.footprint();
-        let sub: f64 = tree.children().iter().map(|ch| ch.footprint().area_mm2).sum();
+        let sub: f64 = tree
+            .children()
+            .iter()
+            .map(|ch| ch.footprint().area_mm2)
+            .sum();
         assert!((total.area_mm2 - sub).abs() < 1e-9);
         assert_eq!(total.capacity, 3 * 10 + 3 + 2); // 3 resonators + 5 qubits
-        // Exactly one readout line (the ParCheck ancilla, DR4).
+                                                    // Exactly one readout line (the ParCheck ancilla, DR4).
         assert_eq!(total.control.readout_lines, 1);
     }
 

@@ -8,12 +8,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod ct;
 pub mod distill;
 pub mod epsource;
 pub mod event;
 pub mod hierarchy;
-pub mod baseline;
-pub mod ct;
 pub mod uec;
 
 pub use epsource::EpSource;

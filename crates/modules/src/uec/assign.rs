@@ -26,7 +26,10 @@ impl Assignment {
     ///
     /// Panics if any register index is out of range.
     pub fn new(registers: u32, of_qubit: Vec<u32>) -> Self {
-        assert!(of_qubit.iter().all(|&r| r < registers), "register out of range");
+        assert!(
+            of_qubit.iter().all(|&r| r < registers),
+            "register out of range"
+        );
         Assignment {
             registers,
             of_qubit,
@@ -206,9 +209,8 @@ pub fn build_schedule(
         let support: Vec<usize> = s.iter_support().map(|(q, _)| q).collect();
         let w = support.len();
         let max_group = assignment.max_group(&support);
-        let duration = 2.0 * max_group as f64 * usc.swap.time
-            + w as f64 * usc.cx.time
-            + usc.readout_time;
+        let duration =
+            2.0 * max_group as f64 * usc.swap.time + w as f64 * usc.cx.time + usc.readout_time;
         let exposure = 2.0 * usc.swap.time + w as f64 * usc.cx.time;
         checks.push(CheckSlot {
             stabilizer: i,

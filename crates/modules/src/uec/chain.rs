@@ -33,7 +33,7 @@ impl ChainShape {
     /// A head USC plus `n_ext` extensions, `modes` modes per register.
     pub fn new(n_ext: usize, modes: u32) -> Self {
         let mut registers_per_segment = vec![3u32];
-        registers_per_segment.extend(std::iter::repeat(2).take(n_ext));
+        registers_per_segment.extend(std::iter::repeat_n(2, n_ext));
         ChainShape {
             registers_per_segment,
             modes,
@@ -179,10 +179,7 @@ pub fn build_chain_schedule(
         .map(|(i, s)| {
             let support: Vec<usize> = s.iter_support().map(|(q, _)| q).collect();
             let (exec, hops) = assignment.check_hops(&support);
-            let mut touched: Vec<u32> = support
-                .iter()
-                .map(|&q| assignment.segment_of(q))
-                .collect();
+            let mut touched: Vec<u32> = support.iter().map(|&q| assignment.segment_of(q)).collect();
             touched.push(exec);
             touched.sort_unstable();
             touched.dedup();
@@ -227,11 +224,7 @@ pub fn build_chain_schedule(
     }
     let cycle_duration = waves
         .iter()
-        .map(|w| {
-            w.iter()
-                .map(|c| c.duration)
-                .fold(0.0f64, f64::max)
-        })
+        .map(|w| w.iter().map(|c| c.duration).fold(0.0f64, f64::max))
         .sum();
     ChainSchedule {
         waves,
@@ -309,8 +302,7 @@ impl ChainUecModule {
                     .map(|c| {
                         let w = supports[c.stabilizer].len();
                         let anc_idle = self.usc.compute_idle.twirl_probs(c.duration);
-                        let p_gate_anc =
-                            1.0 - (1.0 - 8.0 / 15.0 * self.noise.p2q).powi(w as i32);
+                        let p_gate_anc = 1.0 - (1.0 - 8.0 / 15.0 * self.noise.p2q).powi(w as i32);
                         let anc_flip = combine(
                             combine(anc_idle.px + anc_idle.py, p_gate_anc),
                             self.noise.meas_flip,
@@ -343,8 +335,7 @@ impl ChainUecModule {
                 for (stab, exposure_twirl, anc_flip, hops) in &wave.checks {
                     let p_sw = self.noise.p_swap * 4.0 / 15.0;
                     let p_cx = self.noise.p2q * 4.0 / 15.0;
-                    let extra_hop_swaps =
-                        (2 * *hops) as usize / supports[*stab].len().max(1);
+                    let extra_hop_swaps = (2 * *hops) as usize / supports[*stab].len().max(1);
                     for &q in &supports[*stab] {
                         sample_pauli_into(&mut error, q, *exposure_twirl, &mut rng);
                         for _ in 0..(2 + extra_hop_swaps) {
@@ -387,8 +378,7 @@ impl ChainUecModule {
             let residual = error.xor(&correction);
             let true_syn = pack_syndrome(&self.code.syndrome_of(&residual));
             let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
-            if !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
-            {
+            if !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error) {
                 failures += 1;
             }
         }
@@ -408,9 +398,12 @@ mod tests {
     use hetarch_stab::codes::{rotated_surface_code, steane};
 
     fn usc(ts: f64) -> UscChannel {
-        UscCell::new(coherence_limited_compute(0.5e-3), coherence_limited_storage(ts))
-            .unwrap()
-            .characterize()
+        UscCell::new(
+            coherence_limited_compute(0.5e-3),
+            coherence_limited_storage(ts),
+        )
+        .unwrap()
+        .characterize()
     }
 
     #[test]

@@ -85,11 +85,7 @@ impl UecModule {
         let decoder = LookupDecoder::new(&code, weight_cap);
         // Serialized extraction: one stabilizer per temporal step, in
         // schedule order.
-        let groups: Vec<Vec<usize>> = schedule
-            .checks
-            .iter()
-            .map(|c| vec![c.stabilizer])
-            .collect();
+        let groups: Vec<Vec<usize>> = schedule.checks.iter().map(|c| vec![c.stabilizer]).collect();
         let fault_table = first_order_table(&code, &groups);
         UecModule {
             code,
@@ -142,8 +138,7 @@ impl UecModule {
                 let anc_idle = self.usc.compute_idle.twirl_probs(slot.duration);
                 // X/Y on the ancilla flips its Z readout; each CX can also
                 // deposit a flipping component (8 of 15 depolarizing terms).
-                let p_gate_anc =
-                    1.0 - (1.0 - 8.0 / 15.0 * self.noise.p2q).powi(slot.weight as i32);
+                let p_gate_anc = 1.0 - (1.0 - 8.0 / 15.0 * self.noise.p2q).powi(slot.weight as i32);
                 let anc_flip = combine(
                     combine(anc_idle.px + anc_idle.py, p_gate_anc),
                     self.noise.meas_flip,
@@ -230,9 +225,7 @@ impl UecModule {
             // ...then a perfect round resolves any leftover syndrome.
             let true_syn = pack_syndrome(&self.code.syndrome_of(&residual));
             let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
-            if !self.code.in_normalizer(&final_error)
-                || self.code.is_logical_error(&final_error)
-            {
+            if !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error) {
                 failures += 1;
             }
         }
@@ -354,9 +347,12 @@ mod tests {
     use hetarch_stab::codes::{rotated_surface_code, steane};
 
     fn usc(ts: f64) -> UscChannel {
-        UscCell::new(coherence_limited_compute(0.5e-3), coherence_limited_storage(ts))
-            .unwrap()
-            .characterize()
+        UscCell::new(
+            coherence_limited_compute(0.5e-3),
+            coherence_limited_storage(ts),
+        )
+        .unwrap()
+        .characterize()
     }
 
     #[test]
@@ -367,9 +363,12 @@ mod tests {
             meas_flip: 0.0,
         };
         // Effectively infinite coherence everywhere.
-        let ch = UscCell::new(coherence_limited_compute(1e3), coherence_limited_storage(1e3))
-            .unwrap()
-            .characterize();
+        let ch = UscCell::new(
+            coherence_limited_compute(1e3),
+            coherence_limited_storage(1e3),
+        )
+        .unwrap()
+        .characterize();
         let m = UecModule::new(steane(), ch, noise);
         let r = m.logical_error_rate(500, 3);
         assert_eq!(r.logical_error_rate, 0.0);
@@ -392,8 +391,11 @@ mod tests {
     fn cycle_duration_reported() {
         let m = UecModule::new(steane(), usc(1e-3), UecNoise::default());
         let r = m.logical_error_rate(10, 1);
-        assert!(r.cycle_duration > 5e-6 && r.cycle_duration < 50e-6,
-            "cycle duration {}", r.cycle_duration);
+        assert!(
+            r.cycle_duration > 5e-6 && r.cycle_duration < 50e-6,
+            "cycle duration {}",
+            r.cycle_duration
+        );
     }
 
     #[test]

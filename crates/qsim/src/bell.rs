@@ -328,11 +328,9 @@ impl DejmpsTable {
                 pi[i] = 1.0;
                 let mut pj = [0.0; 4];
                 pj[j] = 1.0;
-                if let Some(o) = dejmps_density(
-                    &BellDiagonal::new(pi),
-                    &BellDiagonal::new(pj),
-                    noise,
-                ) {
+                if let Some(o) =
+                    dejmps_density(&BellDiagonal::new(pi), &BellDiagonal::new(pj), noise)
+                {
                     success[i][j] = o.success_prob;
                     let comp = o.pair.components();
                     for k in 0..4 {
@@ -352,18 +350,18 @@ impl DejmpsTable {
         let b = pair2.components();
         let mut s = 0.0;
         let mut comp = [0.0; 4];
-        for i in 0..4 {
-            if a[i] == 0.0 {
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0.0 {
                 continue;
             }
-            for j in 0..4 {
-                let w = a[i] * b[j];
+            for (j, &bj) in b.iter().enumerate() {
+                let w = ai * bj;
                 if w == 0.0 {
                     continue;
                 }
                 s += w * self.success[i][j];
-                for k in 0..4 {
-                    comp[k] += w * self.out[i][j][k];
+                for (ck, &ok) in comp.iter_mut().zip(&self.out[i][j]) {
+                    *ck += w * ok;
                 }
             }
         }

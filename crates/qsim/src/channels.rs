@@ -294,7 +294,7 @@ impl IdleParams {
     /// Returns [`QsimError::InvalidParameter`] if times are non-positive or
     /// `T2 > 2 T1`.
     pub fn new(t1: f64, t2: f64) -> Result<Self, QsimError> {
-        if !(t1 > 0.0 && t1.is_finite()) || !(t2 > 0.0 && t2.is_finite()) {
+        if !(t1 > 0.0 && t1.is_finite() && t2 > 0.0 && t2.is_finite()) {
             return Err(QsimError::InvalidParameter(format!(
                 "T1 = {t1}, T2 = {t2} must be positive and finite"
             )));
@@ -525,7 +525,9 @@ mod tests {
         let mut rho = plus_state();
         ch.apply(&mut rho, 0);
         // +X coherence scaled by 1 - 2(py + pz).
-        assert!(rho.entry(0, 1).approx_eq(C64::real(0.5 * (1.0 - 2.0 * 0.05)), TOL));
+        assert!(rho
+            .entry(0, 1)
+            .approx_eq(C64::real(0.5 * (1.0 - 2.0 * 0.05)), TOL));
         rho.validate(TOL).unwrap();
     }
 

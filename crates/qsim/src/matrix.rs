@@ -47,7 +47,11 @@ impl Mat {
 
     /// Creates a square matrix from real row-major entries.
     pub fn from_reals(dim: usize, entries: &[f64]) -> Self {
-        assert_eq!(entries.len(), dim * dim, "expected {dim}x{dim} real entries");
+        assert_eq!(
+            entries.len(),
+            dim * dim,
+            "expected {dim}x{dim} real entries"
+        );
         Mat {
             rows: dim,
             cols: dim,
@@ -179,11 +183,7 @@ impl Mat {
 
     /// Pauli Y.
     pub fn pauli_y() -> Mat {
-        Mat::from_rows(
-            2,
-            2,
-            vec![C64::ZERO, -C64::I, C64::I, C64::ZERO],
-        )
+        Mat::from_rows(2, 2, vec![C64::ZERO, -C64::I, C64::I, C64::ZERO])
     }
 
     /// Pauli Z.

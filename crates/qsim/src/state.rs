@@ -44,7 +44,10 @@ impl DensityMatrix {
     /// Panics if `n > 14` (a 14-qubit density matrix already holds 2^28
     /// complex entries; larger systems belong in the stabilizer simulator).
     pub fn zero_state(n: usize) -> Self {
-        assert!(n <= 14, "density matrices are limited to 14 qubits (got {n})");
+        assert!(
+            n <= 14,
+            "density matrices are limited to 14 qubits (got {n})"
+        );
         let dim = 1usize << n;
         let mut data = vec![C64::ZERO; dim * dim];
         data[0] = C64::ONE;
@@ -406,7 +409,7 @@ impl DensityMatrix {
         };
         let mut acc = C64::ZERO;
         for b in 0..self.dim {
-            let sign = if ((b & zmask).count_ones()) % 2 == 0 {
+            let sign = if ((b & zmask).count_ones()).is_multiple_of(2) {
                 1.0
             } else {
                 -1.0
@@ -418,7 +421,10 @@ impl DensityMatrix {
 
     /// Rescales ρ by `1/p` (used after post-selection).
     pub fn renormalize(&mut self, p: f64) {
-        assert!(p > 0.0, "cannot renormalize by non-positive probability {p}");
+        assert!(
+            p > 0.0,
+            "cannot renormalize by non-positive probability {p}"
+        );
         let inv = 1.0 / p;
         for v in &mut self.data {
             *v = v.scale(inv);
@@ -555,9 +561,7 @@ mod tests {
         // Φ+ stabilizers: XX = +1, ZZ = +1, YY = -1.
         assert!(rho.expectation_pauli(0b11, 0b00).approx_eq(C64::ONE, TOL));
         assert!(rho.expectation_pauli(0b00, 0b11).approx_eq(C64::ONE, TOL));
-        assert!(rho
-            .expectation_pauli(0b11, 0b11)
-            .approx_eq(-C64::ONE, TOL));
+        assert!(rho.expectation_pauli(0b11, 0b11).approx_eq(-C64::ONE, TOL));
         // Single-qubit Z has zero expectation.
         assert!(rho.expectation_pauli(0b00, 0b01).approx_eq(C64::ZERO, TOL));
     }

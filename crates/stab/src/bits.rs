@@ -111,19 +111,22 @@ impl BitTable {
     /// Iterates the set shot indices in `row`.
     pub fn iter_ones(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
         let shots = self.shots;
-        self.row(row).iter().enumerate().flat_map(move |(w, &word)| {
-            let mut bits = word;
-            std::iter::from_fn(move || {
-                if bits == 0 {
-                    None
-                } else {
-                    let b = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    Some(w * 64 + b)
-                }
+        self.row(row)
+            .iter()
+            .enumerate()
+            .flat_map(move |(w, &word)| {
+                let mut bits = word;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some(w * 64 + b)
+                    }
+                })
+                .filter(move |&s| s < shots)
             })
-            .filter(move |&s| s < shots)
-        })
     }
 }
 

@@ -164,7 +164,10 @@ impl Circuit {
 
     fn check_pairs(&self, qs: &[(u32, u32)]) {
         for &(a, b) in qs {
-            assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+            assert!(
+                a < self.num_qubits && b < self.num_qubits,
+                "qubit out of range"
+            );
             assert_ne!(a, b, "two-qubit targets must be distinct");
         }
     }
@@ -199,7 +202,8 @@ impl Circuit {
     /// Appends a two-qubit gate layer.
     pub fn gate2(&mut self, g: Gate2, pairs: &[(u32, u32)]) -> &mut Self {
         self.check_pairs(pairs);
-        self.instructions.push(Instruction::Gate2(g, pairs.to_vec()));
+        self.instructions
+            .push(Instruction::Gate2(g, pairs.to_vec()));
         self
     }
 
@@ -254,10 +258,13 @@ impl Circuit {
     /// Appends independent stochastic Pauli noise.
     pub fn pauli_noise(&mut self, err: PauliErr, qs: &[u32]) -> &mut Self {
         self.check_targets(qs);
-        assert!(err.px >= 0.0 && err.py >= 0.0 && err.pz >= 0.0 && err.total() <= 1.0,
-            "invalid pauli error probabilities");
+        assert!(
+            err.px >= 0.0 && err.py >= 0.0 && err.pz >= 0.0 && err.total() <= 1.0,
+            "invalid pauli error probabilities"
+        );
         if err.total() > 0.0 {
-            self.instructions.push(Instruction::PauliNoise(err, qs.to_vec()));
+            self.instructions
+                .push(Instruction::PauliNoise(err, qs.to_vec()));
         }
         self
     }
@@ -267,7 +274,8 @@ impl Circuit {
         self.check_targets(qs);
         check_prob(p);
         if p > 0.0 {
-            self.instructions.push(Instruction::Depolarize1(p, qs.to_vec()));
+            self.instructions
+                .push(Instruction::Depolarize1(p, qs.to_vec()));
         }
         self
     }
@@ -277,7 +285,8 @@ impl Circuit {
         self.check_pairs(pairs);
         check_prob(p);
         if p > 0.0 {
-            self.instructions.push(Instruction::Depolarize2(p, pairs.to_vec()));
+            self.instructions
+                .push(Instruction::Depolarize2(p, pairs.to_vec()));
         }
         self
     }
@@ -289,7 +298,10 @@ impl Circuit {
     /// Panics if any index refers to a measurement that does not exist yet.
     pub fn detector(&mut self, meas: &[usize]) -> usize {
         for &m in meas {
-            assert!(m < self.num_measurements, "measurement index {m} not yet recorded");
+            assert!(
+                m < self.num_measurements,
+                "measurement index {m} not yet recorded"
+            );
         }
         self.instructions.push(Instruction::Detector(meas.to_vec()));
         self.num_detectors += 1;
@@ -299,9 +311,13 @@ impl Circuit {
     /// Adds measurement record indices to logical observable `k`.
     pub fn observable(&mut self, k: u32, meas: &[usize]) -> &mut Self {
         for &m in meas {
-            assert!(m < self.num_measurements, "measurement index {m} not yet recorded");
+            assert!(
+                m < self.num_measurements,
+                "measurement index {m} not yet recorded"
+            );
         }
-        self.instructions.push(Instruction::Observable(k, meas.to_vec()));
+        self.instructions
+            .push(Instruction::Observable(k, meas.to_vec()));
         self.num_observables = self.num_observables.max(k + 1);
         self
     }
@@ -315,7 +331,10 @@ impl Circuit {
     /// Appends all instructions of `other` (indices are shifted so `other`'s
     /// detectors and observables keep referring to its own measurements).
     pub fn append(&mut self, other: &Circuit) {
-        assert!(other.num_qubits <= self.num_qubits, "appended circuit uses more qubits");
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "appended circuit uses more qubits"
+        );
         let offset = self.num_measurements;
         for inst in &other.instructions {
             let shifted = match inst {
@@ -342,12 +361,11 @@ impl Circuit {
             .map(|inst| match inst {
                 Instruction::PauliNoise(_, qs) | Instruction::Depolarize1(_, qs) => qs.len(),
                 Instruction::Depolarize2(_, ps) => ps.len(),
-                Instruction::Measure { targets, flip } | Instruction::MeasureReset { targets, flip } => {
-                    if *flip > 0.0 {
-                        targets.len()
-                    } else {
-                        0
-                    }
+                Instruction::Measure { targets, flip }
+                | Instruction::MeasureReset { targets, flip }
+                    if *flip > 0.0 =>
+                {
+                    targets.len()
                 }
                 _ => 0,
             })
@@ -356,7 +374,10 @@ impl Circuit {
 }
 
 fn check_prob(p: f64) {
-    assert!((0.0..=1.0).contains(&p) && p.is_finite(), "probability {p} outside [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p) && p.is_finite(),
+        "probability {p} outside [0, 1]"
+    );
 }
 
 #[cfg(test)]

@@ -305,22 +305,18 @@ mod tests {
             vec!["XI".parse().unwrap()],
             vec!["ZI".parse().unwrap()],
         );
-        assert!(matches!(bad.unwrap_err(), CodeError::LogicalVsStabilizer(..)));
+        assert!(matches!(
+            bad.unwrap_err(),
+            CodeError::LogicalVsStabilizer(..)
+        ));
     }
 
     #[test]
     fn css_detection() {
         let code = bit_flip_code();
         assert!(code.is_css());
-        let non_css = StabilizerCode::new(
-            "xz",
-            2,
-            1,
-            vec!["XZ".parse().unwrap()],
-            vec![],
-            vec![],
-        )
-        .unwrap();
+        let non_css =
+            StabilizerCode::new("xz", 2, 1, vec!["XZ".parse().unwrap()], vec![], vec![]).unwrap();
         assert!(!non_css.is_css());
     }
 

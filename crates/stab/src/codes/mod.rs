@@ -9,4 +9,6 @@ pub mod surface;
 pub use code::{typed_string, CodeError, StabilizerCode};
 pub use repetition::repetition_code;
 pub use small::{color_17, reed_muller_15, steane};
-pub use surface::{rotated_surface_code, MemoryBasis, SurfaceDecoder, SurfaceLattice, SurfaceMemory, SurfaceNoise};
+pub use surface::{
+    rotated_surface_code, MemoryBasis, SurfaceDecoder, SurfaceLattice, SurfaceMemory, SurfaceNoise,
+};

@@ -170,10 +170,7 @@ mod tests {
         let shots = 20_000;
         let p3 = repetition_logical_error_rate(3, 3, 0.02, 0.02, shots, 1);
         let p7 = repetition_logical_error_rate(7, 7, 0.02, 0.02, shots, 2);
-        assert!(
-            p7 < p3 / 2.0,
-            "d=7 ({p7}) should be well below d=3 ({p3})"
-        );
+        assert!(p7 < p3 / 2.0, "d=7 ({p7}) should be well below d=3 ({p3})");
     }
 
     #[test]

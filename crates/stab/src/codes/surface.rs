@@ -255,6 +255,9 @@ pub enum MemoryBasis {
     X,
 }
 
+/// A boxed syndrome-to-correction decoder closure.
+type DecodeFn = Box<dyn Fn(&[bool]) -> u64>;
+
 /// Decoder choice for the memory Monte Carlo.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SurfaceDecoder {
@@ -463,10 +466,7 @@ impl SurfaceMemory {
         // Probability that an ancilla measurement outcome is flipped.
         let anc_idle = SurfaceNoise::idle_twirl(round_t, noise.t_anc);
         let p_gate_anc = 1.0 - (1.0 - 8.0 / 15.0 * noise.p2).powi(4);
-        let p_time = combine(
-            noise.p_meas,
-            combine(anc_idle.px + anc_idle.py, p_gate_anc),
-        );
+        let p_time = combine(noise.p_meas, combine(anc_idle.px + anc_idle.py, p_gate_anc));
 
         // Detector index: face indices are rebased to the relevant range.
         let det = |t: usize, f: usize| (t * n_rel + (f - face_offset)) as u32;
@@ -549,7 +549,7 @@ impl SurfaceMemory {
         let circuit = self.circuit();
         let graph = self.matching_graph();
         debug_assert_eq!(graph.num_nodes(), circuit.num_detectors());
-        let decoder: Box<dyn Fn(&[bool]) -> u64> = match which {
+        let decoder: DecodeFn = match which {
             SurfaceDecoder::UnionFind => {
                 let d = UnionFindDecoder::new(&graph);
                 Box::new(move |syn| d.decode(syn))
@@ -667,10 +667,7 @@ mod tests {
         let shots = 20_000;
         let (p3, _) = SurfaceMemory::new(3, 3, noise).logical_error_rate(shots, 11);
         let (p5, _) = SurfaceMemory::new(5, 5, noise).logical_error_rate(shots, 13);
-        assert!(
-            p5 < p3,
-            "below threshold d=5 ({p5}) should beat d=3 ({p3})"
-        );
+        assert!(p5 < p3, "below threshold d=5 ({p5}) should beat d=3 ({p3})");
     }
 
     #[test]

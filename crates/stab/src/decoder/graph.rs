@@ -93,12 +93,7 @@ impl MatchingGraph {
         {
             e.p = e.p * (1.0 - p) + p * (1.0 - e.p);
         } else {
-            self.edges.push(Edge {
-                u,
-                v,
-                p,
-                obs_mask,
-            });
+            self.edges.push(Edge { u, v, p, obs_mask });
         }
     }
 

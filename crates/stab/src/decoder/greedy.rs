@@ -188,7 +188,7 @@ mod tests {
         for a in 0..d {
             for b in a..d {
                 let mut syn = vec![false; d - 1];
-                let mut flip = |e: usize, syn: &mut Vec<bool>| {
+                let flip = |e: usize, syn: &mut Vec<bool>| {
                     if e == 0 {
                         syn[0] = !syn[0];
                     } else if e == d - 1 {

@@ -59,11 +59,7 @@ impl LookupDecoder {
             for base in &frontier {
                 // Extend support beyond the last touched qubit to enumerate
                 // each support set exactly once.
-                let start = base
-                    .iter_support()
-                    .last()
-                    .map(|(q, _)| q + 1)
-                    .unwrap_or(0);
+                let start = base.iter_support().last().map(|(q, _)| q + 1).unwrap_or(0);
                 for q in start..n {
                     for p in [Pauli::X, Pauli::Y, Pauli::Z] {
                         let mut e = base.clone();

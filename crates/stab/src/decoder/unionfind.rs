@@ -107,7 +107,7 @@ impl UnionFindDecoder {
             for root in active {
                 // Re-fetch root (it may have been merged earlier this pass).
                 let root = state.find(root);
-                if state.parity[root] % 2 == 0 || state.has_boundary[root] {
+                if state.parity[root].is_multiple_of(2) || state.has_boundary[root] {
                     continue;
                 }
                 let edges = std::mem::take(&mut state.frontier[root]);

@@ -228,7 +228,10 @@ mod tests {
         // probability 2p(1-p).
         let expect = 2.0 * 0.3 * 0.7;
         let rate = s.observable_flip_rate(0);
-        assert!((rate - expect).abs() < 0.01, "rate {rate}, expected {expect}");
+        assert!(
+            (rate - expect).abs() < 0.01,
+            "rate {rate}, expected {expect}"
+        );
     }
 
     #[test]

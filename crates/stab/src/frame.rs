@@ -482,7 +482,10 @@ mod tests {
         for m in 0..2 {
             let rate = r.meas_flips.count_ones(m) as f64 / shots as f64;
             let expect = p * 8.0 / 15.0;
-            assert!((rate - expect).abs() < 0.01, "qubit {m}: {rate} vs {expect}");
+            assert!(
+                (rate - expect).abs() < 0.01,
+                "qubit {m}: {rate} vs {expect}"
+            );
         }
     }
 }

@@ -45,7 +45,7 @@ impl Pauli {
         let (x1, z1) = self.xz();
         let (x2, z2) = other.xz();
         // Symplectic product even <=> commute.
-        ((x1 & z2) ^ (z1 & x2)) == false
+        !((x1 & z2) ^ (z1 & x2))
     }
 }
 
@@ -218,7 +218,10 @@ impl PauliString {
             let b = other.get(q);
             iphase = (iphase + site_iphase(a, b)) % 4;
         }
-        debug_assert!(iphase % 2 == 0, "commuting product must have real phase");
+        debug_assert!(
+            iphase.is_multiple_of(2),
+            "commuting product must have real phase"
+        );
         if iphase == 2 {
             self.neg = !self.neg;
         }

@@ -273,7 +273,7 @@ impl Tableau {
                 }
             }
         }
-        debug_assert!(sphase % 2 == 0, "scratch phase must be real");
+        debug_assert!(sphase.is_multiple_of(2), "scratch phase must be real");
         sphase == 2
     }
 
@@ -316,7 +316,10 @@ impl Tableau {
         // Destabilizer rows may anticommute with the pivot; their phases are
         // bookkeeping-only in Aaronson–Gottesman, so odd exponents are
         // tolerated there and collapsed arbitrarily.
-        debug_assert!(h < self.n || exp % 2 == 0, "stabilizer rowsum must stay hermitian");
+        debug_assert!(
+            h < self.n || exp % 2 == 0,
+            "stabilizer rowsum must stay hermitian"
+        );
         self.phases[h] = exp >= 2;
         for w in 0..self.words {
             self.xs[h * self.words + w] ^= self.xs[i * self.words + w];
@@ -334,10 +337,7 @@ impl Tableau {
         let row = i + self.n;
         let mut p = PauliString::identity(self.n);
         for q in 0..self.n {
-            p.set(
-                q,
-                Pauli::from_xz(self.get_x(row, q), self.get_z(row, q)),
-            );
+            p.set(q, Pauli::from_xz(self.get_x(row, q), self.get_z(row, q)));
         }
         if self.phases[row] {
             p.negate();

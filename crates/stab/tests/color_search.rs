@@ -108,88 +108,89 @@ fn search_triangular_cuts() {
         for b in -6i32..=2 {
             for a in 2i32..=14 {
                 for colors in &color_assignments {
-                // Right triangle: keep (x, y) with y >= y0, x >= b, x + y <= a.
-                // Boundary 0 = bottom (y), 1 = hypotenuse (x+y), 2 = left (x),
-                // with colors[k] the face color *removed* at boundary k.
-                let keep = |&(x, y): &V| y >= y0 && x + y <= a && x >= b;
-                let mut kept_faces: Vec<Vec<V>> = faces
-                    .iter()
-                    .filter_map(|(color, f)| {
-                        let kept: Vec<V> = f.iter().copied().filter(|v| keep(v)).collect();
-                        if kept.is_empty() || kept.len() == f.len() {
-                            return if kept.is_empty() { None } else { Some(kept) };
-                        }
-                        // Face is cut: identify which boundaries cut it.
-                        let crosses = [
-                            f.iter().any(|&(_, y)| y < y0),
-                            f.iter().any(|&(x, y)| x + y > a),
-                            f.iter().any(|&(x, _)| x < b),
-                        ];
-                        let dropped = (0..3).any(|k| crosses[k] && colors[k] == *color);
-                        if dropped || kept.len() < 2 {
-                            None
-                        } else {
-                            Some(kept)
-                        }
-                    })
-                    .collect();
-                kept_faces.sort();
-                kept_faces.dedup();
-                let mut verts: Vec<V> = kept_faces.iter().flatten().copied().collect();
-                verts.sort();
-                verts.dedup();
-                if !(15..=19).contains(&verts.len()) {
-                    continue;
-                }
-                let n = verts.len();
-                let index: BTreeMap<V, usize> =
-                    verts.iter().enumerate().map(|(i, v)| (*v, i)).collect();
-                let masks: Vec<u32> = kept_faces
-                    .iter()
-                    .map(|f| f.iter().fold(0u32, |m, v| m | 1 << index[v]))
-                    .collect();
-                // Pairwise even overlap (X_i vs Z_j commute).
-                let commuting = masks.iter().enumerate().all(|(i, &mi)| {
-                    masks[i + 1..]
+                    // Right triangle: keep (x, y) with y >= y0, x >= b, x + y <= a.
+                    // Boundary 0 = bottom (y), 1 = hypotenuse (x+y), 2 = left (x),
+                    // with colors[k] the face color *removed* at boundary k.
+                    let keep = |&(x, y): &V| y >= y0 && x + y <= a && x >= b;
+                    let mut kept_faces: Vec<Vec<V>> = faces
                         .iter()
-                        .all(|&mj| (mi & mj).count_ones() % 2 == 0)
-                });
-                if !commuting {
-                    continue;
-                }
-                let r = rank_gf2(&masks);
-                let k = n.checked_sub(2 * r);
-                println!(
+                        .filter_map(|(color, f)| {
+                            let kept: Vec<V> = f.iter().copied().filter(|v| keep(v)).collect();
+                            if kept.is_empty() || kept.len() == f.len() {
+                                return if kept.is_empty() { None } else { Some(kept) };
+                            }
+                            // Face is cut: identify which boundaries cut it.
+                            let crosses = [
+                                f.iter().any(|&(_, y)| y < y0),
+                                f.iter().any(|&(x, y)| x + y > a),
+                                f.iter().any(|&(x, _)| x < b),
+                            ];
+                            let dropped = (0..3).any(|k| crosses[k] && colors[k] == *color);
+                            if dropped || kept.len() < 2 {
+                                None
+                            } else {
+                                Some(kept)
+                            }
+                        })
+                        .collect();
+                    kept_faces.sort();
+                    kept_faces.dedup();
+                    let mut verts: Vec<V> = kept_faces.iter().flatten().copied().collect();
+                    verts.sort();
+                    verts.dedup();
+                    if !(15..=19).contains(&verts.len()) {
+                        continue;
+                    }
+                    let n = verts.len();
+                    let index: BTreeMap<V, usize> =
+                        verts.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+                    let masks: Vec<u32> = kept_faces
+                        .iter()
+                        .map(|f| f.iter().fold(0u32, |m, v| m | 1 << index[v]))
+                        .collect();
+                    // Pairwise even overlap (X_i vs Z_j commute).
+                    let commuting = masks.iter().enumerate().all(|(i, &mi)| {
+                        masks[i + 1..]
+                            .iter()
+                            .all(|&mj| (mi & mj).count_ones() % 2 == 0)
+                    });
+                    if !commuting {
+                        continue;
+                    }
+                    let r = rank_gf2(&masks);
+                    let k = n.checked_sub(2 * r);
+                    println!(
                     "candidate n={n} faces={} rank={r} k={k:?} cut y0={y0} a={a} b={b} colors={colors:?}",
                     masks.len()
                 );
-                if k != Some(1) || n != 17 {
-                    continue;
-                }
-                if masks.len() > 12 {
-                    continue; // too many generators for the coset sweep
-                }
-                let Some(logical) = find_logical(&masks, 17) else {
-                    continue;
-                };
-                let d = min_coset_weight(logical, &masks);
-                println!("  -> distance {d}");
-                if d == 5 {
-                    found += 1;
-                    println!("== FOUND [[17,1,5]] cut y0={y0} a={a} b={b} colors={colors:?} ==");
-                    println!("faces ({}):", masks.len());
-                    for f in &kept_faces {
-                        let idxs: Vec<usize> = f.iter().map(|v| index[v]).collect();
-                        println!("  {idxs:?}  coords {f:?}");
+                    if k != Some(1) || n != 17 {
+                        continue;
                     }
-                    let lbits: Vec<usize> =
-                        (0..17).filter(|i| logical >> i & 1 == 1).collect();
-                    println!("logical: {lbits:?}");
-                    println!("vertices: {verts:?}");
-                    if found >= 3 {
-                        return;
+                    if masks.len() > 12 {
+                        continue; // too many generators for the coset sweep
                     }
-                }
+                    let Some(logical) = find_logical(&masks, 17) else {
+                        continue;
+                    };
+                    let d = min_coset_weight(logical, &masks);
+                    println!("  -> distance {d}");
+                    if d == 5 {
+                        found += 1;
+                        println!(
+                            "== FOUND [[17,1,5]] cut y0={y0} a={a} b={b} colors={colors:?} =="
+                        );
+                        println!("faces ({}):", masks.len());
+                        for f in &kept_faces {
+                            let idxs: Vec<usize> = f.iter().map(|v| index[v]).collect();
+                            println!("  {idxs:?}  coords {f:?}");
+                        }
+                        let lbits: Vec<usize> = (0..17).filter(|i| logical >> i & 1 == 1).collect();
+                        println!("logical: {lbits:?}");
+                        println!("vertices: {verts:?}");
+                        if found >= 3 {
+                            return;
+                        }
+                    }
                 }
             }
         }

@@ -157,14 +157,18 @@ fn every_single_pauli_fault_fires_some_detector_or_is_harmless() {
     use hetarch_stab::codes::{SurfaceLattice, SurfaceMemory, SurfaceNoise};
     let lat = SurfaceLattice::new(3);
     for q in 0..lat.num_data() as u32 {
-        let mem = SurfaceMemory::new(3, 2, SurfaceNoise {
-            t_data: 1e6,
-            t_anc: 1e6,
-            p1: 0.0,
-            p2: 0.0,
-            p_meas: 0.0,
-            ..SurfaceNoise::default()
-        });
+        let mem = SurfaceMemory::new(
+            3,
+            2,
+            SurfaceNoise {
+                t_data: 1e6,
+                t_anc: 1e6,
+                p1: 0.0,
+                p2: 0.0,
+                p_meas: 0.0,
+                ..SurfaceNoise::default()
+            },
+        );
         let mut c = Circuit::new(mem.circuit().num_qubits());
         c.pauli_noise(
             PauliErr {
@@ -180,7 +184,10 @@ fn every_single_pauli_fault_fires_some_detector_or_is_harmless() {
             .map(|d| usize::from(s.detectors.get(d, 0)))
             .sum();
         assert!(fired > 0, "X on data {q} fired no detectors");
-        assert!(fired <= 2, "X on data {q} fired {fired} detectors (graphlike bound)");
+        assert!(
+            fired <= 2,
+            "X on data {q} fired {fired} detectors (graphlike bound)"
+        );
     }
 }
 

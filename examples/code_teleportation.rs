@@ -9,7 +9,11 @@ use hetarch::prelude::*;
 fn main() {
     let pairs: Vec<(&str, StabilizerCode, StabilizerCode)> = vec![
         ("SC3 <-> RM15", rotated_surface_code(3), reed_muller_15()),
-        ("SC3 <-> SC4", rotated_surface_code(3), rotated_surface_code(4)),
+        (
+            "SC3 <-> SC4",
+            rotated_surface_code(3),
+            rotated_surface_code(4),
+        ),
         ("17QCC <-> SC4", color_17(), rotated_surface_code(4)),
     ];
 
@@ -39,19 +43,34 @@ fn main() {
     cfg.shots = 10_000;
     let r = CtModule::new(cfg).evaluate();
     println!("\nBreakdown for SC3 <-> RM15 at Ts = 50 ms:");
-    println!("  EP link (2 pairs @ F = {:.4}): {:.4}", r.ep_fidelity, r.breakdown.ep);
+    println!(
+        "  EP link (2 pairs @ F = {:.4}): {:.4}",
+        r.ep_fidelity, r.breakdown.ep
+    );
     println!("  CAT generation:                {:.4}", r.breakdown.cat);
     println!("  logical |+> in SC3:            {:.4}", r.breakdown.plus_a);
     println!("  logical |+> in RM15:           {:.4}", r.breakdown.plus_b);
-    println!("  transversal CNOT layer:        {:.4}", r.breakdown.transversal);
-    println!("  logical measurement:           {:.4}", r.breakdown.measurement);
-    println!("  total:                         {:.4}", r.logical_error_probability);
+    println!(
+        "  transversal CNOT layer:        {:.4}",
+        r.breakdown.transversal
+    );
+    println!(
+        "  logical measurement:           {:.4}",
+        r.breakdown.measurement
+    );
+    println!(
+        "  total:                         {:.4}",
+        r.logical_error_probability
+    );
 
     // Storage-coherence sweep, Fig. 12 style.
     println!("\nCT error vs storage coherence (SC3 <-> SC4):");
     for ts_ms in [0.5, 2.0, 10.0, 50.0] {
-        let mut cfg =
-            CtConfig::heterogeneous(rotated_surface_code(3), rotated_surface_code(4), ts_ms * 1e-3);
+        let mut cfg = CtConfig::heterogeneous(
+            rotated_surface_code(3),
+            rotated_surface_code(4),
+            ts_ms * 1e-3,
+        );
         cfg.shots = 6_000;
         let r = CtModule::new(cfg).evaluate();
         println!("  Ts = {ts_ms:>5.1} ms: {:.3}", r.logical_error_probability);

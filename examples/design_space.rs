@@ -14,7 +14,11 @@ fn main() {
         let ex = explore_distill_storage(gen_rate, &ts_values, 5e-3, 0.9, 13);
         println!("EP generation {} kHz:", gen_rate / 1e3);
         for p in &ex.points {
-            println!("  Ts = {:>5.1} ms -> {:>8.1} kHz", p.ts * 1e3, p.rate_hz / 1e3);
+            println!(
+                "  Ts = {:>5.1} ms -> {:>8.1} kHz",
+                p.ts * 1e3,
+                p.rate_hz / 1e3
+            );
         }
         match ex.sufficient_ts {
             Some(ts) => println!("  -> Ts = {:.1} ms already reaches 90% of best\n", ts * 1e3),
@@ -38,8 +42,9 @@ fn main() {
         let mut storage = storage.clone();
         storage.swap = hetarch::devices::GateSpec::new(storage.swap.time, 0.0);
         let lib = CellLibrary::new();
-        cfg.register =
-            (*lib.register(&catalog::coherence_limited_compute(0.5e-3), &storage)).clone();
+        cfg.register = (*lib
+            .get::<RegisterCell>(&catalog::coherence_limited_compute(0.5e-3), &storage))
+        .clone();
         let report = DistillModule::new(cfg).run(3e-3);
         let area = storage.footprint.area_mm2();
         println!(

@@ -10,8 +10,14 @@ fn main() {
     let gen_rate = 1e6; // 1000 kHz, the paper's Fig. 12 operating point
     let duration = 10e-3;
 
-    println!("EP generation: {} kHz, raw infidelity 0.01-0.1", gen_rate / 1e3);
-    println!("target fidelity: 0.995, sim duration: {} ms\n", duration * 1e3);
+    println!(
+        "EP generation: {} kHz, raw infidelity 0.01-0.1",
+        gen_rate / 1e3
+    );
+    println!(
+        "target fidelity: 0.995, sim duration: {} ms\n",
+        duration * 1e3
+    );
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>12}",
         "Ts (ms)", "attempts", "successes", "delivered", "rate (kHz)"
@@ -33,7 +39,10 @@ fn main() {
     let hom = DistillModule::new(DistillConfig::homogeneous(gen_rate, 7)).run(duration);
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>12.1}   (homogeneous, Ts = Tc = 0.5 ms)",
-        "hom", hom.rounds_attempted, hom.rounds_succeeded, hom.delivered,
+        "hom",
+        hom.rounds_attempted,
+        hom.rounds_succeeded,
+        hom.delivered,
         hom.delivered_rate_hz / 1e3
     );
 
@@ -43,7 +52,10 @@ fn main() {
     cfg.trace_interval = Some(5e-6);
     let report = DistillModule::new(cfg).run(100e-6);
     println!("\nFig.3-style trace (Ts = 12.5 ms, 2 MHz generation):");
-    println!("{:>10} {:>18} {:>18}", "t (µs)", "memory infid.", "output infid.");
+    println!(
+        "{:>10} {:>18} {:>18}",
+        "t (µs)", "memory infid.", "output infid."
+    );
     for p in report.trace.iter().take(20) {
         println!(
             "{:>10.1} {:>18} {:>18}",

@@ -53,7 +53,10 @@ fn main() {
     // though the trees above instantiate them many times.
     let stats = lib.stats();
     println!(
-        "cell characterizations: {} density-matrix runs, {} cache hits",
-        stats.misses, stats.hits
+        "cell characterizations: {} density-matrix runs, {} cache hits \
+         ({:.1} ms of simulation avoided)",
+        stats.misses,
+        stats.hits,
+        stats.sim_seconds_saved * 1e3
     );
 }

@@ -39,7 +39,7 @@ fn main() {
 
     // --- 3. Characterize the cell (density-matrix simulation). ----------
     let lib = CellLibrary::new();
-    let reg = lib.register(&transmon, &resonator);
+    let reg = lib.get::<RegisterCell>(&transmon, &resonator);
     println!(
         "Register cell: load fidelity {:.5} in {:.0} ns, {} modes at Ts = {} ms",
         reg.load.fidelity,

@@ -58,7 +58,10 @@ fn breakdown_is_dominated_by_plus_state_preparation() {
     // lifetime requirements are driven by the stabilizer rounds.
     let r = quick_het(rotated_surface_code(3), reed_muller_15(), 50e-3);
     let b = r.breakdown;
-    assert!(b.plus_a + b.plus_b > b.ep, "plus states should dominate EP cost");
+    assert!(
+        b.plus_a + b.plus_b > b.ep,
+        "plus states should dominate EP cost"
+    );
     assert!(r.logical_error_probability < 0.6);
     assert!(!r.ep_starved);
 }

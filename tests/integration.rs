@@ -11,14 +11,14 @@ fn catalog_devices_build_all_standard_cells() {
         catalog::multimode_resonator_3d(),
         catalog::on_chip_multimode_resonator(),
     ] {
-        let reg = lib.register(&transmon, &storage);
+        let reg = lib.get::<RegisterCell>(&transmon, &storage);
         assert!(reg.load.fidelity > 0.9, "{}", storage.name);
-        let usc = lib.usc(&transmon, &storage);
+        let usc = lib.get::<UscCell>(&transmon, &storage);
         assert!(usc.check2.fidelity > 0.8, "{}", storage.name);
-        let seq = lib.seqop(&transmon, &storage);
+        let seq = lib.get::<SeqOpCell>(&transmon, &storage);
         assert!(seq.seq_cnot.fidelity > 0.8, "{}", storage.name);
     }
-    let pc = lib.parcheck(&transmon, &catalog::flux_tunable_qubit());
+    let pc = lib.get::<ParCheckCell>(&transmon, &catalog::flux_tunable_qubit());
     assert!(pc.parity.fidelity > 0.9);
 }
 
@@ -41,12 +41,18 @@ fn cell_library_cache_feeds_dse_ledger() {
     let c = catalog::coherence_limited_compute(0.5e-3);
     for _ in 0..4 {
         for ts in [1e-3, 5e-3] {
-            lib.register(&c, &catalog::coherence_limited_storage(ts));
+            lib.get::<RegisterCell>(&c, &catalog::coherence_limited_storage(ts));
         }
     }
     let stats = lib.stats();
     assert_eq!(stats.misses, 2, "two distinct design points");
     assert_eq!(stats.hits, 6, "revisits served from cache");
+    assert_eq!(stats.kind(CellKind::Register).misses, 2);
+    assert_eq!(stats.kind(CellKind::Usc).misses, 0);
+    assert!(
+        stats.sim_seconds_saved > 0.0,
+        "hits credit saved simulation"
+    );
 
     let mut ledger = CostLedger::new();
     ledger.record_cell_sim(2);
@@ -71,7 +77,12 @@ fn dse_sweep_runs_modules_in_parallel() {
 
 #[test]
 fn all_small_codes_validate_and_decode() {
-    for code in [steane(), color_17(), reed_muller_15(), rotated_surface_code(3)] {
+    for code in [
+        steane(),
+        color_17(),
+        reed_muller_15(),
+        rotated_surface_code(3),
+    ] {
         assert!(code.is_css());
         let dec = LookupDecoder::new(&code, 1);
         // Every weight-1 error decodes cleanly.

@@ -47,10 +47,7 @@ fn surface_code_ratio_pushes_below_threshold() {
     };
     let (_, p5) = SurfaceMemory::new(5, 5, noise).logical_error_rate(shots, 43);
     let (_, p9) = SurfaceMemory::new(9, 9, noise).logical_error_rate(shots, 44);
-    assert!(
-        p9 < p5,
-        "below threshold d=9 ({p9}) should beat d=5 ({p5})"
-    );
+    assert!(p9 < p5, "below threshold d=9 ({p9}) should beat d=5 ({p5})");
 }
 
 #[test]

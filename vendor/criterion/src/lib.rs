@@ -1,0 +1,217 @@
+//! Vendored, offline subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no registry access, so the workspace ships a
+//! minimal harness exposing the API surface its benches use: groups,
+//! `sample_size`, `throughput`, `bench_function` / `bench_with_input`, and
+//! the `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical analysis it reports a simple mean wall-clock time per
+//! iteration (and derived throughput) to stdout — enough to spot large
+//! regressions from `cargo bench` without external dependencies.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call outside the timed window.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Declares the units processed per iteration for throughput output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        let mut line = format!(
+            "{}/{}: {} /iter ({} iters)",
+            self.name,
+            id,
+            format_ns(b.mean_ns),
+            b.iters
+        );
+        if b.mean_ns > 0.0 {
+            match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    line.push_str(&format!(", {:.0} elem/s", n as f64 / (b.mean_ns * 1e-9)));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    line.push_str(&format!(", {:.0} B/s", n as f64 / (b.mean_ns * 1e-9)));
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (output is emitted eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver (API parity with criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures_exact_iter_count() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(7).throughput(Throughput::Elements(100));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 7 timed + 1 warm-up.
+        assert_eq!(calls, 8);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| {
+            b.iter(|| n * n);
+        });
+    }
+}

@@ -1,0 +1,568 @@
+//! Vendored, offline subset of the `serde` API.
+//!
+//! The build environment has no registry access, so the workspace ships a
+//! minimal serde: the [`Serialize`] / [`Deserialize`] traits over a compact
+//! little-endian binary format, plus a `derive` feature re-exporting the
+//! companion `serde_derive` proc-macros. The wire format is NOT serde's data
+//! model — it is a private, versionless binary encoding used only by this
+//! workspace (e.g. `CellLibrary::save`/`load`). Floats round-trip exactly
+//! (stored as IEEE-754 bits); integers are widened to 64 bits on the wire.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced when decoding malformed or truncated bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde decode error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Encoder writing the workspace's compact binary format.
+#[derive(Default)]
+pub struct Serializer {
+    buf: Vec<u8>,
+}
+
+impl Serializer {
+    /// Creates an empty serializer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes encoding and returns the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one raw byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a 32-bit little-endian word (used for enum variant tags).
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a 64-bit little-endian word.
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a 64-bit float as its IEEE-754 bit pattern (exact round-trip).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn write_bytes(&mut self, v: &[u8]) {
+        self.write_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Decoder for the workspace's compact binary format.
+pub struct Deserializer<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Deserializer<'a> {
+    /// Creates a decoder over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Deserializer { buf: bytes, pos: 0 }
+    }
+
+    /// Returns true if every input byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Error::new("unexpected end of input"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one raw byte.
+    pub fn read_u8(&mut self) -> Result<u8, Error> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a 32-bit little-endian word.
+    pub fn read_u32(&mut self) -> Result<u32, Error> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a 64-bit little-endian word.
+    pub fn read_u64(&mut self) -> Result<u64, Error> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an IEEE-754 bit pattern back into an `f64`.
+    pub fn read_f64(&mut self) -> Result<f64, Error> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn read_bytes(&mut self) -> Result<Vec<u8>, Error> {
+        let len = self.read_u64()?;
+        let len = usize::try_from(len).map_err(|_| Error::new("length overflows usize"))?;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+/// A type encodable to the workspace binary format.
+pub trait Serialize {
+    /// Appends this value's encoding to the serializer.
+    fn serialize(&self, serializer: &mut Serializer);
+}
+
+/// A type decodable from the workspace binary format.
+pub trait Deserialize: Sized {
+    /// Decodes one value, advancing the deserializer.
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error>;
+}
+
+/// Deserialization helpers (API parity with `serde::de`).
+pub mod de {
+    pub use super::Error;
+
+    /// A type deserializable without borrowing from the input.
+    ///
+    /// Our [`super::Deserialize`] has no input lifetime, so every
+    /// deserializable type qualifies.
+    pub trait DeserializeOwned: super::Deserialize {}
+
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+/// Encodes a value to bytes.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut s = Serializer::new();
+    value.serialize(&mut s);
+    s.into_bytes()
+}
+
+/// Decodes a value from bytes, requiring all input to be consumed.
+pub fn from_bytes<T: de::DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let mut d = Deserializer::new(bytes);
+    let v = T::deserialize(&mut d)?;
+    if !d.is_empty() {
+        return Err(Error::new("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, serializer: &mut Serializer) {
+                serializer.write_u64(*self as u64);
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+                let v = deserializer.read_u64()?;
+                <$t>::try_from(v).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, serializer: &mut Serializer) {
+                serializer.write_u64((*self as i64) as u64);
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+                let v = deserializer.read_u64()? as i64;
+                <$t>::try_from(v).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_u8(*self as u8);
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        match deserializer.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(Error::new(format!("invalid bool byte {b}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_f64(*self);
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        deserializer.read_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_u32(self.to_bits());
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(f32::from_bits(deserializer.read_u32()?))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_u32(*self as u32);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        char::from_u32(deserializer.read_u32()?).ok_or_else(|| Error::new("invalid char"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_bytes(self.as_bytes());
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        String::from_utf8(deserializer.read_bytes()?).map_err(|_| Error::new("invalid utf-8"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_bytes(self.as_bytes());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, serializer: &mut Serializer) {
+        (**self).serialize(serializer);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        (**self).serialize(serializer);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(deserializer)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        match self {
+            None => serializer.write_u8(0),
+            Some(v) => {
+                serializer.write_u8(1);
+                v.serialize(serializer);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        match deserializer.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(deserializer)?)),
+            b => Err(Error::new(format!("invalid option tag {b}"))),
+        }
+    }
+}
+
+fn read_len(deserializer: &mut Deserializer<'_>) -> Result<usize, Error> {
+    let len = deserializer.read_u64()?;
+    usize::try_from(len).map_err(|_| Error::new("length overflows usize"))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_u64(self.len() as u64);
+        for item in self {
+            item.serialize(serializer);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = read_len(deserializer)?;
+        let mut out = Vec::new();
+        for _ in 0..len {
+            out.push(T::deserialize(deserializer)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_u64(self.len() as u64);
+        for item in self {
+            item.serialize(serializer);
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, serializer: &mut Serializer) {
+        for item in self {
+            item.serialize(serializer);
+        }
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::deserialize(deserializer)?);
+        }
+        out.try_into()
+            .map_err(|_| Error::new("array length mismatch"))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_u64(self.len() as u64);
+        for (k, v) in self {
+            k.serialize(serializer);
+            v.serialize(serializer);
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = read_len(deserializer)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::deserialize(deserializer)?;
+            let v = V::deserialize(deserializer)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.write_u64(self.len() as u64);
+        for item in self {
+            item.serialize(serializer);
+        }
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = read_len(deserializer)?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::deserialize(deserializer)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        // Sort entries by encoded key so equal maps encode identically.
+        let mut entries: Vec<(Vec<u8>, &V)> = self.iter().map(|(k, v)| (to_bytes(k), v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.write_u64(entries.len() as u64);
+        for (kb, v) in entries {
+            serializer.buf.extend_from_slice(&kb);
+            v.serialize(serializer);
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = read_len(deserializer)?;
+        let mut out = HashMap::new();
+        for _ in 0..len {
+            let k = K::deserialize(deserializer)?;
+            let v = V::deserialize(deserializer)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        let mut entries: Vec<Vec<u8>> = self.iter().map(|t| to_bytes(t)).collect();
+        entries.sort();
+        serializer.write_u64(entries.len() as u64);
+        for e in entries {
+            serializer.buf.extend_from_slice(&e);
+        }
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = read_len(deserializer)?;
+        let mut out = HashSet::new();
+        for _ in 0..len {
+            out.insert(T::deserialize(deserializer)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self, serializer: &mut Serializer) {
+                $(self.$n.serialize(serializer);)+
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+                Ok(($($t::deserialize(deserializer)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+);
+
+impl Serialize for () {
+    fn serialize(&self, _serializer: &mut Serializer) {}
+}
+
+impl Deserialize for () {
+    fn deserialize(_deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + de::DeserializeOwned + PartialEq + fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        let back: T = from_bytes(&bytes).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-5i32);
+        round_trip(i64::MIN);
+        round_trip(true);
+        round_trip(3.75f64);
+        round_trip(f64::NAN.to_bits()); // NaN via bits; direct NaN fails PartialEq
+        round_trip(String::from("héllo"));
+        round_trip('q');
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Some(vec![(1u32, 2u32), (3, 4)]));
+        round_trip::<Option<f64>>(None);
+        round_trip((1u8, -2i64, 0.5f64, String::from("x")));
+        round_trip(BTreeMap::from([
+            (1u32, "a".to_string()),
+            (2, "b".to_string()),
+        ]));
+        round_trip(BTreeSet::from([3usize, 1, 4]));
+        round_trip(HashMap::from([(7u64, 1.5f64)]));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]);
+        let r: Result<Vec<u64>, Error> = from_bytes(&bytes[..bytes.len() - 1]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = to_bytes(&1u64);
+        bytes.push(0);
+        let r: Result<u64, Error> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn floats_are_bit_exact() {
+        let v = 0.1f64 + 0.2;
+        let back: f64 = from_bytes(&to_bytes(&v)).unwrap();
+        assert_eq!(back.to_bits(), v.to_bits());
+    }
+}

@@ -1,0 +1,362 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! The build environment has no registry access, so these derives are written
+//! against `proc_macro` directly (no `syn`/`quote`). They support the shapes
+//! this workspace actually derives on: non-generic structs (named, tuple,
+//! unit) and non-generic enums with unit, tuple, and struct variants. Enum
+//! variants are encoded as a `u32` declaration-order tag followed by the
+//! fields in order; struct fields are encoded in declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field shapes of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips `#[...]` attributes (including doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level (angle-depth-0) comma-separated items in a field list.
+///
+/// Parens/brackets/braces arrive as opaque `Group`s, so only `<`/`>` need
+/// depth tracking.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut pending = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if pending {
+                    count += 1;
+                }
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+/// Extracts field names from a named-field list (`a: T, pub b: U, ...`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "vendored serde_derive: expected field name, got {:?}",
+                tokens[i]
+            );
+        };
+        names.push(name.to_string());
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("vendored serde_derive: expected ':' after field name, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn parse_fields_group(tokens: &[TokenTree], i: usize) -> (Fields, usize) {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            (Fields::Named(parse_named_fields(g.stream())), i + 1)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            (Fields::Tuple(count_tuple_fields(g.stream())), i + 1)
+        }
+        _ => (Fields::Unit, i),
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "vendored serde_derive: expected variant name, got {:?}",
+                tokens[i]
+            );
+        };
+        let name = name.to_string();
+        let (fields, next) = parse_fields_group(&tokens, i + 1);
+        i = next;
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("vendored serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!(
+            "vendored serde_derive: expected type name, got {:?}",
+            tokens[i]
+        );
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let (fields, _) = parse_fields_group(&tokens, i);
+            Item::Struct { name, fields }
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("vendored serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derives `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            match fields {
+                Fields::Unit => {}
+                Fields::Named(names) => {
+                    for f in names {
+                        body.push_str(&format!("::serde::Serialize::serialize(&self.{f}, _s);"));
+                    }
+                }
+                Fields::Tuple(n) => {
+                    for idx in 0..*n {
+                        body.push_str(&format!("::serde::Serialize::serialize(&self.{idx}, _s);"));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self, _s: &mut ::serde::Serializer) {{ {body} }}\n\
+                 }}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => {{ _s.write_u32({tag}u32); }}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("_f{k}")).collect();
+                        let mut body = format!("_s.write_u32({tag}u32);");
+                        for b in &binds {
+                            body.push_str(&format!("::serde::Serialize::serialize({b}, _s);"));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ {body} }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let mut body = format!("_s.write_u32({tag}u32);");
+                        for f in fs {
+                            body.push_str(&format!("::serde::Serialize::serialize({f}, _s);"));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {body} }}\n",
+                            fs.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self, _s: &mut ::serde::Serializer) {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
+    }
+    out.parse()
+        .expect("vendored serde_derive: generated code must parse")
+}
+
+/// Derives `serde::Deserialize` (vendored subset).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            Fields::Named(names) => {
+                let inits: Vec<String> = names
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::Deserialize::deserialize(_d)?"))
+                    .collect();
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|_| "::serde::Deserialize::deserialize(_d)?".to_string())
+                    .collect();
+                format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+            }
+        },
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                let ctor = match &v.fields {
+                    Fields::Unit => format!("{name}::{vname}"),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|_| "::serde::Deserialize::deserialize(_d)?".to_string())
+                            .collect();
+                        format!("{name}::{vname}({})", inits.join(", "))
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::Deserialize::deserialize(_d)?"))
+                            .collect();
+                        format!("{name}::{vname} {{ {} }}", inits.join(", "))
+                    }
+                };
+                arms.push_str(&format!("{tag}u32 => ::std::result::Result::Ok({ctor}),\n"));
+            }
+            format!(
+                "match _d.read_u32()? {{\n\
+                     {arms}\
+                     _ => ::std::result::Result::Err(::serde::Error::new(\
+                         \"invalid variant tag for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(_d: &mut ::serde::Deserializer<'_>)\n\
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("vendored serde_derive: generated code must parse")
+}
