@@ -1,0 +1,85 @@
+//! Criterion benches for the sharded Monte-Carlo execution engine: the
+//! worker-pool primitives themselves plus the sharded UEC and frame-sampler
+//! paths they drive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetarch::exec::WorkerPool;
+use hetarch::prelude::*;
+use hetarch::stab::frame::FrameSampler;
+
+fn usc() -> UscChannel {
+    UscCell::new(
+        catalog::coherence_limited_compute(0.5e-3),
+        catalog::coherence_limited_storage(50e-3),
+    )
+    .unwrap()
+    .characterize()
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_pool");
+    group.sample_size(20);
+    // Pure engine overhead: shard planning + dispatch of trivial work.
+    for workers in [1usize, 4] {
+        let pool = WorkerPool::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("dispatch_64_shards", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| pool.run_shards(64 * 256, 256, 1, |shard| shard.seed ^ shard.len as u64));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sharded_uec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_uec");
+    group.sample_size(10);
+    let shots = 2_048;
+    group.throughput(Throughput::Elements(shots as u64));
+    let module = UecModule::new(steane(), usc(), UecNoise::default());
+    for workers in [1usize, 2, 4] {
+        let pool = WorkerPool::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("steane_logical_error_rate", workers),
+            &workers,
+            |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    module.logical_error_rate_on(&pool, shots, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sharded_frame_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_frame");
+    group.sample_size(10);
+    let shots = 4 * 4096;
+    group.throughput(Throughput::Elements(shots as u64));
+    let mem = SurfaceMemory::new(9, 9, SurfaceNoise::default());
+    let circuit = mem.circuit();
+    for workers in [1usize, 2, 4] {
+        let pool = WorkerPool::new(workers);
+        group.bench_with_input(BenchmarkId::new("d9_sample", workers), &workers, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                FrameSampler::sample(&circuit, shots, seed, &pool)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pool_overhead,
+    bench_sharded_uec,
+    bench_sharded_frame_sampler
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Monte-Carlo scaling study for the sharded execution engine (`BENCH_pr2`).
+//!
+//! Runs the UEC d=5 rotated-surface-code memory at fixed seed across worker
+//! counts, checks the logical error rate is bit-identical for every worker
+//! count (the engine's worker-count-invariance contract), and writes
+//! shots/sec per worker count to `BENCH_pr2.json`.
+//!
+//! `HETARCH_SHOTS` scales the shot count (default 4096);
+//! `HETARCH_WORKER_COUNTS` is a comma-separated override of the swept
+//! worker counts (default `1,2,4,8`).
+
+use std::time::Instant;
+
+use hetarch::exec::WorkerPool;
+use hetarch::prelude::*;
+
+fn worker_counts() -> Vec<usize> {
+    std::env::var("HETARCH_WORKER_COUNTS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|w| w.trim().parse().ok())
+                .filter(|&w| w >= 1)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn main() {
+    let shots = hetarch_bench::shots(4096);
+    let seed = 2023;
+    hetarch_bench::header(
+        "BENCH_pr2",
+        "sharded Monte-Carlo scaling: UEC d=5 surface code, shots/sec vs workers",
+    );
+
+    let usc = UscCell::new(
+        catalog::coherence_limited_compute(0.5e-3),
+        catalog::coherence_limited_storage(50e-3),
+    )
+    .unwrap()
+    .characterize();
+    let module = UecModule::new(rotated_surface_code(5), usc, UecNoise::default());
+
+    let counts = worker_counts();
+    let mut rows = Vec::new();
+    let mut reference: Option<u64> = None;
+    for &workers in &counts {
+        let pool = WorkerPool::new(workers);
+        // Warm-up outside the timed window (thread spawn, page faults).
+        module.logical_error_rate_on(&pool, shots.min(512), seed);
+        let start = Instant::now();
+        let result = module.logical_error_rate_on(&pool, shots, seed);
+        let secs = start.elapsed().as_secs_f64();
+        let rate_bits = result.logical_error_rate.to_bits();
+        match reference {
+            None => reference = Some(rate_bits),
+            Some(r) => assert_eq!(
+                rate_bits, r,
+                "logical error rate must be bit-identical across worker counts \
+                 ({workers} workers diverged)"
+            ),
+        }
+        let throughput = shots as f64 / secs;
+        println!(
+            "workers {workers:>2}: {throughput:>12.0} shots/s  \
+             (p_L = {:.6}, {secs:.3} s)",
+            result.logical_error_rate
+        );
+        rows.push((workers, throughput, secs));
+    }
+
+    let base = rows[0].1;
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"mc_scaling\",\n");
+    json.push_str("  \"workload\": \"uec_d5_rotated_surface_code\",\n");
+    json.push_str(&format!("  \"shots\": {shots},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
+    json.push_str("  \"bit_identical_across_workers\": true,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, (workers, throughput, secs)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {workers}, \"shots_per_sec\": {throughput:.1}, \
+             \"elapsed_sec\": {secs:.4}, \"speedup\": {:.3}}}{}\n",
+            throughput / base,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_pr2.json", &json).expect("write BENCH_pr2.json");
+    println!("\nwrote BENCH_pr2.json ({} worker counts)", rows.len());
+}

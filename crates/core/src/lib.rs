@@ -17,7 +17,10 @@
 //! * [`modules`] — entanglement distillation, universal error correction,
 //!   code teleportation, and the homogeneous baseline,
 //! * [`dse`] — design-space exploration: sweeps, Pareto fronts, and the
-//!   simulation-cost ledger.
+//!   simulation-cost ledger,
+//! * [`exec`] — the sharded Monte-Carlo execution engine: a reusable
+//!   [`exec::WorkerPool`] with worker-count-invariant `(seed, shard)`
+//!   RNG-stream derivation shared by every shot loop in the workspace.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@
 pub use hetarch_cells as cells;
 pub use hetarch_devices as devices;
 pub use hetarch_dse as dse;
+pub use hetarch_exec as exec;
 pub use hetarch_modules as modules;
 pub use hetarch_qsim as qsim;
 pub use hetarch_stab as stab;
@@ -58,6 +62,7 @@ pub mod prelude {
     pub use hetarch_devices::rules::validate;
     pub use hetarch_devices::{DeviceGraph, DeviceId, DeviceRole, DeviceSpec};
     pub use hetarch_dse::{pareto_front, sweep, Axis, CostLedger, DesignSpace};
+    pub use hetarch_exec::{shard_seed, shards, Shard, WorkerPool};
     pub use hetarch_modules::baseline::{hom_surface_logical_error, HomModule};
     pub use hetarch_modules::ct::{Architecture, CtConfig, CtModule, CtResult};
     pub use hetarch_modules::distill::{DistillConfig, DistillModule, DistillReport};

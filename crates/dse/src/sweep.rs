@@ -1,12 +1,12 @@
-//! Parallel sweep execution over a design space.
+//! Parallel sweep execution over a design space, on the workspace-wide
+//! [`hetarch_exec::WorkerPool`] substrate.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use hetarch_exec::WorkerPool;
 
 use crate::space::{DesignSpace, Point};
 
-/// Evaluates `f` at every point of `space` in parallel, preserving point
-/// order in the output. Worker count defaults to available parallelism.
+/// Evaluates `f` at every point of `space` in parallel on the global
+/// [`WorkerPool`], preserving point order in the output.
 ///
 /// # Examples
 ///
@@ -24,66 +24,29 @@ where
     T: Send,
     F: Fn(&Point) -> T + Sync,
 {
-    let points = space.points();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(points.len().max(1));
-    sweep_with_workers(points, f, workers)
+    sweep_on(WorkerPool::global(), space.points(), f)
 }
 
-/// Like [`sweep`] with an explicit worker count (1 gives a fully serial,
-/// deterministic-order execution useful in tests).
+/// Like [`sweep`] with an explicit worker count (1 gives a fully serial
+/// execution useful in tests).
 pub fn sweep_with_workers<T, F>(points: Vec<Point>, f: F, workers: usize) -> Vec<(Point, T)>
 where
     T: Send,
     F: Fn(&Point) -> T + Sync,
 {
-    assert!(workers >= 1, "need at least one worker");
+    sweep_on(&WorkerPool::new(workers), points, f)
+}
 
-    // Serial path: evaluate in point order with no threading machinery.
-    if workers == 1 {
-        return points
-            .into_iter()
-            .map(|point| {
-                let value = f(&point);
-                (point, value)
-            })
-            .collect();
-    }
-
-    let n = points.len();
-    let next = &AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, (Point, T))>();
-    let f = &f;
-    let points = &points;
-
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let point = points[i].clone();
-                let value = f(&point);
-                // The receiver outlives the scope; a send can only fail if it
-                // was dropped early, which would mean a sibling panicked.
-                let _ = tx.send((i, (point, value)));
-            });
-        }
-        drop(tx);
-    });
-
-    let mut slots: Vec<Option<(Point, T)>> = (0..n).map(|_| None).collect();
-    for (i, entry) in rx.try_iter() {
-        slots[i] = Some(entry);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("all points evaluated"))
-        .collect()
+/// Evaluates `f` at every point on an explicit [`WorkerPool`], preserving
+/// point order in the output regardless of which worker evaluated which
+/// point.
+pub fn sweep_on<T, F>(pool: &WorkerPool, points: Vec<Point>, f: F) -> Vec<(Point, T)>
+where
+    T: Send,
+    F: Fn(&Point) -> T + Sync,
+{
+    let values = pool.map_indexed(points.len(), |i| f(&points[i]));
+    points.into_iter().zip(values).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,320 @@
+//! Sharded Monte-Carlo execution engine.
+//!
+//! Every Monte-Carlo hot path in the workspace (UEC logical-error-rate
+//! estimation, the Pauli-frame sampler, distillation trial batches, DSE
+//! sweeps) runs through this crate, so the workspace has exactly one
+//! parallelism substrate.
+//!
+//! # The `(seed, shard)` RNG-stream contract
+//!
+//! Work is split into **shards** whose boundaries depend only on the total
+//! work size and the shard size — **never** on the worker count. Each shard
+//! derives its own RNG stream deterministically from the master seed and its
+//! shard index via [`shard_seed`] (a SplitMix64 finalizer, so neighbouring
+//! shard indices produce statistically independent streams). Per-shard
+//! results are merged **in shard-index order** by the caller's reducer.
+//!
+//! Consequently the output of any computation built on this engine is
+//! **bit-identical** for every worker count: the worker pool only decides
+//! *which thread* executes a shard, never *what* the shard computes or the
+//! order in which results are folded.
+//!
+//! # Examples
+//!
+//! ```
+//! use hetarch_exec::WorkerPool;
+//!
+//! // Estimate a failure count over 10_000 trials, sharded by 1024.
+//! let count = |pool: &WorkerPool| {
+//!     pool.fold_shards(10_000, 1024, 42, |shard| shard.len, 0usize, |a, b| a + b)
+//! };
+//! assert_eq!(count(&WorkerPool::new(1)), 10_000);
+//! assert_eq!(count(&WorkerPool::new(8)), 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::OnceLock;
+
+/// Derives the RNG seed of shard `shard` from the master `seed`.
+///
+/// This is the SplitMix64 output function over `seed + (shard+1)·φ64`; it
+/// decorrelates the streams of neighbouring shard indices and of
+/// neighbouring master seeds. `shard_seed(s, i)` depends on nothing else, so
+/// a shard's stream can be reproduced in isolation.
+#[inline]
+pub fn shard_seed(seed: u64, shard: u64) -> u64 {
+    let mut z = seed.wrapping_add(shard.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One unit of sharded work: a contiguous slice of the trial range plus its
+/// private RNG seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard index (reduction order).
+    pub index: usize,
+    /// First trial covered by this shard.
+    pub start: usize,
+    /// Number of trials in this shard (always ≥ 1).
+    pub len: usize,
+    /// Private RNG seed, [`shard_seed`]`(master_seed, index)`.
+    pub seed: u64,
+}
+
+/// Splits `total` trials into shards of at most `shard_size`, deriving each
+/// shard's seed from `seed`. Returns an empty vector when `total == 0`; the
+/// last shard absorbs the remainder when `total` is not divisible.
+///
+/// # Panics
+///
+/// Panics if `shard_size == 0`.
+pub fn shards(total: usize, shard_size: usize, seed: u64) -> Vec<Shard> {
+    assert!(shard_size > 0, "shard size must be positive");
+    (0..total.div_ceil(shard_size))
+        .map(|index| {
+            let start = index * shard_size;
+            Shard {
+                index,
+                start,
+                len: shard_size.min(total - start),
+                seed: shard_seed(seed, index as u64),
+            }
+        })
+        .collect()
+}
+
+/// A scoped worker pool.
+///
+/// The pool stores only its worker count; each [`WorkerPool::map_indexed`]
+/// call spawns scoped threads that pull work-stealing indices from a shared
+/// counter, so borrows of caller state need no `'static` bound and a
+/// panicking job cannot poison anything — the panic propagates out of the
+/// call and the pool remains fully usable.
+#[derive(Clone, Debug)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
+impl WorkerPool {
+    /// A pool with exactly `workers` threads (1 = fully serial execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        WorkerPool { workers }
+    }
+
+    /// The process-wide default pool: `HETARCH_WORKERS` if set, otherwise
+    /// the machine's available parallelism.
+    pub fn global() -> &'static WorkerPool {
+        GLOBAL.get_or_init(|| {
+            let workers = std::env::var("HETARCH_WORKERS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&w| w >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                });
+            WorkerPool::new(workers)
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates `f(i)` for every `i in 0..n` and returns the results in
+    /// index order, regardless of which worker computed which index.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f`. The pool is not
+    /// poisoned: subsequent calls behave normally.
+    pub fn map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.workers == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let threads = self.workers.min(n);
+        let next = &AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let f = &f;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i);
+                    // The receiver outlives the scope; a failed send means a
+                    // sibling panicked and the scope is unwinding anyway.
+                    let _ = tx.send((i, value));
+                });
+            }
+            drop(tx);
+        });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, value) in rx.try_iter() {
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("all indices evaluated"))
+            .collect()
+    }
+
+    /// Runs `f` once per shard of `total` trials (shards of at most
+    /// `shard_size`, seeds derived from `seed`) and returns the per-shard
+    /// results **in shard-index order**.
+    ///
+    /// Shard boundaries and seeds depend only on `(total, shard_size,
+    /// seed)`, so the result is bit-identical for every worker count.
+    pub fn run_shards<R, F>(&self, total: usize, shard_size: usize, seed: u64, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Shard) -> R + Sync,
+    {
+        let plan = shards(total, shard_size, seed);
+        self.map_indexed(plan.len(), |i| f(&plan[i]))
+    }
+
+    /// [`WorkerPool::run_shards`] followed by an in-order fold: starts from
+    /// `init` and applies `reduce` to each shard result in shard-index
+    /// order. With `total == 0` no shards run and `init` is returned.
+    pub fn fold_shards<T, R, F, G>(
+        &self,
+        total: usize,
+        shard_size: usize,
+        seed: u64,
+        f: F,
+        init: T,
+        reduce: G,
+    ) -> T
+    where
+        R: Send,
+        F: Fn(&Shard) -> R + Sync,
+        G: FnMut(T, R) -> T,
+    {
+        self.run_shards(total, shard_size, seed, f)
+            .into_iter()
+            .fold(init, reduce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_plan_covers_range_exactly() {
+        for (total, size) in [(0, 64), (1, 64), (64, 64), (100, 64), (1000, 64), (7, 3)] {
+            let plan = shards(total, size, 9);
+            let covered: usize = plan.iter().map(|s| s.len).sum();
+            assert_eq!(covered, total, "total {total} size {size}");
+            for (i, s) in plan.iter().enumerate() {
+                assert_eq!(s.index, i);
+                assert_eq!(s.start, i * size);
+                assert!(s.len >= 1 && s.len <= size);
+                assert_eq!(s.seed, shard_seed(9, i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_seed_sensitive() {
+        let a: Vec<u64> = (0..64).map(|i| shard_seed(1, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| shard_seed(2, i)).collect();
+        let mut uniq = a.clone();
+        uniq.extend(&b);
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 128, "seed collision across shards/masters");
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for workers in [1, 2, 8] {
+            let pool = WorkerPool::new(workers);
+            let out = pool.map_indexed(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fold_is_worker_count_invariant() {
+        // A reduction whose result depends on fold order (string concat)
+        // must still be identical across worker counts.
+        let run = |workers| {
+            WorkerPool::new(workers).fold_shards(
+                257,
+                16,
+                7,
+                |s| format!("{}:{:x};", s.index, s.seed),
+                String::new(),
+                |acc, s| acc + &s,
+            )
+        };
+        let reference = run(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(run(workers), reference);
+        }
+    }
+
+    #[test]
+    fn zero_total_runs_no_shards() {
+        let pool = WorkerPool::new(4);
+        let out = pool.fold_shards(0, 64, 1, |_| 1usize, 0usize, |a, b| a + b);
+        assert_eq!(out, 0);
+        assert!(shards(0, 64, 1).is_empty());
+    }
+
+    #[test]
+    fn single_shard_fallback_is_serial() {
+        // total <= shard_size: exactly one shard, seeded as shard 0.
+        let plan = shards(40, 64, 5);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].len, 40);
+        assert_eq!(plan[0].seed, shard_seed(5, 0));
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_pool() {
+        let pool = WorkerPool::new(4);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_indexed(16, |i| {
+                if i == 7 {
+                    panic!("shard failure");
+                }
+                i
+            })
+        }));
+        assert!(boom.is_err(), "panic must propagate");
+        // The pool is stateless across calls: the next run is unaffected.
+        let out = pool.map_indexed(16, |i| i);
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard size must be positive")]
+    fn zero_shard_size_rejected() {
+        shards(10, 0, 1);
+    }
+}

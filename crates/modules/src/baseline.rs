@@ -9,6 +9,7 @@
 //! which converges to the same first-order SWAP counts for these small
 //! circuits.
 
+use hetarch_exec::WorkerPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -208,8 +209,16 @@ impl HomModule {
     }
 
     /// Runs `shots` Monte-Carlo cycles.
+    ///
+    /// Shots are sharded over the global [`WorkerPool`] with the same
+    /// `(seed, shard)` contract as [`crate::uec::UecModule`]: the result is
+    /// bit-identical for every worker count. `shots == 0` reports zero.
     pub fn logical_error_rate(&self, shots: usize, seed: u64) -> HomResult {
-        let mut rng = StdRng::seed_from_u64(seed);
+        self.logical_error_rate_on(WorkerPool::global(), shots, seed)
+    }
+
+    /// As [`Self::logical_error_rate`] with an explicit worker pool.
+    pub fn logical_error_rate_on(&self, pool: &WorkerPool, shots: usize, seed: u64) -> HomResult {
         let n = self.code.num_qubits();
         let stabs = self.code.stabilizers();
         let supports: Vec<Vec<usize>> = stabs
@@ -232,13 +241,12 @@ impl HomModule {
             .collect();
         let cycle_duration = self.cycle_duration();
 
-        let mut failures = 0usize;
-        for _ in 0..shots {
+        let one_shot = |rng: &mut StdRng| -> bool {
             let mut error = PauliString::identity(n);
             let mut syndrome = 0u64;
             for layer in &layers {
                 for q in 0..n {
-                    sample_pauli_into(&mut error, q, layer.idle, &mut rng);
+                    sample_pauli_into(&mut error, q, layer.idle, rng);
                 }
                 for &s in &layer.checks {
                     // Per-qubit gate noise: the CX plus the routing chain
@@ -256,7 +264,7 @@ impl HomModule {
                                 py: third,
                                 pz: third,
                             },
-                            &mut rng,
+                            rng,
                         );
                     }
                     // Ancilla flip: its CXs plus idle plus readout.
@@ -284,12 +292,25 @@ impl HomModule {
             let residual = error.xor(&correction);
             let true_syn = pack_syndrome(&self.code.syndrome_of(&residual));
             let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
-            if !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error) {
-                failures += 1;
-            }
-        }
+            !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
+        };
+        let failures = pool.fold_shards(
+            shots,
+            crate::uec::sim::MC_SHARD_SHOTS,
+            seed,
+            |shard| {
+                let mut rng = StdRng::seed_from_u64(shard.seed);
+                (0..shard.len).filter(|_| one_shot(&mut rng)).count()
+            },
+            0usize,
+            |acc, f| acc + f,
+        );
         HomResult {
-            logical_error_rate: failures as f64 / shots as f64,
+            logical_error_rate: if shots == 0 {
+                0.0
+            } else {
+                failures as f64 / shots as f64
+            },
             cycle_duration,
             swaps_per_cycle: self.embedding.total_swaps(),
         }

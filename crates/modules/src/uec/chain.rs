@@ -8,6 +8,7 @@
 //! cost of two extra SWAPs per hop. Checks touching disjoint segment sets
 //! run concurrently — partial parallelism the single USC cannot offer.
 
+use hetarch_exec::WorkerPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -277,8 +278,22 @@ impl ChainUecModule {
     }
 
     /// Per-cycle logical error rate over `shots` Monte-Carlo cycles.
+    ///
+    /// Shots are sharded over the global [`WorkerPool`]; shard boundaries
+    /// and per-shard RNG streams depend only on `(shots, seed)`, so the
+    /// result is **bit-identical for every worker count**. `shots == 0`
+    /// reports a rate of zero.
     pub fn logical_error_rate(&self, shots: usize, seed: u64) -> crate::uec::sim::UecResult {
-        let mut rng = StdRng::seed_from_u64(seed);
+        self.logical_error_rate_on(WorkerPool::global(), shots, seed)
+    }
+
+    /// As [`Self::logical_error_rate`] with an explicit worker pool.
+    pub fn logical_error_rate_on(
+        &self,
+        pool: &WorkerPool,
+        shots: usize,
+        seed: u64,
+    ) -> crate::uec::sim::UecResult {
         let n = self.code.num_qubits();
         let stabs = self.code.stabilizers();
         let supports: Vec<Vec<usize>> = stabs
@@ -323,13 +338,12 @@ impl ChainUecModule {
             })
             .collect();
 
-        let mut failures = 0usize;
-        for _ in 0..shots {
+        let one_shot = |rng: &mut StdRng| -> bool {
             let mut error = PauliString::identity(n);
             let mut syndrome = 0u64;
             for wave in &waves {
                 for q in 0..n {
-                    sample_pauli_into(&mut error, q, wave.storage, &mut rng);
+                    sample_pauli_into(&mut error, q, wave.storage, rng);
                 }
                 let _ = wave.duration;
                 for (stab, exposure_twirl, anc_flip, hops) in &wave.checks {
@@ -337,7 +351,7 @@ impl ChainUecModule {
                     let p_cx = self.noise.p2q * 4.0 / 15.0;
                     let extra_hop_swaps = (2 * *hops) as usize / supports[*stab].len().max(1);
                     for &q in &supports[*stab] {
-                        sample_pauli_into(&mut error, q, *exposure_twirl, &mut rng);
+                        sample_pauli_into(&mut error, q, *exposure_twirl, rng);
                         for _ in 0..(2 + extra_hop_swaps) {
                             sample_pauli_into(
                                 &mut error,
@@ -347,7 +361,7 @@ impl ChainUecModule {
                                     py: p_sw,
                                     pz: p_sw,
                                 },
-                                &mut rng,
+                                rng,
                             );
                         }
                         sample_pauli_into(
@@ -358,7 +372,7 @@ impl ChainUecModule {
                                 py: p_cx,
                                 pz: p_cx,
                             },
-                            &mut rng,
+                            rng,
                         );
                     }
                     let mut bit = !stabs[*stab].commutes_with(&error);
@@ -378,12 +392,25 @@ impl ChainUecModule {
             let residual = error.xor(&correction);
             let true_syn = pack_syndrome(&self.code.syndrome_of(&residual));
             let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
-            if !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error) {
-                failures += 1;
-            }
-        }
+            !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
+        };
+        let failures = pool.fold_shards(
+            shots,
+            crate::uec::sim::MC_SHARD_SHOTS,
+            seed,
+            |shard| {
+                let mut rng = StdRng::seed_from_u64(shard.seed);
+                (0..shard.len).filter(|_| one_shot(&mut rng)).count()
+            },
+            0usize,
+            |acc, f| acc + f,
+        );
         crate::uec::sim::UecResult {
-            logical_error_rate: failures as f64 / shots as f64,
+            logical_error_rate: if shots == 0 {
+                0.0
+            } else {
+                failures as f64 / shots as f64
+            },
             cycle_duration: self.schedule.cycle_duration,
             shots,
         }

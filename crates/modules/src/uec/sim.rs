@@ -8,6 +8,7 @@
 //! miscorrections (the standard pseudothreshold methodology for small
 //! codes).
 
+use hetarch_exec::WorkerPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -21,6 +22,11 @@ use hetarch_stab::pauli::{Pauli, PauliString};
 use crate::uec::assign::{build_schedule, search_assignment, Assignment, CycleSchedule};
 
 use std::collections::HashMap;
+
+/// Shots per shard of the UEC Monte-Carlo loops. Fixed (never derived from
+/// the worker count) so shard boundaries — and therefore results — are
+/// identical for every worker count.
+pub(crate) const MC_SHARD_SHOTS: usize = 512;
 
 /// Gate-level noise settings for the UEC study (§4.2: two-qubit gates at
 /// 1%).
@@ -115,8 +121,17 @@ impl UecModule {
 
     /// Runs `shots` Monte-Carlo cycles and returns the per-cycle logical
     /// error rate.
+    ///
+    /// Shots are sharded over the global [`WorkerPool`]; shard boundaries
+    /// and the per-shard RNG streams depend only on `(shots, seed)`, so the
+    /// result is **bit-identical for every worker count** and across
+    /// repeated runs. `shots == 0` reports a rate of zero.
     pub fn logical_error_rate(&self, shots: usize, seed: u64) -> UecResult {
-        let mut rng = StdRng::seed_from_u64(seed);
+        self.logical_error_rate_on(WorkerPool::global(), shots, seed)
+    }
+
+    /// As [`Self::logical_error_rate`] with an explicit worker pool.
+    pub fn logical_error_rate_on(&self, pool: &WorkerPool, shots: usize, seed: u64) -> UecResult {
         let n = self.code.num_qubits();
         let stabs = self.code.stabilizers();
 
@@ -156,8 +171,7 @@ impl UecModule {
             })
             .collect();
 
-        let mut failures = 0usize;
-        for _ in 0..shots {
+        let one_shot = |rng: &mut StdRng| -> bool {
             let mut error = PauliString::identity(n);
             let mut syndrome: u64 = 0;
             for (slot, sn) in self.schedule.checks.iter().zip(&slots) {
@@ -169,9 +183,9 @@ impl UecModule {
                     } else {
                         sn.storage_uninvolved
                     };
-                    sample_pauli_into(&mut error, q, probs, &mut rng);
+                    sample_pauli_into(&mut error, q, probs, rng);
                     if involved {
-                        sample_pauli_into(&mut error, q, sn.compute_exposure, &mut rng);
+                        sample_pauli_into(&mut error, q, sn.compute_exposure, rng);
                     }
                 }
                 // Gate noise: two SWAPs and one CX per involved qubit (the
@@ -188,7 +202,7 @@ impl UecModule {
                                 py: p_sw,
                                 pz: p_sw,
                             },
-                            &mut rng,
+                            rng,
                         );
                     }
                     sample_pauli_into(
@@ -199,7 +213,7 @@ impl UecModule {
                             py: p_cx,
                             pz: p_cx,
                         },
-                        &mut rng,
+                        rng,
                     );
                 }
                 // Measured syndrome bit: the accumulated error so far, plus
@@ -225,12 +239,25 @@ impl UecModule {
             // ...then a perfect round resolves any leftover syndrome.
             let true_syn = pack_syndrome(&self.code.syndrome_of(&residual));
             let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
-            if !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error) {
-                failures += 1;
-            }
-        }
+            !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
+        };
+        let failures = pool.fold_shards(
+            shots,
+            MC_SHARD_SHOTS,
+            seed,
+            |shard| {
+                let mut rng = StdRng::seed_from_u64(shard.seed);
+                (0..shard.len).filter(|_| one_shot(&mut rng)).count()
+            },
+            0usize,
+            |acc, f| acc + f,
+        );
         UecResult {
-            logical_error_rate: failures as f64 / shots as f64,
+            logical_error_rate: if shots == 0 {
+                0.0
+            } else {
+                failures as f64 / shots as f64
+            },
             cycle_duration: self.schedule.cycle_duration,
             shots,
         }

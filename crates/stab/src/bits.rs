@@ -103,6 +103,32 @@ impl BitTable {
         let _ = words;
     }
 
+    /// Copies every row of `src` into this table starting at shot column
+    /// `shot_offset` (the merge step of word-aligned sharded sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ, `shot_offset` is not word-aligned
+    /// (a multiple of 64), or `src` does not fit at that offset.
+    pub fn splice_shots(&mut self, src: &BitTable, shot_offset: usize) {
+        assert_eq!(self.rows, src.rows, "row count mismatch");
+        assert_eq!(shot_offset % 64, 0, "shot offset must be word-aligned");
+        assert!(
+            shot_offset + src.shots <= self.shots,
+            "source table does not fit at offset {shot_offset}"
+        );
+        if src.shots == 0 {
+            return;
+        }
+        let word_offset = shot_offset / 64;
+        let src_words = src.shots.div_ceil(64);
+        for row in 0..self.rows {
+            let dst = &mut self.data[row * self.words + word_offset..];
+            let s = &src.data[row * src.words..row * src.words + src_words];
+            dst[..src_words].copy_from_slice(s);
+        }
+    }
+
     /// Number of set bits in `row`.
     pub fn count_ones(&self, row: usize) -> usize {
         self.row(row).iter().map(|w| w.count_ones() as usize).sum()
@@ -160,6 +186,22 @@ mod tests {
         let mut t = BitTable::new(1, 70);
         t.fill_row(0);
         assert_eq!(t.count_ones(0), 70);
+    }
+
+    #[test]
+    fn splice_shots_places_bits_at_offset() {
+        let mut dst = BitTable::new(2, 200);
+        let mut src = BitTable::new(2, 70);
+        src.set(0, 0, true);
+        src.set(1, 69, true);
+        dst.splice_shots(&src, 64);
+        assert!(dst.get(0, 64));
+        assert!(dst.get(1, 64 + 69));
+        assert_eq!(dst.count_ones(0), 1);
+        assert_eq!(dst.count_ones(1), 1);
+        // Zero-shot splice is a no-op.
+        dst.splice_shots(&BitTable::new(2, 0), 0);
+        assert_eq!(dst.count_ones(0), 1);
     }
 
     #[test]

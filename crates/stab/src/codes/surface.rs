@@ -8,12 +8,18 @@
 
 use serde::{Deserialize, Serialize};
 
+use hetarch_exec::WorkerPool;
+
 use crate::circuit::{Circuit, PauliErr};
 use crate::codes::code::{typed_string, StabilizerCode};
 use crate::decoder::graph::MatchingGraph;
 use crate::decoder::unionfind::UnionFindDecoder;
-use crate::detector::sample_detectors;
+use crate::detector::sample_detectors_on;
 use crate::pauli::Pauli;
+
+/// Shots per decoding shard; fixed so shard boundaries never depend on the
+/// worker count.
+const DECODE_SHARD_SHOTS: usize = 1024;
 
 /// One stabilizer plaquette of the rotated lattice.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -255,8 +261,9 @@ pub enum MemoryBasis {
     X,
 }
 
-/// A boxed syndrome-to-correction decoder closure.
-type DecodeFn = Box<dyn Fn(&[bool]) -> u64>;
+/// A boxed syndrome-to-correction decoder closure (Sync: shared across
+/// decoding shards).
+type DecodeFn = Box<dyn Fn(&[bool]) -> u64 + Sync>;
 
 /// Decoder choice for the memory Monte Carlo.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -534,6 +541,11 @@ impl SurfaceMemory {
     /// each shot with union-find, and compare against the true observable.
     ///
     /// Returns `(logical_error_rate_per_shot, logical_error_rate_per_round)`.
+    ///
+    /// Sampling and decoding are sharded over the global
+    /// [`WorkerPool`]; shard boundaries and RNG streams depend only on
+    /// `(shots, seed)`, so the result is **bit-identical for every worker
+    /// count**. `shots == 0` reports a rate of zero.
     pub fn logical_error_rate(&self, shots: usize, seed: u64) -> (f64, f64) {
         self.logical_error_rate_with(SurfaceDecoder::UnionFind, shots, seed)
     }
@@ -542,6 +554,17 @@ impl SurfaceMemory {
     /// decoder ablation knob).
     pub fn logical_error_rate_with(
         &self,
+        which: SurfaceDecoder,
+        shots: usize,
+        seed: u64,
+    ) -> (f64, f64) {
+        self.logical_error_rate_on(WorkerPool::global(), which, shots, seed)
+    }
+
+    /// As [`Self::logical_error_rate_with`] with an explicit worker pool.
+    pub fn logical_error_rate_on(
+        &self,
+        pool: &WorkerPool,
         which: SurfaceDecoder,
         shots: usize,
         seed: u64,
@@ -559,19 +582,30 @@ impl SurfaceMemory {
                 Box::new(move |syn| d.decode(syn))
             }
         };
-        let samples = sample_detectors(&circuit, shots, seed);
+        let samples = sample_detectors_on(pool, &circuit, shots, seed);
         let n_det = circuit.num_detectors();
-        let mut errors = 0usize;
-        let mut syndrome = vec![false; n_det];
-        for shot in 0..shots {
-            for (d, s) in syndrome.iter_mut().enumerate() {
-                *s = samples.detectors.get(d, shot);
-            }
-            let predicted = decoder(&syndrome) & 1 == 1;
-            let actual = samples.observables.get(0, shot);
-            if predicted != actual {
-                errors += 1;
-            }
+        // Decoding is deterministic per shot, so sharding it only splits the
+        // work; shot order inside the count is irrelevant to the sum.
+        let errors: usize = pool
+            .run_shards(shots, DECODE_SHARD_SHOTS, seed, |shard| {
+                let mut errors = 0usize;
+                let mut syndrome = vec![false; n_det];
+                for shot in shard.start..shard.start + shard.len {
+                    for (d, s) in syndrome.iter_mut().enumerate() {
+                        *s = samples.detectors.get(d, shot);
+                    }
+                    let predicted = decoder(&syndrome) & 1 == 1;
+                    let actual = samples.observables.get(0, shot);
+                    if predicted != actual {
+                        errors += 1;
+                    }
+                }
+                errors
+            })
+            .into_iter()
+            .sum();
+        if shots == 0 {
+            return (0.0, 0.0);
         }
         let per_shot = errors as f64 / shots as f64;
         // Convert to a per-round rate: p_shot = 1 - (1-p_round)^rounds.

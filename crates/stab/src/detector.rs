@@ -8,6 +8,8 @@
 //! reference, a detector fires exactly when the XOR of its measurement flips
 //! is one.
 
+use hetarch_exec::WorkerPool;
+
 use crate::bits::BitTable;
 use crate::circuit::{Circuit, Gate1, Gate2, Instruction};
 use crate::frame::FrameSampler;
@@ -106,9 +108,22 @@ pub fn nondeterministic_detectors(circuit: &Circuit) -> Vec<usize> {
 
 /// Samples `shots` noisy executions of `circuit`, returning detector firings
 /// and observable flips.
+///
+/// Runs on the global [`WorkerPool`] via the sharded
+/// [`FrameSampler::sample`] path; the output is bit-identical for every
+/// worker count (see [`hetarch_exec`]'s `(seed, shard)` contract).
 pub fn sample_detectors(circuit: &Circuit, shots: usize, seed: u64) -> DetectorSamples {
-    let mut sampler = FrameSampler::new(circuit.num_qubits() as usize, shots, seed);
-    let result = sampler.run(circuit);
+    sample_detectors_on(WorkerPool::global(), circuit, shots, seed)
+}
+
+/// As [`sample_detectors`] with an explicit worker pool.
+pub fn sample_detectors_on(
+    pool: &WorkerPool,
+    circuit: &Circuit,
+    shots: usize,
+    seed: u64,
+) -> DetectorSamples {
+    let result = FrameSampler::sample(circuit, shots, seed, pool);
     assemble(circuit, &result.meas_flips, shots)
 }
 

@@ -11,11 +11,17 @@
 //! sample produced by the tableau simulator; detectors and observables are
 //! assembled from those flips by [`crate::detector`].
 
+use hetarch_exec::WorkerPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::bits::BitTable;
 use crate::circuit::{Circuit, Gate1, Gate2, Instruction};
+
+/// Shots per shard of a sharded [`FrameSampler::sample`] run. Word-aligned
+/// (a multiple of 64) so shard outputs splice into the merged table by whole
+/// words; fixed, so shard boundaries never depend on the worker count.
+pub const SHARD_SHOTS: usize = 4096;
 
 /// Batched Pauli frames for `shots` parallel Monte-Carlo executions.
 #[derive(Clone, Debug)]
@@ -55,6 +61,30 @@ impl FrameSampler {
     /// Number of parallel shots.
     pub fn shots(&self) -> usize {
         self.shots
+    }
+
+    /// Samples `shots` executions of `circuit`, sharded across `pool`.
+    ///
+    /// Shots are split into word-aligned shards of [`SHARD_SHOTS`]; shard
+    /// `i` runs an independent sampler seeded with
+    /// `hetarch_exec::shard_seed(seed, i)` and the per-shard flip tables are
+    /// spliced back in shard order. Shard boundaries and seeds depend only
+    /// on `(shots, seed)`, so the result is **bit-identical for every worker
+    /// count** (but differs from a monolithic [`FrameSampler::run`] with the
+    /// same seed, which consumes one continuous RNG stream).
+    ///
+    /// `shots == 0` returns an empty flip table.
+    pub fn sample(circuit: &Circuit, shots: usize, seed: u64, pool: &WorkerPool) -> FrameResult {
+        let num_qubits = circuit.num_qubits() as usize;
+        let mut meas_flips = BitTable::new(circuit.num_measurements(), shots);
+        let parts = pool.run_shards(shots, SHARD_SHOTS, seed, |shard| {
+            let mut sampler = FrameSampler::new(num_qubits.max(1), shard.len, shard.seed);
+            sampler.run(circuit).meas_flips
+        });
+        for (shard, part) in parts.iter().enumerate() {
+            meas_flips.splice_shots(part, shard * SHARD_SHOTS);
+        }
+        FrameResult { meas_flips }
     }
 
     /// Runs `circuit`, returning measurement flips per shot.
@@ -420,6 +450,49 @@ mod tests {
         c.measure(&[0], 0.0);
         let mut s = FrameSampler::new(1, 64, 5);
         let r = s.run(&c);
+        assert_eq!(r.meas_flips.count_ones(0), 0);
+    }
+
+    #[test]
+    fn sharded_sample_is_worker_count_invariant() {
+        let mut c = Circuit::new(2);
+        c.depolarize1(0.1, &[0, 1]);
+        c.cx(&[(0, 1)]);
+        c.measure(&[0, 1], 0.02);
+        // Spans three shards (two full, one partial, non-divisible by 64).
+        let shots = 2 * SHARD_SHOTS + 100;
+        let reference = FrameSampler::sample(&c, shots, 5, &WorkerPool::new(1));
+        for workers in [2, 8] {
+            let r = FrameSampler::sample(&c, shots, 5, &WorkerPool::new(workers));
+            assert_eq!(r.meas_flips, reference.meas_flips, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn sharded_sample_statistics_match_probability() {
+        let p = 0.07;
+        let mut c = Circuit::new(1);
+        c.pauli_noise(
+            crate::circuit::PauliErr {
+                px: p,
+                py: 0.0,
+                pz: 0.0,
+            },
+            &[0],
+        );
+        c.measure(&[0], 0.0);
+        let shots = 200_000;
+        let r = FrameSampler::sample(&c, shots, 6, &WorkerPool::new(4));
+        let rate = r.meas_flips.count_ones(0) as f64 / shots as f64;
+        assert!((rate - p).abs() < 0.004, "measured {rate}, expected {p}");
+    }
+
+    #[test]
+    fn sharded_sample_zero_shots() {
+        let mut c = Circuit::new(1);
+        c.measure(&[0], 0.0);
+        let r = FrameSampler::sample(&c, 0, 1, &WorkerPool::new(4));
+        assert_eq!(r.meas_flips.shots(), 0);
         assert_eq!(r.meas_flips.count_ones(0), 0);
     }
 

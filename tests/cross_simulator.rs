@@ -3,6 +3,7 @@
 //! frame sampler (hetarch-stab).
 
 use hetarch::prelude::*;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -132,6 +133,119 @@ fn twirled_idle_matches_exact_channel_populations() {
         (exact - twirl).abs() <= gamma / 2.0 + 1e-9,
         "exact {exact} vs twirl {twirl} (gamma = {gamma})"
     );
+}
+
+/// One element of a random noisy Clifford circuit for the differential test.
+#[derive(Clone, Debug)]
+enum NoisyOp {
+    H(u32),
+    S(u32),
+    X(u32),
+    Cx(u32, u32),
+    Cz(u32, u32),
+    Depol(u32, f64),
+}
+
+fn noisy_op(n: u32) -> impl Strategy<Value = NoisyOp> {
+    prop_oneof![
+        (0..n).prop_map(NoisyOp::H),
+        (0..n).prop_map(NoisyOp::S),
+        (0..n).prop_map(NoisyOp::X),
+        (0..n, 1..n).prop_map(move |(a, d)| NoisyOp::Cx(a, (a + d) % n)),
+        (0..n, 1..n).prop_map(move |(a, d)| NoisyOp::Cz(a, (a + d) % n)),
+        (0..n, 0.01f64..0.15).prop_map(|(q, p)| NoisyOp::Depol(q, p)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Differential test: for a random Clifford circuit with depolarizing
+    /// noise, the sharded frame sampler's flip statistics agree with the
+    /// exact density-matrix probabilities on every qubit whose noiseless
+    /// measurement outcome is deterministic.
+    ///
+    /// With 20 000 shots, the Hoeffding bound gives
+    /// `P(|f - p| > t) <= 2 exp(-2 N t^2) ~ 1e-6` at `t = 0.019`; the test
+    /// uses `t = 0.025` for slack across the <= 4 comparisons per case.
+    #[test]
+    fn frame_sampler_matches_density_matrix_on_noisy_cliffords(
+        n in 2u32..=4,
+        ops in proptest::collection::vec(noisy_op(4), 8..24),
+        seed in 0u64..1_000_000,
+    ) {
+        let shots = 20_000usize;
+        let mut circuit = Circuit::new(n);
+        let mut dm = DensityMatrix::zero_state(n as usize);
+        let mut tb = Tableau::new(n as usize);
+        for op in &ops {
+            // Strategies draw qubits in 0..4; fold into range for small n.
+            match *op {
+                NoisyOp::H(q) => {
+                    let q = q % n;
+                    circuit.h(&[q]);
+                    gates::h(&mut dm, q as usize);
+                    tb.h(q as usize);
+                }
+                NoisyOp::S(q) => {
+                    let q = q % n;
+                    circuit.s(&[q]);
+                    gates::s(&mut dm, q as usize);
+                    tb.s(q as usize);
+                }
+                NoisyOp::X(q) => {
+                    let q = q % n;
+                    circuit.x(&[q]);
+                    gates::x(&mut dm, q as usize);
+                    tb.x(q as usize);
+                }
+                NoisyOp::Cx(a, b) => {
+                    let (a, b) = (a % n, b % n);
+                    if a == b { continue; }
+                    circuit.cx(&[(a, b)]);
+                    gates::cnot(&mut dm, a as usize, b as usize);
+                    tb.cx(a as usize, b as usize);
+                }
+                NoisyOp::Cz(a, b) => {
+                    let (a, b) = (a % n, b % n);
+                    if a == b { continue; }
+                    circuit.cz(&[(a, b)]);
+                    gates::cz(&mut dm, a as usize, b as usize);
+                    tb.cz(a as usize, b as usize);
+                }
+                NoisyOp::Depol(q, p) => {
+                    let q = q % n;
+                    circuit.depolarize1(p, &[q]);
+                    Kraus1::depolarizing(p).unwrap().apply(&mut dm, q as usize);
+                }
+            }
+        }
+        let qubits: Vec<u32> = (0..n).collect();
+        circuit.measure(&qubits, 0.0);
+
+        let pool = hetarch::exec::WorkerPool::new(2);
+        let result = hetarch::stab::frame::FrameSampler::sample(&circuit, shots, seed, &pool);
+
+        for q in 0..n as usize {
+            // The frame sampler reports flips relative to the noiseless
+            // reference outcome, which is only meaningful where that
+            // outcome is deterministic.
+            let p_ref = tb.prob_one(q);
+            if (p_ref - 0.5).abs() < 0.25 {
+                continue;
+            }
+            let reference_one = p_ref > 0.5;
+            let p_one = hetarch::qsim::measure::prob_one(&dm, q);
+            let expected_flip = if reference_one { 1.0 - p_one } else { p_one };
+            let observed_flip =
+                result.meas_flips.count_ones(q) as f64 / shots as f64;
+            prop_assert!(
+                (observed_flip - expected_flip).abs() < 0.025,
+                "qubit {}: observed flip rate {} vs density-matrix {}",
+                q, observed_flip, expected_flip
+            );
+        }
+    }
 }
 
 /// A Bell pair built by each substrate yields identical stabilizer

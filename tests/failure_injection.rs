@@ -152,6 +152,93 @@ fn ct_module_reports_starved_links() {
 }
 
 #[test]
+fn sharded_engine_zero_shot_requests() {
+    use hetarch::exec::WorkerPool;
+    let pool = WorkerPool::new(4);
+
+    // Zero Monte-Carlo shots: a defined (zero-rate) answer, not a panic.
+    let usc = UscCell::new(
+        catalog::coherence_limited_compute(0.5e-3),
+        catalog::coherence_limited_storage(50e-3),
+    )
+    .unwrap()
+    .characterize();
+    let r = UecModule::new(steane(), usc, UecNoise::default()).logical_error_rate_on(&pool, 0, 1);
+    assert_eq!(r.shots, 0);
+    assert_eq!(r.logical_error_rate, 0.0);
+
+    // Zero frame-sampler shots: an empty but well-formed bit table.
+    let mut c = Circuit::new(1);
+    c.depolarize1(0.1, &[0]);
+    c.measure(&[0], 0.0);
+    let out = hetarch::stab::frame::FrameSampler::sample(&c, 0, 1, &pool);
+    assert_eq!(out.meas_flips.count_ones(0), 0);
+
+    // Zero surface-memory shots.
+    let mem = SurfaceMemory::new(3, 2, SurfaceNoise::default());
+    let (f, p) =
+        mem.logical_error_rate_on(&pool, hetarch::stab::codes::SurfaceDecoder::UnionFind, 0, 1);
+    assert_eq!(f, 0.0);
+    assert_eq!(p, 0.0);
+}
+
+#[test]
+fn sharded_engine_non_divisible_and_tiny_workloads() {
+    use hetarch::exec::WorkerPool;
+    let usc = UscCell::new(
+        catalog::coherence_limited_compute(0.5e-3),
+        catalog::coherence_limited_storage(50e-3),
+    )
+    .unwrap()
+    .characterize();
+    let m = UecModule::new(steane(), usc, UecNoise::default());
+    let pool = WorkerPool::new(8);
+    // A single shot falls into the single-shard path on every pool size.
+    let single = m.logical_error_rate_on(&pool, 1, 2);
+    assert_eq!(single.shots, 1);
+    assert!(single.logical_error_rate == 0.0 || single.logical_error_rate == 1.0);
+    assert_eq!(
+        single.logical_error_rate.to_bits(),
+        m.logical_error_rate_on(&WorkerPool::new(1), 1, 2)
+            .logical_error_rate
+            .to_bits()
+    );
+    // A shot count straddling shard boundaries (512-shot shards) agrees
+    // between pool sizes even when the tail shard is almost empty.
+    let ragged = m.logical_error_rate_on(&pool, 513, 2);
+    assert_eq!(
+        ragged.logical_error_rate.to_bits(),
+        m.logical_error_rate_on(&WorkerPool::new(3), 513, 2)
+            .logical_error_rate
+            .to_bits()
+    );
+}
+
+#[test]
+fn panicking_shard_does_not_poison_the_pool() {
+    use hetarch::exec::WorkerPool;
+    let pool = WorkerPool::new(4);
+    let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.run_shards(10_000, 256, 0, |shard| {
+            if shard.index == 7 {
+                panic!("injected shard failure");
+            }
+            shard.len
+        })
+    }));
+    assert!(
+        boom.is_err(),
+        "the shard panic must propagate to the caller"
+    );
+    // The pool is stateless: the same pool value keeps working afterwards.
+    let total: usize = pool
+        .run_shards(10_000, 256, 0, |shard| shard.len)
+        .iter()
+        .sum();
+    assert_eq!(total, 10_000);
+}
+
+#[test]
 fn density_matrix_rejects_unphysical_inputs() {
     use hetarch::qsim::error::QsimError;
     assert!(matches!(

@@ -18,6 +18,14 @@ pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
 }
 
+/// True when the harness was invoked as `cargo bench -- --test`: every
+/// benchmark then runs a single smoke iteration (criterion's test mode),
+/// which CI uses to verify benches still compile and execute without paying
+/// for full timing runs.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Units processed per iteration, for derived throughput reporting.
 #[derive(Clone, Copy, Debug)]
 pub enum Throughput {
@@ -100,10 +108,14 @@ impl BenchmarkGroup {
 
     fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
         let mut b = Bencher {
-            iters: self.sample_size,
+            iters: if test_mode() { 1 } else { self.sample_size },
             mean_ns: 0.0,
         };
         f(&mut b);
+        if test_mode() {
+            println!("{}/{}: ok (test mode, 1 iter)", self.name, id);
+            return;
+        }
         let mut line = format!(
             "{}/{}: {} /iter ({} iters)",
             self.name,
@@ -201,8 +213,9 @@ mod tests {
             b.iter(|| calls += 1);
         });
         group.finish();
-        // 7 timed + 1 warm-up.
-        assert_eq!(calls, 8);
+        // Timed iterations (7, or 1 under `-- --test`) plus 1 warm-up.
+        let expected = if test_mode() { 2 } else { 8 };
+        assert_eq!(calls, expected);
     }
 
     #[test]
