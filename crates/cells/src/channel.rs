@@ -21,22 +21,98 @@ pub struct OpChannel {
     pub concurrency: u32,
 }
 
+/// A rejected [`OpChannel`] parameter, reported by [`OpChannel::try_new`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChannelError {
+    /// Duration was negative, NaN, or infinite.
+    InvalidDuration(f64),
+    /// Fidelity was outside `[0, 1]` or NaN.
+    InvalidFidelity(f64),
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::InvalidDuration(d) => {
+                write!(f, "invalid duration {d}: must be finite and >= 0")
+            }
+            ChannelError::InvalidFidelity(p) => {
+                write!(f, "invalid fidelity {p}: must be in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
 impl OpChannel {
     /// Creates a characterized operation.
     ///
+    /// **Validation policy.** Cell characterization is the trusted producer
+    /// of channels, so in-workspace construction uses this panicking
+    /// constructor: an out-of-range value here is a characterization bug,
+    /// not recoverable input. Code handling *untrusted* parameters (loaded
+    /// files, user sweeps) should use [`try_new`](Self::try_new), or
+    /// [`new_clamped`](Self::new_clamped) when saturating numerical noise to
+    /// the valid range is acceptable.
+    ///
     /// # Panics
     ///
-    /// Panics if the fidelity is outside `[0, 1]` or the duration negative.
+    /// Panics if the fidelity is outside `[0, 1]` or the duration is
+    /// negative or non-finite.
     pub fn new(op: impl Into<String>, duration: f64, fidelity: f64, concurrency: u32) -> Self {
-        assert!(duration >= 0.0 && duration.is_finite(), "invalid duration");
-        assert!(
-            (0.0..=1.0).contains(&fidelity),
-            "invalid fidelity {fidelity}"
-        );
-        OpChannel {
+        match Self::try_new(op, duration, fidelity, concurrency) {
+            Ok(ch) => ch,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects non-finite or negative durations and
+    /// fidelities outside `[0, 1]` (including NaN) instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChannelError`] naming the offending parameter and value.
+    pub fn try_new(
+        op: impl Into<String>,
+        duration: f64,
+        fidelity: f64,
+        concurrency: u32,
+    ) -> Result<Self, ChannelError> {
+        if !duration.is_finite() || duration < 0.0 {
+            return Err(ChannelError::InvalidDuration(duration));
+        }
+        if !fidelity.is_finite() || !(0.0..=1.0).contains(&fidelity) {
+            return Err(ChannelError::InvalidFidelity(fidelity));
+        }
+        Ok(OpChannel {
             op: op.into(),
             duration,
             fidelity,
+            concurrency,
+        })
+    }
+
+    /// Clamping constructor: saturates the duration to `[0, ∞)` and the
+    /// fidelity to `[0, 1]`. Intended for callers whose inputs may carry
+    /// harmless numerical noise (e.g. a fidelity of `1.0 + 1e-16` from an
+    /// accumulated product).
+    ///
+    /// # Panics
+    ///
+    /// NaN cannot be meaningfully clamped and still panics.
+    pub fn new_clamped(
+        op: impl Into<String>,
+        duration: f64,
+        fidelity: f64,
+        concurrency: u32,
+    ) -> Self {
+        assert!(!duration.is_nan(), "duration is NaN");
+        assert!(!fidelity.is_nan(), "fidelity is NaN");
+        OpChannel {
+            op: op.into(),
+            duration: duration.clamp(0.0, f64::MAX),
+            fidelity: fidelity.clamp(0.0, 1.0),
             concurrency,
         }
     }
@@ -87,6 +163,65 @@ mod tests {
     #[should_panic(expected = "invalid fidelity")]
     fn invalid_fidelity_panics() {
         OpChannel::new("x", 0.0, 1.2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        OpChannel::new("x", -1e-9, 0.99, 1);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_parameters() {
+        assert_eq!(
+            OpChannel::try_new("x", -1.0, 0.5, 1),
+            Err(ChannelError::InvalidDuration(-1.0))
+        );
+        assert!(matches!(
+            OpChannel::try_new("x", f64::NAN, 0.5, 1),
+            Err(ChannelError::InvalidDuration(d)) if d.is_nan()
+        ));
+        assert_eq!(
+            OpChannel::try_new("x", f64::INFINITY, 0.5, 1),
+            Err(ChannelError::InvalidDuration(f64::INFINITY))
+        );
+        assert_eq!(
+            OpChannel::try_new("x", 1e-6, 1.0 + 1e-9, 1),
+            Err(ChannelError::InvalidFidelity(1.0 + 1e-9))
+        );
+        assert_eq!(
+            OpChannel::try_new("x", 1e-6, -0.1, 1),
+            Err(ChannelError::InvalidFidelity(-0.1))
+        );
+        assert!(matches!(
+            OpChannel::try_new("x", 1e-6, f64::NAN, 1),
+            Err(ChannelError::InvalidFidelity(_))
+        ));
+        assert!(OpChannel::try_new("x", 0.0, 0.0, 0).is_ok());
+        assert!(OpChannel::try_new("x", 1e-6, 1.0, 4).is_ok());
+    }
+
+    #[test]
+    fn try_new_error_messages_name_the_value() {
+        let e = OpChannel::try_new("x", -2.0, 0.5, 1).unwrap_err();
+        assert!(e.to_string().contains("-2"));
+        let e = OpChannel::try_new("x", 0.0, 1.5, 1).unwrap_err();
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn new_clamped_saturates_numerical_noise() {
+        let ch = OpChannel::new_clamped("load", -0.0, 1.0 + 1e-16, 1);
+        assert_eq!(ch.duration, 0.0);
+        assert_eq!(ch.fidelity, 1.0);
+        let ch = OpChannel::new_clamped("load", 1e-6, -1e-16, 1);
+        assert_eq!(ch.fidelity, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fidelity is NaN")]
+    fn new_clamped_rejects_nan() {
+        OpChannel::new_clamped("x", 0.0, f64::NAN, 1);
     }
 
     #[test]

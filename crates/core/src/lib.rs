@@ -20,7 +20,10 @@
 //!   simulation-cost ledger,
 //! * [`exec`] — the sharded Monte-Carlo execution engine: a reusable
 //!   [`exec::WorkerPool`] with worker-count-invariant `(seed, shard)`
-//!   RNG-stream derivation shared by every shot loop in the workspace.
+//!   RNG-stream derivation shared by every shot loop in the workspace,
+//! * [`testkit`] — the verification subsystem: channel/state conformance
+//!   checks, statistical assertions with derived tolerances, cross-simulator
+//!   differential oracles, and golden-snapshot files.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@ pub use hetarch_exec as exec;
 pub use hetarch_modules as modules;
 pub use hetarch_qsim as qsim;
 pub use hetarch_stab as stab;
+pub use hetarch_testkit as testkit;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {

@@ -135,23 +135,29 @@ impl Kraus1 {
     }
 
     /// Applies the channel to qubit `q` of `rho`.
+    ///
+    /// With the `validate` feature, debug builds check the output state's
+    /// conformance invariants (see [`crate::conformance`]) and panic on
+    /// violation.
     pub fn apply(&self, rho: &mut DensityMatrix, q: usize) {
         if self.ops.len() == 1 {
             rho.apply_conjugation_1q(q, &self.ops[0]);
-            return;
-        }
-        let original = rho.clone();
-        let mut first = true;
-        for k in &self.ops {
-            if first {
-                rho.apply_conjugation_1q(q, k);
-                first = false;
-            } else {
-                let mut term = original.clone();
-                term.apply_conjugation_1q(q, k);
-                accumulate(rho, &term);
+        } else {
+            let original = rho.clone();
+            let mut first = true;
+            for k in &self.ops {
+                if first {
+                    rho.apply_conjugation_1q(q, k);
+                    first = false;
+                } else {
+                    let mut term = original.clone();
+                    term.apply_conjugation_1q(q, k);
+                    accumulate(rho, &term);
+                }
             }
         }
+        #[cfg(feature = "validate")]
+        crate::conformance::debug_validate_state(rho, "Kraus1::apply");
     }
 
     /// Composes `self` followed by `other` into a single channel.
@@ -235,23 +241,29 @@ impl Kraus2 {
     }
 
     /// Applies the channel to qubits `(q_hi, q_lo)` of `rho`.
+    ///
+    /// With the `validate` feature, debug builds check the output state's
+    /// conformance invariants (see [`crate::conformance`]) and panic on
+    /// violation.
     pub fn apply(&self, rho: &mut DensityMatrix, q_hi: usize, q_lo: usize) {
         if self.ops.len() == 1 {
             rho.apply_conjugation_2q(q_hi, q_lo, &self.ops[0]);
-            return;
-        }
-        let original = rho.clone();
-        let mut first = true;
-        for k in &self.ops {
-            if first {
-                rho.apply_conjugation_2q(q_hi, q_lo, k);
-                first = false;
-            } else {
-                let mut term = original.clone();
-                term.apply_conjugation_2q(q_hi, q_lo, k);
-                accumulate(rho, &term);
+        } else {
+            let original = rho.clone();
+            let mut first = true;
+            for k in &self.ops {
+                if first {
+                    rho.apply_conjugation_2q(q_hi, q_lo, k);
+                    first = false;
+                } else {
+                    let mut term = original.clone();
+                    term.apply_conjugation_2q(q_hi, q_lo, k);
+                    accumulate(rho, &term);
+                }
             }
         }
+        #[cfg(feature = "validate")]
+        crate::conformance::debug_validate_state(rho, "Kraus2::apply");
     }
 }
 

@@ -44,6 +44,7 @@
 pub mod bell;
 pub mod channels;
 pub mod complex;
+pub mod conformance;
 pub mod error;
 pub mod fidelity;
 pub mod gates;

@@ -104,15 +104,18 @@ impl BitTable {
     }
 
     /// Copies every row of `src` into this table starting at shot column
-    /// `shot_offset` (the merge step of word-aligned sharded sampling).
+    /// `shot_offset` (the merge step of sharded sampling).
+    ///
+    /// Exactly `src.shots()` columns are written: destination bits outside
+    /// `[shot_offset, shot_offset + src.shots())` are preserved, including
+    /// bits sharing the final partial word with the spliced range. The
+    /// offset does not need to be word-aligned.
     ///
     /// # Panics
     ///
-    /// Panics if the row counts differ, `shot_offset` is not word-aligned
-    /// (a multiple of 64), or `src` does not fit at that offset.
+    /// Panics if the row counts differ or `src` does not fit at that offset.
     pub fn splice_shots(&mut self, src: &BitTable, shot_offset: usize) {
         assert_eq!(self.rows, src.rows, "row count mismatch");
-        assert_eq!(shot_offset % 64, 0, "shot offset must be word-aligned");
         assert!(
             shot_offset + src.shots <= self.shots,
             "source table does not fit at offset {shot_offset}"
@@ -120,12 +123,31 @@ impl BitTable {
         if src.shots == 0 {
             return;
         }
-        let word_offset = shot_offset / 64;
-        let src_words = src.shots.div_ceil(64);
         for row in 0..self.rows {
-            let dst = &mut self.data[row * self.words + word_offset..];
-            let s = &src.data[row * src.words..row * src.words + src_words];
-            dst[..src_words].copy_from_slice(s);
+            let src_row = row * src.words;
+            let dst_row = row * self.words;
+            let mut copied = 0;
+            while copied < src.shots {
+                let nbits = (src.shots - copied).min(64);
+                let mask = if nbits == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << nbits) - 1
+                };
+                let word = src.data[src_row + copied / 64] & mask;
+                let pos = shot_offset + copied;
+                let (wi, sh) = (pos / 64, pos % 64);
+                let idx = dst_row + wi;
+                self.data[idx] = (self.data[idx] & !(mask << sh)) | (word << sh);
+                // Bits that cross into the next destination word.
+                let spill = (sh + nbits).saturating_sub(64);
+                if spill > 0 {
+                    let hi_mask = (1u64 << spill) - 1;
+                    let hi = word >> (64 - sh);
+                    self.data[idx + 1] = (self.data[idx + 1] & !hi_mask) | hi;
+                }
+                copied += nbits;
+            }
         }
     }
 
@@ -202,6 +224,79 @@ mod tests {
         // Zero-shot splice is a no-op.
         dst.splice_shots(&BitTable::new(2, 0), 0);
         assert_eq!(dst.count_ones(0), 1);
+    }
+
+    #[test]
+    fn splice_shots_zero_shot_is_noop_at_any_offset() {
+        let mut dst = BitTable::new(1, 100);
+        dst.fill_row(0);
+        let empty = BitTable::new(1, 0);
+        dst.splice_shots(&empty, 0);
+        dst.splice_shots(&empty, 37);
+        dst.splice_shots(&empty, 100);
+        assert_eq!(dst.count_ones(0), 100);
+    }
+
+    #[test]
+    fn splice_shots_at_non_word_aligned_offset() {
+        let mut dst = BitTable::new(1, 200);
+        let mut src = BitTable::new(1, 70);
+        // Pattern spanning the source's own word boundary.
+        for s in [0, 1, 63, 64, 69] {
+            src.set(0, s, true);
+        }
+        dst.splice_shots(&src, 37);
+        let got: Vec<_> = dst.iter_ones(0).collect();
+        assert_eq!(got, vec![37, 38, 37 + 63, 37 + 64, 37 + 69]);
+    }
+
+    #[test]
+    fn splice_shots_preserves_bits_beyond_final_partial_word() {
+        // A 10-shot source spliced at 0 must leave dst shots 10..64 intact
+        // even though they share the destination word with the splice.
+        let mut dst = BitTable::new(1, 64);
+        dst.fill_row(0);
+        let src = BitTable::new(1, 10); // all zero
+        dst.splice_shots(&src, 0);
+        for s in 0..10 {
+            assert!(!dst.get(0, s), "shot {s} should be cleared");
+        }
+        for s in 10..64 {
+            assert!(dst.get(0, s), "shot {s} must be preserved");
+        }
+    }
+
+    #[test]
+    fn splice_shots_preserves_surrounding_bits_both_sides() {
+        let mut dst = BitTable::new(2, 300);
+        for row in 0..2 {
+            dst.fill_row(row);
+        }
+        let mut src = BitTable::new(2, 90);
+        src.set(0, 45, true);
+        dst.splice_shots(&src, 101);
+        // Row 0: only shot 101+45 set within the spliced window; everything
+        // outside the window still set.
+        for s in 0..300 {
+            let inside = (101..191).contains(&s);
+            let expect = if inside { s == 101 + 45 } else { true };
+            assert_eq!(dst.get(0, s), expect, "row 0 shot {s}");
+        }
+        // Row 1: spliced window fully cleared.
+        assert_eq!(dst.count_ones(1), 300 - 90);
+    }
+
+    #[test]
+    fn splice_shots_word_aligned_full_words_roundtrip() {
+        let mut dst = BitTable::new(1, 256);
+        let mut src = BitTable::new(1, 128);
+        for s in (0..128).step_by(7) {
+            src.set(0, s, true);
+        }
+        dst.splice_shots(&src, 128);
+        let got: Vec<_> = dst.iter_ones(0).collect();
+        let want: Vec<_> = (0..128).step_by(7).map(|s| s + 128).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

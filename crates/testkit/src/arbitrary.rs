@@ -1,0 +1,182 @@
+//! Random-instance strategies for differential testing.
+//!
+//! The vendored proptest subset has no `Arbitrary` trait, so the testkit
+//! defines its own: [`Arbitrary`] names a canonical strategy per type, and
+//! [`NoisyCircuit`]/[`NoiseConfig`] implement it for the circuit class the
+//! differential oracle consumes (random Clifford circuits with depolarizing
+//! noise — the exact class both simulation substrates must agree on).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A type with a canonical random-generation strategy (the role upstream
+/// proptest's `Arbitrary` plays).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// One element of a random noisy Clifford circuit.
+///
+/// Qubit operands are drawn from a wide range and folded modulo the circuit
+/// width when lowered, so a single strategy serves every width.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NoisyOp {
+    /// Hadamard.
+    H(u32),
+    /// Phase gate.
+    S(u32),
+    /// Pauli X.
+    X(u32),
+    /// CNOT (control, target).
+    Cx(u32, u32),
+    /// Controlled-Z.
+    Cz(u32, u32),
+    /// Single-qubit depolarizing noise with probability `p`.
+    Depol(u32, f64),
+}
+
+/// A random noisy Clifford circuit: `ops` over `num_qubits` qubits, each
+/// qubit measured in Z at the end.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoisyCircuit {
+    /// Circuit width.
+    pub num_qubits: u32,
+    /// Operation sequence (operands folded modulo `num_qubits` on use).
+    pub ops: Vec<NoisyOp>,
+}
+
+impl NoisyCircuit {
+    /// Canonicalizes the circuit: folds qubit operands into range and drops
+    /// two-qubit ops whose operands coincide after folding. The result
+    /// lowers identically but reads cleanly in failure reports.
+    pub fn canonical(&self) -> NoisyCircuit {
+        let n = self.num_qubits;
+        let ops = self
+            .ops
+            .iter()
+            .filter_map(|op| match *op {
+                NoisyOp::H(q) => Some(NoisyOp::H(q % n)),
+                NoisyOp::S(q) => Some(NoisyOp::S(q % n)),
+                NoisyOp::X(q) => Some(NoisyOp::X(q % n)),
+                NoisyOp::Cx(a, b) => {
+                    let (a, b) = (a % n, b % n);
+                    (a != b).then_some(NoisyOp::Cx(a, b))
+                }
+                NoisyOp::Cz(a, b) => {
+                    let (a, b) = (a % n, b % n);
+                    (a != b).then_some(NoisyOp::Cz(a, b))
+                }
+                NoisyOp::Depol(q, p) => Some(NoisyOp::Depol(q % n, p)),
+            })
+            .collect();
+        NoisyCircuit { num_qubits: n, ops }
+    }
+}
+
+/// Noise-configuration bounds for generated circuits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseConfig {
+    /// Minimum per-event depolarizing probability.
+    pub depol_min: f64,
+    /// Maximum per-event depolarizing probability.
+    pub depol_max: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            depol_min: 0.01,
+            depol_max: 0.15,
+        }
+    }
+}
+
+/// Strategy for one [`NoisyOp`] drawing qubits from `0..qubit_span` and
+/// depolarizing strengths from `noise`.
+pub fn noisy_op(qubit_span: u32, noise: NoiseConfig) -> BoxedStrategy<NoisyOp> {
+    let n = qubit_span;
+    prop_oneof![
+        (0..n).prop_map(NoisyOp::H),
+        (0..n).prop_map(NoisyOp::S),
+        (0..n).prop_map(NoisyOp::X),
+        (0..n, 1..n).prop_map(move |(a, d)| NoisyOp::Cx(a, (a + d) % n)),
+        (0..n, 1..n).prop_map(move |(a, d)| NoisyOp::Cz(a, (a + d) % n)),
+        (0..n, noise.depol_min..noise.depol_max).prop_map(|(q, p)| NoisyOp::Depol(q, p)),
+    ]
+    .boxed()
+}
+
+/// Strategy for a [`NoisyCircuit`] with `qubits` in `2..=max_qubits` and an
+/// op count drawn from `min_ops..max_ops`.
+pub fn noisy_circuit(
+    max_qubits: u32,
+    min_ops: usize,
+    max_ops: usize,
+    noise: NoiseConfig,
+) -> BoxedStrategy<NoisyCircuit> {
+    assert!(max_qubits >= 2, "need at least two qubits");
+    (
+        2..=max_qubits,
+        vec(noisy_op(max_qubits, noise), min_ops..max_ops),
+    )
+        .prop_map(|(num_qubits, ops)| NoisyCircuit { num_qubits, ops }.canonical())
+        .boxed()
+}
+
+impl Arbitrary for NoiseConfig {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        (0.005f64..0.05, 0.05f64..0.2)
+            .prop_map(|(depol_min, depol_max)| NoiseConfig {
+                depol_min,
+                depol_max,
+            })
+            .boxed()
+    }
+}
+
+impl Arbitrary for NoisyCircuit {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        noisy_circuit(4, 8, 24, NoiseConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::test_runner::TestRng;
+
+    #[test]
+    fn canonical_folds_and_drops_degenerate_pairs() {
+        let c = NoisyCircuit {
+            num_qubits: 2,
+            ops: vec![
+                NoisyOp::H(3),
+                NoisyOp::Cx(1, 3), // folds to (1, 1): dropped
+                NoisyOp::Cz(0, 3), // folds to (0, 1): kept
+                NoisyOp::Depol(2, 0.1),
+            ],
+        }
+        .canonical();
+        assert_eq!(
+            c.ops,
+            vec![NoisyOp::H(1), NoisyOp::Cz(0, 1), NoisyOp::Depol(0, 0.1)]
+        );
+    }
+
+    #[test]
+    fn arbitrary_circuits_are_canonical_and_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        let strategy = NoisyCircuit::arbitrary();
+        for _ in 0..50 {
+            let c = strategy.generate(&mut rng);
+            assert!((2..=4).contains(&c.num_qubits));
+            assert_eq!(c, c.canonical(), "already canonical");
+            for op in &c.ops {
+                if let NoisyOp::Depol(_, p) = op {
+                    assert!((0.01..0.15).contains(p));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Channel and state conformance assertions.
+//!
+//! The checking logic lives in [`hetarch_qsim::conformance`] (it must sit
+//! below the channel types to power the `validate`-feature hooks); this
+//! module re-exports it and adds panic-on-violation wrappers for test code.
+//!
+//! Building against `hetarch-testkit` also enables `hetarch-qsim`'s
+//! `validate` feature, so in debug builds every `Kraus1::apply` /
+//! `Kraus2::apply` anywhere in the dependency graph checks its output state.
+
+pub use hetarch_qsim::conformance::{
+    check_density_matrix, check_kraus1, check_kraus2, check_kraus_ops, VALIDATE_TOL,
+};
+
+use hetarch_qsim::channels::{Kraus1, Kraus2};
+use hetarch_qsim::state::DensityMatrix;
+
+/// Asserts that a single-qubit channel is a CPTP map.
+///
+/// # Panics
+///
+/// Panics with the violated property on failure.
+#[track_caller]
+pub fn assert_cptp1(channel: &Kraus1) {
+    if let Err(e) = check_kraus1(channel, VALIDATE_TOL) {
+        panic!("single-qubit channel violates CPTP: {e}");
+    }
+}
+
+/// Asserts that a two-qubit channel is a CPTP map.
+///
+/// # Panics
+///
+/// Panics with the violated property on failure.
+#[track_caller]
+pub fn assert_cptp2(channel: &Kraus2) {
+    if let Err(e) = check_kraus2(channel, VALIDATE_TOL) {
+        panic!("two-qubit channel violates CPTP: {e}");
+    }
+}
+
+/// Asserts that `rho` is a valid density matrix (unit trace, Hermitian,
+/// positive semidefinite).
+///
+/// # Panics
+///
+/// Panics with the violated invariant on failure.
+#[track_caller]
+pub fn assert_valid_density(rho: &DensityMatrix) {
+    if let Err(e) = check_density_matrix(rho, VALIDATE_TOL) {
+        panic!("density matrix invariant violated: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetarch_qsim::gates;
+
+    #[test]
+    fn standard_objects_pass_assertions() {
+        assert_cptp1(&Kraus1::depolarizing(0.2).unwrap());
+        assert_cptp2(&Kraus2::depolarizing(0.2).unwrap());
+        let mut rho = DensityMatrix::zero_state(2);
+        gates::h(&mut rho, 0);
+        gates::cnot(&mut rho, 0, 1);
+        assert_valid_density(&rho);
+    }
+
+    #[test]
+    fn validate_hooks_fire_through_apply() {
+        // With the `validate` feature on (always, in this crate), applying a
+        // channel audits the output; this simply must not panic.
+        let mut rho = DensityMatrix::zero_state(2);
+        Kraus1::amplitude_damping(0.4).unwrap().apply(&mut rho, 0);
+        Kraus2::depolarizing(0.3).unwrap().apply(&mut rho, 1, 0);
+        assert_valid_density(&rho);
+    }
+}

@@ -1,0 +1,241 @@
+//! Decoder differential harness.
+//!
+//! The exhaustive [`LookupDecoder`] is the reference: it enumerates
+//! minimum-weight corrections per syndrome, so on any error of weight up to
+//! `⌊(d−1)/2⌋` its correction lands in the error's coset. The approximate
+//! matching decoders ([`UnionFindDecoder`], `GreedyMatchingDecoder`) must
+//! never do worse on those correctable errors, and must stay statistically
+//! competitive on random errors.
+//!
+//! The harness works in the code-capacity setting: i.i.d. X errors on data
+//! qubits of a CSS code, decoded from the Z-stabilizer syndrome. The
+//! matching decoders see a [`MatchingGraph`] derived mechanically from the
+//! code (one node per Z stabilizer, one edge per data qubit connecting the
+//! stabilizers its X error flips, boundary edges for qubits on one
+//! stabilizer, observable masks from the logical-Z support), so the same
+//! construction serves the repetition code, the rotated surface code, and
+//! any other CSS code.
+
+use hetarch_stab::codes::StabilizerCode;
+use hetarch_stab::decoder::{
+    GreedyMatchingDecoder, LookupDecoder, MatchingGraph, UnionFindDecoder,
+};
+use hetarch_stab::pauli::{Pauli, PauliString};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A code-capacity decoding setup for X errors on a CSS code.
+pub struct CodeCapacity {
+    code: StabilizerCode,
+    graph: MatchingGraph,
+    /// Indices into `code.stabilizers()` of the Z-type generators, in graph
+    /// node order.
+    z_stabs: Vec<usize>,
+    /// Per data qubit: does an X error there flip logical Z?
+    obs: Vec<bool>,
+}
+
+impl CodeCapacity {
+    /// Derives the matching setup from `code`, weighting every edge with
+    /// the physical error probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code is not CSS or an X error on some qubit flips more
+    /// than two Z stabilizers (not a matchable code).
+    pub fn new(code: StabilizerCode, p: f64) -> Self {
+        assert!(code.is_css(), "code-capacity matching needs a CSS code");
+        let n = code.num_qubits();
+        // Z-type generators: no X support.
+        let z_stabs: Vec<usize> = (0..code.stabilizers().len())
+            .filter(|&i| {
+                code.stabilizers()[i]
+                    .iter_support()
+                    .all(|(_, pauli)| pauli == Pauli::Z)
+            })
+            .collect();
+        let mut graph = MatchingGraph::new(z_stabs.len());
+        let mut obs = Vec::with_capacity(n);
+        for q in 0..n {
+            let x_q = PauliString::from_sparse(n, &[(q, Pauli::X)]);
+            let flips_logical = !code.logical_z()[0].commutes_with(&x_q);
+            obs.push(flips_logical);
+            let touched: Vec<u32> = z_stabs
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| !code.stabilizers()[s].commutes_with(&x_q))
+                .map(|(node, _)| node as u32)
+                .collect();
+            let obs_mask = u64::from(flips_logical);
+            match touched.as_slice() {
+                [] => {} // X error invisible to Z stabilizers (not matchable).
+                [u] => graph.add_edge(*u, None, p, obs_mask),
+                [u, v] => graph.add_edge(*u, Some(*v), p, obs_mask),
+                more => panic!("qubit {q} flips {} Z stabilizers, cannot match", more.len()),
+            }
+        }
+        CodeCapacity {
+            code,
+            graph,
+            z_stabs,
+            obs,
+        }
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &StabilizerCode {
+        &self.code
+    }
+
+    /// The derived matching graph.
+    pub fn graph(&self) -> &MatchingGraph {
+        &self.graph
+    }
+
+    /// The X-error pattern's syndrome restricted to the graph's Z-stabilizer
+    /// nodes.
+    pub fn node_syndrome(&self, error: &PauliString) -> Vec<bool> {
+        let full = self.code.syndrome_of(error);
+        self.z_stabs.iter().map(|&s| full[s]).collect()
+    }
+
+    /// Whether `error` flips logical Z (the observable the matching
+    /// decoders predict).
+    pub fn actual_obs(&self, error: &PauliString) -> bool {
+        !self.code.logical_z()[0].commutes_with(error)
+    }
+
+    /// Builds the X-error string for a set of qubits.
+    pub fn x_error(&self, qubits: &[usize]) -> PauliString {
+        let support: Vec<(usize, Pauli)> = qubits.iter().map(|&q| (q, Pauli::X)).collect();
+        PauliString::from_sparse(self.code.num_qubits(), &support)
+    }
+
+    /// Samples an i.i.d. X-error pattern at rate `p`.
+    pub fn sample_error(&self, p: f64, rng: &mut StdRng) -> PauliString {
+        let qubits: Vec<usize> = (0..self.code.num_qubits())
+            .filter(|_| rng.gen_bool(p))
+            .collect();
+        self.x_error(&qubits)
+    }
+
+    /// Per data qubit, whether its X error flips the logical observable.
+    pub fn obs_flags(&self) -> &[bool] {
+        &self.obs
+    }
+}
+
+/// Outcome of decoding one error with all three decoders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeOutcome {
+    /// Did the lookup (reference) decoder leave a logical error?
+    pub lookup_failed: bool,
+    /// Did union-find mispredict the observable?
+    pub unionfind_failed: bool,
+    /// Did greedy matching mispredict the observable?
+    pub greedy_failed: bool,
+}
+
+/// Decodes `error` with the exhaustive lookup decoder and both matching
+/// decoders, reporting which of them left a logical error.
+///
+/// The lookup decoder's correction is applied and the residual classified
+/// via [`StabilizerCode::is_logical_error`]; the matching decoders predict
+/// the observable directly and are compared against the true observable
+/// parity of `error`.
+pub fn decode_all(
+    setup: &CodeCapacity,
+    lookup: &LookupDecoder,
+    uf: &UnionFindDecoder,
+    greedy: &GreedyMatchingDecoder,
+    error: &PauliString,
+) -> DecodeOutcome {
+    let full_syndrome = setup.code.syndrome_of(error);
+    let correction = lookup.decode(&full_syndrome);
+    let residual = error.xor(&correction);
+    debug_assert!(
+        setup.code.in_normalizer(&residual),
+        "lookup correction must clear the syndrome"
+    );
+    let lookup_failed = setup.code.is_logical_error(&residual);
+
+    let node_syndrome = setup.node_syndrome(error);
+    let actual = u64::from(setup.actual_obs(error));
+    let unionfind_failed = uf.decode(&node_syndrome) & 1 != actual;
+    let greedy_failed = greedy.decode(&node_syndrome) & 1 != actual;
+    DecodeOutcome {
+        lookup_failed,
+        unionfind_failed,
+        greedy_failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetarch_stab::codes::{repetition_code, rotated_surface_code};
+
+    fn decoders(setup: &CodeCapacity) -> (LookupDecoder, UnionFindDecoder, GreedyMatchingDecoder) {
+        (
+            LookupDecoder::new(setup.code(), setup.code().distance()),
+            UnionFindDecoder::new(setup.graph()),
+            GreedyMatchingDecoder::new(setup.graph()),
+        )
+    }
+
+    #[test]
+    fn repetition_graph_shape() {
+        let setup = CodeCapacity::new(repetition_code(3), 0.05);
+        // d=3 repetition: 2 Z stabilizers, 3 qubit edges (2 boundary).
+        assert_eq!(setup.graph().num_nodes(), 2);
+        assert_eq!(setup.graph().edges().len(), 3);
+    }
+
+    #[test]
+    fn surface_graph_shape() {
+        let setup = CodeCapacity::new(rotated_surface_code(3), 0.05);
+        // d=3 rotated surface code: 4 Z stabilizers. 9 data qubits, but
+        // parallel edges (same endpoints, same observable) merge: the two
+        // boundary-qubit pairs on the logical-Z edge collapse, leaving 7.
+        assert_eq!(setup.graph().num_nodes(), 4);
+        assert_eq!(setup.graph().edges().len(), 7);
+    }
+
+    #[test]
+    fn all_correctable_errors_decode_cleanly_on_both_codes() {
+        for code in [repetition_code(3), rotated_surface_code(3)] {
+            let setup = CodeCapacity::new(code, 0.05);
+            let (lookup, uf, greedy) = decoders(&setup);
+            let t = (setup.code().distance() - 1) / 2;
+            // Exhaustive over weight 0..=t X errors.
+            let n = setup.code().num_qubits();
+            let mut patterns: Vec<Vec<usize>> = vec![vec![]];
+            for _ in 0..t {
+                patterns = patterns
+                    .iter()
+                    .flat_map(|p| {
+                        (0..n).filter(move |q| !p.contains(q)).map(move |q| {
+                            let mut ext = p.clone();
+                            ext.push(q);
+                            ext
+                        })
+                    })
+                    .collect();
+            }
+            for qubits in [vec![]].into_iter().chain(patterns) {
+                let error = setup.x_error(&qubits);
+                let outcome = decode_all(&setup, &lookup, &uf, &greedy, &error);
+                assert_eq!(
+                    outcome,
+                    DecodeOutcome {
+                        lookup_failed: false,
+                        unionfind_failed: false,
+                        greedy_failed: false,
+                    },
+                    "{} qubits {qubits:?}",
+                    setup.code().name()
+                );
+            }
+        }
+    }
+}

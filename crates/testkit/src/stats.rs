@@ -1,0 +1,548 @@
+//! Statistical assertions with derived, not hand-tuned, tolerances.
+//!
+//! Monte-Carlo tests in this workspace compare an observed success count
+//! against an analytically expected rate. The contract everywhere is the
+//! **sigma contract**: a check at `sigma = k` passes whenever the expected
+//! rate is statistically compatible with the observation at the `k`-standard-
+//! deviation level, i.e. the test's false-failure probability is roughly
+//! `2·Φ(−k)` per comparison (`k = 5` → ~6e−7). Tolerances are computed from
+//! the shot count — raising shots tightens the check automatically.
+//!
+//! Two complementary bounds back the sigma contract:
+//!
+//! * the **Wilson score interval**, the right confidence interval for a
+//!   binomial proportion (well-behaved at rates near 0 or 1), and
+//! * the **Hoeffding bound**, a distribution-free tail bound
+//!   `P(|p̂ − p| ≥ t) ≤ 2·exp(−2·N·t²)`, conservative but assumption-free.
+//!
+//! A [`BinomialTest`] accepts an expected rate if *either* bound does at the
+//! same nominal confidence, which keeps checks tight in the Gaussian regime
+//! without going flaky in the heavy-tail regime.
+
+/// Result of a binomial compatibility check, carrying the evidence needed
+/// for an actionable failure message.
+#[derive(Clone, Debug)]
+pub struct BinomialReport {
+    /// Observed success rate `successes / trials`.
+    pub observed_rate: f64,
+    /// Expected rate under the null hypothesis.
+    pub expected_rate: f64,
+    /// Deviation in units of the binomial standard error (the effect size).
+    pub effect_sigmas: f64,
+    /// Wilson score interval at the requested sigma.
+    pub wilson: (f64, f64),
+    /// Hoeffding tolerance at the requested sigma's nominal confidence.
+    pub hoeffding_tol: f64,
+    /// Shots needed to resolve the observed deviation at the requested
+    /// sigma, if the deviation is real.
+    pub required_shots: u64,
+    /// True when the expected rate is compatible with the observation.
+    pub compatible: bool,
+}
+
+impl std::fmt::Display for BinomialReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "observed {:.6} vs expected {:.6}: effect {:.2}σ, wilson [{:.6}, {:.6}], \
+             hoeffding ±{:.6}; ~{} shots would resolve this deviation",
+            self.observed_rate,
+            self.expected_rate,
+            self.effect_sigmas,
+            self.wilson.0,
+            self.wilson.1,
+            self.hoeffding_tol,
+            self.required_shots,
+        )
+    }
+}
+
+/// An observed binomial sample: `successes` out of `trials`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BinomialTest {
+    /// Number of successes observed.
+    pub successes: u64,
+    /// Number of independent trials.
+    pub trials: u64,
+}
+
+impl BinomialTest {
+    /// Wraps an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero or `successes > trials`.
+    pub fn new(successes: u64, trials: u64) -> Self {
+        assert!(trials > 0, "binomial test needs at least one trial");
+        assert!(
+            successes <= trials,
+            "{successes} successes out of {trials} trials"
+        );
+        BinomialTest { successes, trials }
+    }
+
+    /// Observed success rate.
+    pub fn rate(&self) -> f64 {
+        self.successes as f64 / self.trials as f64
+    }
+
+    /// Wilson score interval at `sigma` standard deviations: the range of
+    /// true rates compatible with this observation.
+    pub fn wilson_interval(&self, sigma: f64) -> (f64, f64) {
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z2 = sigma * sigma;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (sigma / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Hoeffding tolerance `t` such that `P(|p̂ − p| ≥ t) ≤ 2·exp(−2Nt²)`
+    /// equals the two-sided Gaussian tail probability at `sigma`.
+    pub fn hoeffding_tolerance(&self, sigma: f64) -> f64 {
+        let alpha = 2.0 * normal_tail(sigma);
+        // Solve 2·exp(−2Nt²) = alpha for t.
+        ((2.0 / alpha).ln() / (2.0 * self.trials as f64)).sqrt()
+    }
+
+    /// Full compatibility report against `expected` at `sigma`.
+    pub fn check(&self, expected: f64, sigma: f64) -> BinomialReport {
+        assert!(
+            (0.0..=1.0).contains(&expected),
+            "expected rate {expected} outside [0, 1]"
+        );
+        assert!(sigma > 0.0, "sigma must be positive");
+        let n = self.trials as f64;
+        let observed = self.rate();
+        let deviation = (observed - expected).abs();
+        // Standard error under the null; floored at one count so a zero/one
+        // expected rate still yields a meaningful effect size.
+        let se = (expected * (1.0 - expected) / n).sqrt().max(1.0 / n);
+        let wilson = self.wilson_interval(sigma);
+        let hoeffding_tol = self.hoeffding_tolerance(sigma);
+        let in_wilson = (wilson.0..=wilson.1).contains(&expected);
+        let in_hoeffding = deviation <= hoeffding_tol;
+        let required_shots = if deviation > 0.0 {
+            let var = (expected * (1.0 - expected)).max(expected.clamp(1e-12, 0.5));
+            ((sigma * sigma * var / (deviation * deviation)).ceil() as u64).max(1)
+        } else {
+            self.trials
+        };
+        BinomialReport {
+            observed_rate: observed,
+            expected_rate: expected,
+            effect_sigmas: deviation / se,
+            wilson,
+            hoeffding_tol,
+            required_shots,
+            compatible: in_wilson || in_hoeffding,
+        }
+    }
+
+    /// Asserts compatibility with `expected` at `sigma`, panicking with the
+    /// full [`BinomialReport`] (effect size, intervals, required shots) on
+    /// failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the expected rate is incompatible with the observation.
+    #[track_caller]
+    pub fn assert_compatible(&self, expected: f64, sigma: f64, context: &str) {
+        let report = self.check(expected, sigma);
+        assert!(
+            report.compatible,
+            "{context}: rate incompatible at {sigma}σ — {report}"
+        );
+    }
+}
+
+/// The sigma-contract entry point: asserts that `observed` successes out of
+/// `shots` are statistically compatible with `expected` at `sigma` standard
+/// deviations. The failure message reports the effect size and the shot
+/// count that would resolve the deviation.
+///
+/// # Panics
+///
+/// Panics when the rates are incompatible.
+#[track_caller]
+pub fn assert_rates_compatible(observed: u64, expected: f64, shots: u64, sigma: f64) {
+    BinomialTest::new(observed, shots).assert_compatible(expected, sigma, "rate check");
+}
+
+/// Two-proportion z statistic for `a` vs `b` (positive when `b`'s rate
+/// exceeds `a`'s), using the pooled standard error.
+pub fn two_proportion_z(a: BinomialTest, b: BinomialTest) -> f64 {
+    let (na, nb) = (a.trials as f64, b.trials as f64);
+    let pooled = (a.successes + b.successes) as f64 / (na + nb);
+    let se = (pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb)).sqrt();
+    if se == 0.0 {
+        return 0.0;
+    }
+    (b.rate() - a.rate()) / se
+}
+
+/// Asserts that `low`'s underlying rate is below `high`'s at `sigma`
+/// significance (a one-sided two-proportion z-test).
+///
+/// # Panics
+///
+/// Panics when the separation is not significant at `sigma`.
+#[track_caller]
+pub fn assert_rate_below(low: BinomialTest, high: BinomialTest, sigma: f64, context: &str) {
+    let z = two_proportion_z(low, high);
+    assert!(
+        z >= sigma,
+        "{context}: rate {:.6} ({}/{}) not below {:.6} ({}/{}) at {sigma}σ (z = {z:.2})",
+        low.rate(),
+        low.successes,
+        low.trials,
+        high.rate(),
+        high.successes,
+        high.trials,
+    );
+}
+
+/// Result of a chi-squared goodness-of-fit test.
+#[derive(Clone, Copy, Debug)]
+pub struct Chi2Result {
+    /// The chi-squared statistic `Σ (O − E)² / E`.
+    pub statistic: f64,
+    /// Degrees of freedom (`bins − 1`).
+    pub dof: usize,
+    /// Upper-tail probability of the statistic under the null.
+    pub p_value: f64,
+}
+
+/// Chi-squared goodness-of-fit of observed counts against expected
+/// probabilities (which must sum to ~1). Bins with expected count below
+/// `5` are pooled into their successor to keep the asymptotics honest.
+///
+/// # Panics
+///
+/// Panics on length mismatch, empty input, or probabilities that do not
+/// sum to 1 within 1e-6.
+pub fn chi2_goodness_of_fit(observed: &[u64], expected_probs: &[f64]) -> Chi2Result {
+    assert_eq!(
+        observed.len(),
+        expected_probs.len(),
+        "bin count mismatch between observed and expected"
+    );
+    assert!(!observed.is_empty(), "need at least one bin");
+    let psum: f64 = expected_probs.iter().sum();
+    assert!(
+        (psum - 1.0).abs() < 1e-6,
+        "expected probabilities sum to {psum}, not 1"
+    );
+    let total: u64 = observed.iter().sum();
+    let n = total as f64;
+    // Pool low-expectation bins left-to-right until each pooled bin has an
+    // expected count of at least 5 (or the input runs out).
+    let mut pooled: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for (o, p) in observed.iter().zip(expected_probs) {
+        acc_o += *o as f64;
+        acc_e += p * n;
+        if acc_e >= 5.0 {
+            pooled.push((acc_o, acc_e));
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0.0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_o;
+            last.1 += acc_e;
+        } else {
+            pooled.push((acc_o, acc_e));
+        }
+    }
+    let statistic: f64 = pooled
+        .iter()
+        .map(|(o, e)| if *e > 0.0 { (o - e) * (o - e) / e } else { 0.0 })
+        .sum();
+    let dof = pooled.len().saturating_sub(1).max(1);
+    Chi2Result {
+        statistic,
+        dof,
+        p_value: chi2_survival(statistic, dof),
+    }
+}
+
+/// Upper-tail probability `P(X ≥ x)` for a chi-squared distribution with
+/// `dof` degrees of freedom: the regularized upper incomplete gamma
+/// `Q(dof/2, x/2)`.
+pub fn chi2_survival(x: f64, dof: usize) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Two-sided Gaussian tail probability `Φ(−sigma)` for `sigma ≥ 0`, via
+/// `erfc(sigma/√2)/2 = Q(1/2, sigma²/2)/2`.
+pub fn normal_tail(sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    gamma_q(0.5, sigma * sigma / 2.0) / 2.0
+}
+
+/// Complementary error function via the incomplete gamma identity
+/// `erfc(x) = Q(1/2, x²)` for `x ≥ 0`, extended by symmetry.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q(0.5, x * x)
+    } else {
+        2.0 - gamma_q(0.5, x * x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = Γ(a, x)/Γ(a)`, computed by
+/// the series for `x < a + 1` and the continued fraction otherwise
+/// (Numerical Recipes `gammq`).
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_contfrac(a, x)
+    }
+}
+
+/// Series expansion of the regularized lower incomplete gamma `P(a, x)`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut ap = a;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Lentz continued fraction for `Q(a, x)`.
+fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Published Lanczos coefficients, kept verbatim even where the last
+    // digit exceeds f64 precision.
+    #[allow(clippy::excessive_precision)]
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Standard normal quantile helper: the `z` value whose two-sided tail mass
+/// is `alpha` (bisection on [`normal_tail`]; used in tests and shot-count
+/// planning).
+pub fn sigma_for_alpha(alpha: f64) -> f64 {
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0);
+    let (mut lo, mut hi) = (0.0, 40.0);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if 2.0 * normal_tail(mid) > alpha {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for (n, fact) in [(1.0, 1.0f64), (2.0, 1.0), (5.0, 24.0), (10.0, 362_880.0)] {
+            let got = ln_gamma(n);
+            assert!((got - fact.ln()).abs() < 1e-10, "ln_gamma({n}) = {got}");
+        }
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn erfc_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-12);
+        // erfc(1) ≈ 0.157299207...
+        assert!((erfc(1.0) - 0.157_299_207_050_285).abs() < 1e-9);
+        assert!((erfc(-1.0) - (2.0 - 0.157_299_207_050_285)).abs() < 1e-9);
+        assert!(erfc(5.0) < 2e-12);
+    }
+
+    #[test]
+    fn normal_tail_known_values() {
+        // Φ(−1.96) ≈ 0.0249979.
+        assert!((normal_tail(1.96) - 0.024_997_9).abs() < 1e-5);
+        assert!((normal_tail(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigma_for_alpha(0.05) - 1.959_96).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chi2_survival_known_values() {
+        // P(X ≥ 3.841) for dof 1 ≈ 0.05.
+        assert!((chi2_survival(3.841, 1) - 0.05).abs() < 1e-3);
+        // P(X ≥ k) for dof k is near 0.44 for moderate k.
+        assert!((chi2_survival(5.0, 5) - 0.4159).abs() < 1e-3);
+        assert!((chi2_survival(0.0, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_contains_truth() {
+        let t = BinomialTest::new(480, 1000);
+        let (lo, hi) = t.wilson_interval(3.0);
+        assert!(lo < 0.48 && 0.48 < hi);
+        assert!(lo > 0.42 && hi < 0.54, "interval [{lo}, {hi}] too wide");
+        // Degenerate observations stay in [0, 1].
+        let z = BinomialTest::new(0, 50).wilson_interval(5.0);
+        assert!(z.0 == 0.0 && z.1 > 0.0 && z.1 < 1.0);
+        let o = BinomialTest::new(50, 50).wilson_interval(5.0);
+        assert!(o.1 == 1.0 && o.0 < 1.0);
+    }
+
+    #[test]
+    fn compatible_rates_pass_and_incompatible_fail() {
+        // 10k shots at p = 0.3: ±5σ is about ±0.023.
+        let t = BinomialTest::new(3050, 10_000);
+        assert!(t.check(0.3, 5.0).compatible);
+        let far = BinomialTest::new(4000, 10_000);
+        let report = far.check(0.3, 5.0);
+        assert!(!report.compatible);
+        assert!(report.effect_sigmas > 20.0);
+        assert!(
+            report.required_shots < 10_000,
+            "huge effect needs few shots"
+        );
+    }
+
+    #[test]
+    fn failure_report_formats_effect_and_required_shots() {
+        let report = BinomialTest::new(400, 1000).check(0.3, 5.0);
+        let msg = report.to_string();
+        assert!(msg.contains("σ") && msg.contains("shots"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate incompatible")]
+    fn assert_compatible_panics_on_large_deviation() {
+        BinomialTest::new(900, 1000).assert_compatible(0.3, 5.0, "demo");
+    }
+
+    #[test]
+    fn assert_rates_compatible_accepts_exact_rate() {
+        assert_rates_compatible(300, 0.3, 1000, 5.0);
+    }
+
+    #[test]
+    fn zero_and_one_expected_rates_are_handled() {
+        // Expected 0 with 0 observed: trivially compatible.
+        assert_rates_compatible(0, 0.0, 10_000, 5.0);
+        assert_rates_compatible(10_000, 1.0, 10_000, 5.0);
+        // Expected 0 with a handful observed: Hoeffding still tolerates a
+        // few counts at small N, catches gross violations.
+        let bad = BinomialTest::new(500, 1000).check(0.0, 5.0);
+        assert!(!bad.compatible);
+    }
+
+    #[test]
+    fn two_proportion_separates_distinct_rates() {
+        let a = BinomialTest::new(100, 10_000); // 1%
+        let b = BinomialTest::new(300, 10_000); // 3%
+        let z = two_proportion_z(a, b);
+        assert!(z > 5.0, "z = {z}");
+        assert_rate_below(a, b, 5.0, "demo");
+    }
+
+    #[test]
+    #[should_panic(expected = "not below")]
+    fn rate_below_rejects_equal_rates() {
+        assert_rate_below(
+            BinomialTest::new(200, 10_000),
+            BinomialTest::new(210, 10_000),
+            5.0,
+            "demo",
+        );
+    }
+
+    #[test]
+    fn chi2_accepts_fair_and_rejects_biased_counts() {
+        // Near-uniform counts over 4 bins.
+        let fair = chi2_goodness_of_fit(&[250, 251, 249, 250], &[0.25; 4]);
+        assert!(fair.p_value > 0.9, "p = {}", fair.p_value);
+        let biased = chi2_goodness_of_fit(&[400, 200, 200, 200], &[0.25; 4]);
+        assert!(biased.p_value < 1e-6, "p = {}", biased.p_value);
+    }
+
+    #[test]
+    fn chi2_pools_sparse_bins() {
+        // Last bin expects 0.4 counts; it must pool into a neighbor rather
+        // than blow up the statistic.
+        let r = chi2_goodness_of_fit(&[96, 100, 4], &[0.48, 0.5, 0.02]);
+        assert!(r.dof <= 2);
+        assert!(r.p_value > 0.05);
+    }
+
+    #[test]
+    fn hoeffding_tolerance_shrinks_with_shots() {
+        let small = BinomialTest::new(10, 100).hoeffding_tolerance(5.0);
+        let large = BinomialTest::new(1000, 10_000).hoeffding_tolerance(5.0);
+        assert!(large < small);
+        assert!((small / large - 10.0).abs() < 1e-9, "√N scaling");
+    }
+}

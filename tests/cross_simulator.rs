@@ -3,6 +3,7 @@
 //! frame sampler (hetarch-stab).
 
 use hetarch::prelude::*;
+use hetarch::testkit::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,6 +89,8 @@ fn measurement_collapse_agrees() {
 
 /// The frame sampler's depolarizing statistics match the density-matrix
 /// channel: a depolarized |0> measured in Z flips with probability 2p/3.
+/// The tolerance is the testkit sigma contract (5σ at this shot count)
+/// rather than a hand-picked constant.
 #[test]
 fn frame_sampler_statistics_match_channel() {
     let p = 0.24;
@@ -102,11 +105,12 @@ fn frame_sampler_statistics_match_channel() {
     c.measure(&[0], 0.0);
     let shots = 400_000;
     let mut sampler = hetarch::stab::frame::FrameSampler::new(1, shots, 99);
-    let flips = sampler.run(&c).meas_flips.count_ones(0) as f64 / shots as f64;
+    let flips = sampler.run(&c).meas_flips.count_ones(0) as u64;
 
-    assert!(
-        (flips - exact).abs() < 0.003,
-        "frame sampler {flips} vs exact {exact}"
+    BinomialTest::new(flips, shots as u64).assert_compatible(
+        exact,
+        5.0,
+        "frame-sampler depolarizing flip rate",
     );
 }
 
@@ -135,28 +139,6 @@ fn twirled_idle_matches_exact_channel_populations() {
     );
 }
 
-/// One element of a random noisy Clifford circuit for the differential test.
-#[derive(Clone, Debug)]
-enum NoisyOp {
-    H(u32),
-    S(u32),
-    X(u32),
-    Cx(u32, u32),
-    Cz(u32, u32),
-    Depol(u32, f64),
-}
-
-fn noisy_op(n: u32) -> impl Strategy<Value = NoisyOp> {
-    prop_oneof![
-        (0..n).prop_map(NoisyOp::H),
-        (0..n).prop_map(NoisyOp::S),
-        (0..n).prop_map(NoisyOp::X),
-        (0..n, 1..n).prop_map(move |(a, d)| NoisyOp::Cx(a, (a + d) % n)),
-        (0..n, 1..n).prop_map(move |(a, d)| NoisyOp::Cz(a, (a + d) % n)),
-        (0..n, 0.01f64..0.15).prop_map(|(q, p)| NoisyOp::Depol(q, p)),
-    ]
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -165,86 +147,16 @@ proptest! {
     /// exact density-matrix probabilities on every qubit whose noiseless
     /// measurement outcome is deterministic.
     ///
-    /// With 20 000 shots, the Hoeffding bound gives
-    /// `P(|f - p| > t) <= 2 exp(-2 N t^2) ~ 1e-6` at `t = 0.019`; the test
-    /// uses `t = 0.025` for slack across the <= 4 comparisons per case.
+    /// The circuit generation, simulator plumbing, and shot-count-derived
+    /// tolerances all live in `hetarch::testkit` ([`DiffOracle`]); the main
+    /// 64-case sweep runs in `tests/diff_oracle.rs`, this is a smoke-sized
+    /// sample wired through the same oracle.
     #[test]
     fn frame_sampler_matches_density_matrix_on_noisy_cliffords(
-        n in 2u32..=4,
-        ops in proptest::collection::vec(noisy_op(4), 8..24),
+        circuit in noisy_circuit(4, 8, 24, NoiseConfig::default()),
         seed in 0u64..1_000_000,
     ) {
-        let shots = 20_000usize;
-        let mut circuit = Circuit::new(n);
-        let mut dm = DensityMatrix::zero_state(n as usize);
-        let mut tb = Tableau::new(n as usize);
-        for op in &ops {
-            // Strategies draw qubits in 0..4; fold into range for small n.
-            match *op {
-                NoisyOp::H(q) => {
-                    let q = q % n;
-                    circuit.h(&[q]);
-                    gates::h(&mut dm, q as usize);
-                    tb.h(q as usize);
-                }
-                NoisyOp::S(q) => {
-                    let q = q % n;
-                    circuit.s(&[q]);
-                    gates::s(&mut dm, q as usize);
-                    tb.s(q as usize);
-                }
-                NoisyOp::X(q) => {
-                    let q = q % n;
-                    circuit.x(&[q]);
-                    gates::x(&mut dm, q as usize);
-                    tb.x(q as usize);
-                }
-                NoisyOp::Cx(a, b) => {
-                    let (a, b) = (a % n, b % n);
-                    if a == b { continue; }
-                    circuit.cx(&[(a, b)]);
-                    gates::cnot(&mut dm, a as usize, b as usize);
-                    tb.cx(a as usize, b as usize);
-                }
-                NoisyOp::Cz(a, b) => {
-                    let (a, b) = (a % n, b % n);
-                    if a == b { continue; }
-                    circuit.cz(&[(a, b)]);
-                    gates::cz(&mut dm, a as usize, b as usize);
-                    tb.cz(a as usize, b as usize);
-                }
-                NoisyOp::Depol(q, p) => {
-                    let q = q % n;
-                    circuit.depolarize1(p, &[q]);
-                    Kraus1::depolarizing(p).unwrap().apply(&mut dm, q as usize);
-                }
-            }
-        }
-        let qubits: Vec<u32> = (0..n).collect();
-        circuit.measure(&qubits, 0.0);
-
-        let pool = hetarch::exec::WorkerPool::new(2);
-        let result = hetarch::stab::frame::FrameSampler::sample(&circuit, shots, seed, &pool);
-
-        for q in 0..n as usize {
-            // The frame sampler reports flips relative to the noiseless
-            // reference outcome, which is only meaningful where that
-            // outcome is deterministic.
-            let p_ref = tb.prob_one(q);
-            if (p_ref - 0.5).abs() < 0.25 {
-                continue;
-            }
-            let reference_one = p_ref > 0.5;
-            let p_one = hetarch::qsim::measure::prob_one(&dm, q);
-            let expected_flip = if reference_one { 1.0 - p_one } else { p_one };
-            let observed_flip =
-                result.meas_flips.count_ones(q) as f64 / shots as f64;
-            prop_assert!(
-                (observed_flip - expected_flip).abs() < 0.025,
-                "qubit {}: observed flip rate {} vs density-matrix {}",
-                q, observed_flip, expected_flip
-            );
-        }
+        DiffOracle::new(20_000, seed).with_workers(2).assert_agrees(&circuit);
     }
 }
 

@@ -1,0 +1,121 @@
+//! Decoder differential suite: the approximate matching decoders
+//! (`unionfind`, `greedy`) against the exhaustive `lookup` decoder on d=3
+//! repetition and rotated surface codes, using the testkit harness.
+
+use hetarch::stab::codes::{repetition_code, rotated_surface_code};
+use hetarch::stab::decoder::{GreedyMatchingDecoder, LookupDecoder, UnionFindDecoder};
+use hetarch::testkit::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setups() -> Vec<CodeCapacity> {
+    vec![
+        CodeCapacity::new(repetition_code(3), 0.05),
+        CodeCapacity::new(rotated_surface_code(3), 0.05),
+    ]
+}
+
+fn decoders(setup: &CodeCapacity) -> (LookupDecoder, UnionFindDecoder, GreedyMatchingDecoder) {
+    (
+        LookupDecoder::new(setup.code(), setup.code().distance()),
+        UnionFindDecoder::new(setup.graph()),
+        GreedyMatchingDecoder::new(setup.graph()),
+    )
+}
+
+/// Correctable errors (weight ≤ ⌊(d−1)/2⌋ = 1 at d=3) must be decoded to
+/// the error's own coset by all three decoders: no decoder may *introduce*
+/// a logical error where the reference shows none. Exhaustive, not sampled.
+#[test]
+fn no_decoder_increases_logical_error_class_on_correctable_errors() {
+    for setup in setups() {
+        let (lookup, uf, greedy) = decoders(&setup);
+        let n = setup.code().num_qubits();
+        for qubits in std::iter::once(vec![]).chain((0..n).map(|q| vec![q])) {
+            let error = setup.x_error(&qubits);
+            let outcome = decode_all(&setup, &lookup, &uf, &greedy, &error);
+            assert!(
+                !outcome.lookup_failed && !outcome.unionfind_failed && !outcome.greedy_failed,
+                "{} error {qubits:?}: {outcome:?}",
+                setup.code().name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random multi-qubit X errors: whenever a matching decoder disagrees
+    /// with the true observable, the pattern must be genuinely ambiguous —
+    /// its weight must exceed the correctable bound. Equivalently, the
+    /// matching decoders never increase the logical error class of an
+    /// error the reference decoder provably handles.
+    fn matching_decoders_only_fail_beyond_the_correctable_bound(
+        seed in 0u64..1_000_000,
+        p in 0.02f64..0.25,
+    ) {
+        for setup in setups() {
+            let (lookup, uf, greedy) = decoders(&setup);
+            let t = (setup.code().distance() - 1) / 2;
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..40 {
+                let error = setup.sample_error(p, &mut rng);
+                let outcome = decode_all(&setup, &lookup, &uf, &greedy, &error);
+                if error.weight() <= t {
+                    prop_assert!(
+                        !outcome.lookup_failed
+                            && !outcome.unionfind_failed
+                            && !outcome.greedy_failed,
+                        "{} weight-{} error decoded wrong: {:?}",
+                        setup.code().name(),
+                        error.weight(),
+                        outcome
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// In aggregate, the approximate decoders cannot beat the exhaustive
+/// minimum-weight reference: their failure rate is statistically no lower
+/// than lookup's (and all stay well below 50% at this physical rate).
+#[test]
+fn aggregate_failure_rates_respect_the_reference_ordering() {
+    let trials = 4_000u64;
+    let p = 0.08;
+    for setup in setups() {
+        let (lookup, uf, greedy) = decoders(&setup);
+        let mut rng = StdRng::seed_from_u64(97);
+        let (mut fl, mut fu, mut fg) = (0u64, 0u64, 0u64);
+        for _ in 0..trials {
+            let error = setup.sample_error(p, &mut rng);
+            let outcome = decode_all(&setup, &lookup, &uf, &greedy, &error);
+            fl += u64::from(outcome.lookup_failed);
+            fu += u64::from(outcome.unionfind_failed);
+            fg += u64::from(outcome.greedy_failed);
+        }
+        let lookup_rate = BinomialTest::new(fl, trials);
+        for (name, fails) in [("unionfind", fu), ("greedy", fg)] {
+            let approx = BinomialTest::new(fails, trials);
+            // One-sided: approximate decoder significantly better than the
+            // exhaustive reference would indicate a bookkeeping bug.
+            let z = two_proportion_z(approx, lookup_rate);
+            assert!(
+                z < 5.0,
+                "{} {name} ({}/{trials}) significantly beats lookup ({}/{trials}), z = {z:.2}",
+                setup.code().name(),
+                fails,
+                fl
+            );
+            assert!(
+                approx.rate() < 0.5,
+                "{} {name} failure rate {:.3} is no better than chance",
+                setup.code().name(),
+                approx.rate()
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Golden-snapshot suite: byte-stable renderings of the characterized cell
+//! channels and module-level rate curves at pinned seeds.
+//!
+//! Regenerate after an intentional model change with
+//! `GOLDEN_UPDATE=1 cargo test -q --test golden_snapshots` and review the
+//! diff of `tests/golden/*.txt`.
+
+use std::path::{Path, PathBuf};
+
+use hetarch::prelude::*;
+use hetarch::stab::codes::{rotated_surface_code, steane};
+use hetarch::testkit::prelude::*;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn spec(s: &mut Snapshot, prefix: &str, g: &hetarch::devices::GateSpec) {
+    s.f64(&format!("{prefix}.time"), g.time)
+        .f64(&format!("{prefix}.error"), g.error);
+}
+
+fn op(s: &mut Snapshot, prefix: &str, c: &OpChannel) {
+    s.field(&format!("{prefix}.op"), &c.op)
+        .f64(&format!("{prefix}.duration"), c.duration)
+        .f64(&format!("{prefix}.fidelity"), c.fidelity)
+        .field(&format!("{prefix}.concurrency"), c.concurrency);
+}
+
+fn idle(s: &mut Snapshot, prefix: &str, i: &IdleParams) {
+    s.f64(&format!("{prefix}.t1"), i.t1)
+        .f64(&format!("{prefix}.t2"), i.t2);
+}
+
+/// Renders every field of the four characterized cell channels, plus their
+/// binary serde encodings, for the paper's standard device pairings.
+fn cell_channel_snapshot() -> Snapshot {
+    let lib = CellLibrary::new();
+    let transmon = catalog::fixed_frequency_qubit();
+    let resonator = catalog::multimode_resonator_3d();
+
+    let mut s = Snapshot::new(
+        "characterized cell channels: fixed-frequency transmon + 3D multimode resonator \
+         (ParCheck: + flux-tunable transmon)",
+    );
+
+    let reg = lib.get::<RegisterCell>(&transmon, &resonator);
+    s.section("register");
+    op(&mut s, "load", &reg.load);
+    idle(&mut s, "storage_idle", &reg.storage_idle);
+    idle(&mut s, "compute_idle", &reg.compute_idle);
+    s.field("modes", reg.modes).serde_hex("serde", &*reg);
+
+    let pc = lib.get::<ParCheckCell>(&transmon, &catalog::flux_tunable_qubit());
+    s.section("parcheck");
+    op(&mut s, "parity", &pc.parity);
+    spec(&mut s, "gate_1q", &pc.gate_1q);
+    spec(&mut s, "gate_2q", &pc.gate_2q);
+    s.f64("readout_time", pc.readout_time);
+    idle(&mut s, "idle_a", &pc.idle_a);
+    idle(&mut s, "idle_b", &pc.idle_b);
+    s.serde_hex("serde", &*pc);
+
+    let seq = lib.get::<SeqOpCell>(&transmon, &resonator);
+    s.section("seqop");
+    op(&mut s, "seq_cnot", &seq.seq_cnot);
+    op(&mut s, "parity", &seq.parity);
+    idle(&mut s, "storage_idle", &seq.storage_idle);
+    idle(&mut s, "compute_idle", &seq.compute_idle);
+    s.field("modes", seq.modes).serde_hex("serde", &*seq);
+
+    let usc = lib.get::<UscCell>(&transmon, &resonator);
+    s.section("usc");
+    spec(&mut s, "swap", &usc.swap);
+    spec(&mut s, "cx", &usc.cx);
+    spec(&mut s, "gate_1q", &usc.gate_1q);
+    s.f64("readout_time", usc.readout_time);
+    idle(&mut s, "storage_idle", &usc.storage_idle);
+    idle(&mut s, "compute_idle", &usc.compute_idle);
+    s.field("capacity", usc.capacity)
+        .field("registers", usc.registers);
+    op(&mut s, "check2", &usc.check2);
+    s.serde_hex("serde", &*usc);
+
+    s
+}
+
+/// UEC logical-error-rate curve over storage coherence, at a pinned seed,
+/// computed on the given pool (worker-count invariance is asserted by the
+/// caller).
+fn uec_rate_snapshot(pool: &WorkerPool) -> Snapshot {
+    let shots = 2_000;
+    let seed = 61;
+    let mut s = Snapshot::new("UEC logical error rates, 2000 shots, seed 61");
+    for code in [steane(), rotated_surface_code(3)] {
+        for ts_ms in [0.5, 5.0, 50.0] {
+            let usc = UscCell::new(
+                catalog::coherence_limited_compute(0.5e-3),
+                catalog::coherence_limited_storage(ts_ms * 1e-3),
+            )
+            .unwrap()
+            .characterize();
+            let r = UecModule::new(code.clone(), usc, UecNoise::default())
+                .logical_error_rate_on(pool, shots, seed);
+            s.section(&format!("{} ts={}ms", code.name(), ts_ms));
+            s.f64("logical_error_rate", r.logical_error_rate)
+                .f64("cycle_duration", r.cycle_duration)
+                .field("shots", r.shots);
+        }
+    }
+    s
+}
+
+/// Distillation module report for the paper's heterogeneous configuration
+/// at a pinned seed.
+fn distill_snapshot() -> Snapshot {
+    let cfg = DistillConfig::heterogeneous(12.5e-3, 1e6, 7);
+    let report = DistillModule::new(cfg).run(0.5e-3);
+    let mut s = Snapshot::new("distillation report: heterogeneous ts=12.5ms, 1 MHz, seed 7");
+    s.section("report");
+    s.f64("duration", report.duration)
+        .field("arrivals", report.arrivals)
+        .field("rounds_attempted", report.rounds_attempted)
+        .field("rounds_succeeded", report.rounds_succeeded)
+        .field("delivered", report.delivered)
+        .f64("delivered_rate_hz", report.delivered_rate_hz)
+        .f64("best_fidelity", report.best_fidelity)
+        .serde_hex("serde", &report);
+    s
+}
+
+#[test]
+fn cell_channel_goldens_are_bit_stable() {
+    let first = cell_channel_snapshot();
+    let second = cell_channel_snapshot();
+    assert_eq!(
+        first.render(),
+        second.render(),
+        "cell characterization must render identically across runs"
+    );
+    assert_golden(&golden_dir(), "cell_channels", &first);
+}
+
+#[test]
+fn uec_rate_goldens_are_worker_count_invariant() {
+    // HETARCH_WORKERS ∈ {1, 8}: the sharded Monte-Carlo seeding makes the
+    // rendered curve identical regardless of parallelism.
+    let single = uec_rate_snapshot(&WorkerPool::new(1));
+    let eight = uec_rate_snapshot(&WorkerPool::new(8));
+    assert_eq!(
+        single.render(),
+        eight.render(),
+        "UEC rate curve must not depend on the worker count"
+    );
+    assert_golden(&golden_dir(), "uec_rates", &single);
+}
+
+#[test]
+fn distill_report_golden_is_bit_stable() {
+    let first = distill_snapshot();
+    let second = distill_snapshot();
+    assert_eq!(first.render(), second.render());
+    assert_golden(&golden_dir(), "distill_report", &first);
+}

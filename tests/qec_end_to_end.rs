@@ -1,6 +1,7 @@
 //! End-to-end error-corrected memory (paper §4.2 headline behaviours).
 
 use hetarch::prelude::*;
+use hetarch::testkit::prelude::*;
 
 fn usc(ts: f64) -> UscChannel {
     UscCell::new(
@@ -51,7 +52,18 @@ fn surface_code_ratio_pushes_below_threshold() {
     };
     let (_, p3) = SurfaceMemory::new(3, 3, noise).logical_error_rate(shots, 43);
     let (_, p9) = SurfaceMemory::new(9, 9, noise).logical_error_rate(shots, 44);
-    assert!(p9 < p3, "below threshold d=9 ({p9}) should beat d=3 ({p3})");
+    // Per-round rates over shots × d rounds each; the testkit two-proportion
+    // comparison demands a 3σ separation, not just a raw inequality.
+    let per_round_sample = |p: f64, d: u64| {
+        let rounds = shots as u64 * d;
+        BinomialTest::new((p * rounds as f64).round() as u64, rounds)
+    };
+    assert_rate_below(
+        per_round_sample(p9, 9),
+        per_round_sample(p3, 3),
+        3.0,
+        "below threshold, d=9 beats d=3 per round",
+    );
 }
 
 #[test]
