@@ -1,9 +1,15 @@
-//! Monte-Carlo scaling study for the sharded execution engine (`BENCH_pr2`).
+//! Monte-Carlo scaling study for the sharded execution engine (`BENCH_pr2`),
+//! plus the observability report mode (`BENCH_pr4`).
 //!
-//! Runs the UEC d=5 rotated-surface-code memory at fixed seed across worker
-//! counts, checks the logical error rate is bit-identical for every worker
-//! count (the engine's worker-count-invariance contract), and writes
-//! shots/sec per worker count to `BENCH_pr2.json`.
+//! Default mode runs the UEC d=5 rotated-surface-code memory at fixed seed
+//! across worker counts, checks the logical error rate is bit-identical for
+//! every worker count (the engine's worker-count-invariance contract), and
+//! writes shots/sec per worker count to `BENCH_pr2.json`.
+//!
+//! `--report` mode arms the observability layer, runs the UEC,
+//! surface-memory and distillation workloads once each, and writes
+//! shots/sec, shard counts and characterization-cache hit ratios — together
+//! with the full metric report — to `BENCH_pr4.json`.
 //!
 //! `HETARCH_SHOTS` scales the shot count (default 4096);
 //! `HETARCH_WORKER_COUNTS` is a comma-separated override of the swept
@@ -12,7 +18,9 @@
 use std::time::Instant;
 
 use hetarch::exec::WorkerPool;
+use hetarch::obs;
 use hetarch::prelude::*;
+use hetarch::stab::codes::SurfaceDecoder;
 
 fn worker_counts() -> Vec<usize> {
     std::env::var("HETARCH_WORKER_COUNTS")
@@ -28,6 +36,123 @@ fn worker_counts() -> Vec<usize> {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--report") {
+        report_mode();
+    } else {
+        scaling_mode();
+    }
+}
+
+fn uec_module() -> UecModule {
+    let usc = UscCell::new(
+        catalog::coherence_limited_compute(0.5e-3),
+        catalog::coherence_limited_storage(50e-3),
+    )
+    .unwrap()
+    .characterize();
+    UecModule::new(rotated_surface_code(5), usc, UecNoise::default())
+}
+
+/// `--report`: one pass per workload with the observability layer armed,
+/// emitting `BENCH_pr4.json`.
+fn report_mode() {
+    obs::force_enabled(true);
+    obs::reset();
+    let shots = hetarch_bench::shots(4096);
+    let seed = 2023;
+    hetarch_bench::header(
+        "BENCH_pr4",
+        "observability report: shots/sec, shard counts and cache-hit ratios per workload",
+    );
+    if !obs::enabled() {
+        println!("note: built without the `obs` feature; all counters will be empty");
+    }
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = WorkerPool::new(hw);
+
+    // Exercise the characterization cache: repeated lookups through one
+    // shared library (first pass misses, the rest hit).
+    let lib = CellLibrary::new();
+    let compute = catalog::coherence_limited_compute(0.5e-3);
+    let storage = catalog::coherence_limited_storage(50e-3);
+    for _ in 0..8 {
+        lib.get::<RegisterCell>(&compute, &storage);
+        lib.get::<ParCheckCell>(&compute, &compute);
+    }
+
+    let mut workloads: Vec<(&str, usize, f64)> = Vec::new();
+    let mut timed = |name: &'static str, shots: usize, f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "{name:>28}: {:>12.0} shots/s ({secs:.3} s)",
+            shots as f64 / secs
+        );
+        workloads.push((name, shots, secs));
+    };
+
+    let uec = uec_module();
+    timed("uec_d5_rotated_surface_code", shots, &mut || {
+        uec.logical_error_rate_on(&pool, shots, seed);
+    });
+    let memory = SurfaceMemory::new(5, 5, SurfaceNoise::default());
+    timed("surface_memory_d5", shots, &mut || {
+        memory.logical_error_rate_on(&pool, SurfaceDecoder::UnionFind, shots, seed);
+    });
+    let distill = DistillModule::new(DistillConfig::heterogeneous(12.5e-3, 1e6, seed));
+    let trials = (shots / 512).max(4);
+    let duration = hetarch_bench::sim_duration(2.0);
+    timed("distillation_batch", trials, &mut || {
+        distill.run_batch_on(&pool, duration, trials);
+    });
+
+    let report = obs::report();
+    let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"mc_scaling_report\",\n");
+    json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, (name, shots, secs)) in workloads.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"shots\": {shots}, \"elapsed_sec\": {secs:.4}, \
+             \"shots_per_sec\": {:.1}}}{}\n",
+            *shots as f64 / secs,
+            if i + 1 == workloads.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"shards_executed\": {},\n",
+        counter("exec.shards_executed")
+    ));
+    json.push_str("  \"cache\": {\n");
+    let kinds = ["register", "parcheck", "seqop", "usc"];
+    for (i, kind) in kinds.iter().enumerate() {
+        let hits = counter(&format!("cells.{kind}.hits"));
+        let misses = counter(&format!("cells.{kind}.misses"));
+        let ratio = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    \"{kind}\": {{\"hits\": {hits}, \"misses\": {misses}, \
+             \"hit_ratio\": {ratio:.4}}}{}\n",
+            if i + 1 == kinds.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"obs_report\": {}\n", report.to_json()));
+    json.push_str("}\n");
+    std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
+    println!("\nwrote BENCH_pr4.json ({} workloads)", workloads.len());
+}
+
+/// Default mode: the PR 2 worker-count scaling study (`BENCH_pr2.json`).
+fn scaling_mode() {
     let shots = hetarch_bench::shots(4096);
     let seed = 2023;
     hetarch_bench::header(
@@ -35,13 +160,7 @@ fn main() {
         "sharded Monte-Carlo scaling: UEC d=5 surface code, shots/sec vs workers",
     );
 
-    let usc = UscCell::new(
-        catalog::coherence_limited_compute(0.5e-3),
-        catalog::coherence_limited_storage(50e-3),
-    )
-    .unwrap()
-    .characterize();
-    let module = UecModule::new(rotated_surface_code(5), usc, UecNoise::default());
+    let module = uec_module();
 
     let counts = worker_counts();
     let mut rows = Vec::new();

@@ -27,6 +27,7 @@ use std::path::Path;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+use hetarch_obs as obs;
 use parking_lot::Mutex;
 use serde::Serialize;
 
@@ -37,6 +38,32 @@ use crate::parcheck::ParCheckChannel;
 use crate::register::RegisterChannel;
 use crate::seqop::SeqOpChannel;
 use crate::usc::UscChannel;
+
+// Workspace-wide cache metrics, aggregated over every `CellLibrary`
+// instance (the per-instance view stays available via
+// [`CellLibrary::stats`]). Indexed by `CellKind::index()` (tag order).
+// No-ops unless the `obs` feature is on and `HETARCH_OBS=1`.
+static OBS_HITS: [obs::Counter; 4] = [
+    obs::Counter::new("cells.register.hits"),
+    obs::Counter::new("cells.parcheck.hits"),
+    obs::Counter::new("cells.seqop.hits"),
+    obs::Counter::new("cells.usc.hits"),
+];
+static OBS_MISSES: [obs::Counter; 4] = [
+    obs::Counter::new("cells.register.misses"),
+    obs::Counter::new("cells.parcheck.misses"),
+    obs::Counter::new("cells.seqop.misses"),
+    obs::Counter::new("cells.usc.misses"),
+];
+static OBS_WAITS: [obs::Counter; 4] = [
+    obs::Counter::new("cells.register.inflight_waits"),
+    obs::Counter::new("cells.parcheck.inflight_waits"),
+    obs::Counter::new("cells.seqop.inflight_waits"),
+    obs::Counter::new("cells.usc.inflight_waits"),
+];
+static OBS_SIM_SECONDS_RUN: obs::Ledger = obs::Ledger::new("cells.sim_seconds_run");
+static OBS_SIM_SECONDS_SAVED: obs::Ledger = obs::Ledger::new("cells.sim_seconds_saved");
+static OBS_CHARACTERIZE_NS: obs::Histogram = obs::Histogram::new("cells.characterize_ns");
 
 /// Injective cache key for one characterization request.
 ///
@@ -259,10 +286,12 @@ impl CellLibrary {
                         armed: true,
                     };
                     let started = Instant::now();
+                    let span = obs::span!(OBS_CHARACTERIZE_NS);
                     let cell = C::build(a.clone(), b.clone()).unwrap_or_else(|violations| {
                         panic!("{} design rules violated: {violations:?}", C::KIND)
                     });
                     let channel = Arc::new(cell.characterize());
+                    drop(span);
                     let payload: Payload = channel.clone();
                     let entry = ReadyEntry {
                         kind: C::KIND,
@@ -365,6 +394,8 @@ impl CellLibrary {
         s.hits += 1;
         s.sim_seconds_saved += sim_seconds;
         s.by_kind[kind.index()].hits += 1;
+        OBS_HITS[kind.index()].inc();
+        OBS_SIM_SECONDS_SAVED.add(sim_seconds);
     }
 
     fn record_miss(&self, kind: CellKind, sim_seconds: f64) {
@@ -372,12 +403,15 @@ impl CellLibrary {
         s.misses += 1;
         s.sim_seconds_run += sim_seconds;
         s.by_kind[kind.index()].misses += 1;
+        OBS_MISSES[kind.index()].inc();
+        OBS_SIM_SECONDS_RUN.add(sim_seconds);
     }
 
     fn record_wait(&self, kind: CellKind) {
         let mut s = self.stats.lock();
         s.inflight_waits += 1;
         s.by_kind[kind.index()].inflight_waits += 1;
+        OBS_WAITS[kind.index()].inc();
     }
 }
 

@@ -21,6 +21,9 @@
 //! * [`exec`] — the sharded Monte-Carlo execution engine: a reusable
 //!   [`exec::WorkerPool`] with worker-count-invariant `(seed, shard)`
 //!   RNG-stream derivation shared by every shot loop in the workspace,
+//! * [`obs`] — the observability layer: lock-free counters, wall-time
+//!   histograms and deterministic run reports, compiled in only with the
+//!   `obs` cargo feature and armed only when `HETARCH_OBS=1`,
 //! * [`testkit`] — the verification subsystem: channel/state conformance
 //!   checks, statistical assertions with derived tolerances, cross-simulator
 //!   differential oracles, and golden-snapshot files.
@@ -52,6 +55,7 @@ pub use hetarch_devices as devices;
 pub use hetarch_dse as dse;
 pub use hetarch_exec as exec;
 pub use hetarch_modules as modules;
+pub use hetarch_obs as obs;
 pub use hetarch_qsim as qsim;
 pub use hetarch_stab as stab;
 pub use hetarch_testkit as testkit;

@@ -1,5 +1,11 @@
 //! Pareto-front extraction over multi-objective design evaluations.
 
+use hetarch_obs as obs;
+
+// Front metrics (no-ops unless the `obs` feature is on and `HETARCH_OBS=1`).
+static PARETO_CALLS: obs::Counter = obs::Counter::new("dse.pareto_calls");
+static PARETO_FRONT_SIZE: obs::Gauge = obs::Gauge::new("dse.pareto_front_size");
+
 /// Returns the indices of the Pareto-optimal entries of `metrics`, where
 /// every objective is **minimized**. An entry is dominated when another
 /// entry is ≤ in every objective and < in at least one.
@@ -33,18 +39,22 @@ pub fn pareto_front(metrics: &[Vec<f64>]) -> Vec<usize> {
     let dominates = |a: &[f64], b: &[f64]| {
         a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
     };
-    (0..metrics.len())
+    let front: Vec<usize> = (0..metrics.len())
         .filter(|&i| {
             !metrics
                 .iter()
                 .enumerate()
                 .any(|(j, m)| j != i && dominates(m, &metrics[i]))
         })
-        .collect()
+        .collect();
+    PARETO_CALLS.inc();
+    PARETO_FRONT_SIZE.set(front.len() as u64);
+    front
 }
 
-/// Picks the knee point of a (sorted or unsorted) two-objective front: the
-/// entry minimizing the normalized distance to the utopia point.
+/// Picks the knee point of a (sorted or unsorted) front with any number of
+/// objectives: the entry minimizing the normalized squared distance to the
+/// utopia point (each objective min-max scaled over the front).
 ///
 /// Returns `None` for empty input.
 pub fn knee_point(metrics: &[Vec<f64>]) -> Option<usize> {

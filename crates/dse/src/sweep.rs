@@ -2,8 +2,14 @@
 //! [`hetarch_exec::WorkerPool`] substrate.
 
 use hetarch_exec::WorkerPool;
+use hetarch_obs as obs;
 
 use crate::space::{DesignSpace, Point};
+
+// Sweep metrics (no-ops unless the `obs` feature is on and `HETARCH_OBS=1`).
+static POINTS_EVALUATED: obs::Counter = obs::Counter::new("dse.points_evaluated");
+static SWEEPS: obs::Counter = obs::Counter::new("dse.sweeps");
+static POINT_LATENCY_NS: obs::Histogram = obs::Histogram::new("dse.point_latency_ns");
 
 /// Evaluates `f` at every point of `space` in parallel on the global
 /// [`WorkerPool`], preserving point order in the output.
@@ -45,7 +51,14 @@ where
     T: Send,
     F: Fn(&Point) -> T + Sync,
 {
-    let values = pool.map_indexed(points.len(), |i| f(&points[i]));
+    SWEEPS.inc();
+    let values = pool.map_indexed(points.len(), |i| {
+        let span = obs::span!(POINT_LATENCY_NS);
+        let value = f(&points[i]);
+        drop(span);
+        POINTS_EVALUATED.inc();
+        value
+    });
     points.into_iter().zip(values).collect()
 }
 

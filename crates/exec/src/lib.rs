@@ -39,6 +39,19 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::OnceLock;
 
+use hetarch_obs as obs;
+
+// Engine metrics (no-ops unless the `obs` feature is on and `HETARCH_OBS=1`;
+// they count and time but never feed back into shard plans or RNG streams).
+static MAP_CALLS: obs::Counter = obs::Counter::new("exec.map_calls");
+static JOBS_EXECUTED: obs::Counter = obs::Counter::new("exec.jobs_executed");
+static SHARDS_EXECUTED: obs::Counter = obs::Counter::new("exec.shards_executed");
+static PANICS_OBSERVED: obs::Counter = obs::Counter::new("exec.panics_observed");
+static GLOBAL_WORKERS: obs::Gauge = obs::Gauge::new("exec.global_workers");
+static QUEUE_WAIT_NS: obs::Histogram = obs::Histogram::new("exec.queue_wait_ns");
+static COMPUTE_NS: obs::Histogram = obs::Histogram::new("exec.compute_ns");
+static JOBS_PER_WORKER: obs::Histogram = obs::Histogram::new("exec.jobs_per_worker");
+
 /// Derives the RNG seed of shard `shard` from the master `seed`.
 ///
 /// This is the SplitMix64 output function over `seed + (shard+1)·φ64`; it
@@ -116,19 +129,44 @@ impl WorkerPool {
 
     /// The process-wide default pool: `HETARCH_WORKERS` if set, otherwise
     /// the machine's available parallelism.
+    ///
+    /// The resolution happens **once**: the first call reads the
+    /// environment and caches the pool in a `OnceLock` for the lifetime of
+    /// the process, so later changes to `HETARCH_WORKERS` are ignored. The
+    /// resolved count is recorded as the `exec.global_workers` obs gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on the first call) if `HETARCH_WORKERS` is set to anything
+    /// other than a positive integer — a typo'd worker count should fail
+    /// loudly, not silently fall back to full parallelism.
     pub fn global() -> &'static WorkerPool {
         GLOBAL.get_or_init(|| {
-            let workers = std::env::var("HETARCH_WORKERS")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .filter(|&w| w >= 1)
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
-                });
-            WorkerPool::new(workers)
+            let pool = WorkerPool::from_env_str(std::env::var("HETARCH_WORKERS").ok().as_deref());
+            GLOBAL_WORKERS.set(pool.workers as u64);
+            pool
         })
+    }
+
+    /// Resolves a pool from an optional `HETARCH_WORKERS` value — the
+    /// testable seam behind [`WorkerPool::global`]. `None` (variable unset)
+    /// falls back to the machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a positive integer.
+    pub fn from_env_str(value: Option<&str>) -> WorkerPool {
+        let workers = match value {
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Some(s) => match s.trim().parse::<usize>() {
+                Ok(w) if w >= 1 => w,
+                Ok(_) => panic!("HETARCH_WORKERS must be at least 1, got `{s}`"),
+                Err(_) => panic!("HETARCH_WORKERS must be a positive integer, got `{s}`"),
+            },
+        };
+        WorkerPool::new(workers)
     }
 
     /// Number of worker threads.
@@ -148,33 +186,51 @@ impl WorkerPool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        MAP_CALLS.inc();
         if self.workers == 1 || n <= 1 {
-            return (0..n).map(f).collect();
+            return (0..n).map(|i| observe_job(|| f(i))).collect();
         }
         let threads = self.workers.min(n);
         let next = &AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, R)>();
         let f = &f;
+        let call_start = obs::enabled().then(std::time::Instant::now);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 let tx = tx.clone();
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                s.spawn(move || {
+                    let mut mine = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if let Some(start) = call_start {
+                            QUEUE_WAIT_NS.record(elapsed_ns(start));
+                        }
+                        let value = observe_job(|| f(i));
+                        mine += 1;
+                        // The receiver outlives the workers; a failed send
+                        // means the scope is unwinding anyway.
+                        let _ = tx.send((i, value));
                     }
-                    let value = f(i);
-                    // The receiver outlives the scope; a failed send means a
-                    // sibling panicked and the scope is unwinding anyway.
-                    let _ = tx.send((i, value));
+                    if obs::enabled() {
+                        JOBS_PER_WORKER.record(mine);
+                    }
                 });
             }
             drop(tx);
+            // Drain on the caller thread *while* the workers run: each
+            // result moves into its pre-allocated slot as soon as it is
+            // produced, instead of buffering the whole result set in the
+            // channel (~2x peak memory) until the scope joins. The iterator
+            // ends when every worker has dropped its sender; if a worker
+            // panicked, the scope re-raises that panic right after.
+            for (i, value) in rx.iter() {
+                slots[i] = Some(value);
+            }
         });
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (i, value) in rx.try_iter() {
-            slots[i] = Some(value);
-        }
         slots
             .into_iter()
             .map(|s| s.expect("all indices evaluated"))
@@ -193,6 +249,7 @@ impl WorkerPool {
         F: Fn(&Shard) -> R + Sync,
     {
         let plan = shards(total, shard_size, seed);
+        SHARDS_EXECUTED.add(plan.len() as u64);
         self.map_indexed(plan.len(), |i| f(&plan[i]))
     }
 
@@ -216,6 +273,33 @@ impl WorkerPool {
         self.run_shards(total, shard_size, seed, f)
             .into_iter()
             .fold(init, reduce)
+    }
+}
+
+#[inline]
+fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Runs one job under observation: times it, counts it, and counts (then
+/// re-raises) any panic. When collection is disabled this is a direct call.
+#[inline]
+fn observe_job<R>(f: impl FnOnce() -> R) -> R {
+    if obs::enabled() {
+        let t = obs::Timer::start();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(value) => {
+                COMPUTE_NS.record_timer(t);
+                JOBS_EXECUTED.inc();
+                value
+            }
+            Err(payload) => {
+                PANICS_OBSERVED.inc();
+                std::panic::resume_unwind(payload)
+            }
+        }
+    } else {
+        f()
     }
 }
 
@@ -316,5 +400,46 @@ mod tests {
     #[should_panic(expected = "shard size must be positive")]
     fn zero_shard_size_rejected() {
         shards(10, 0, 1);
+    }
+
+    #[test]
+    fn from_env_str_accepts_positive_integers() {
+        assert_eq!(WorkerPool::from_env_str(Some("1")).workers(), 1);
+        assert_eq!(WorkerPool::from_env_str(Some(" 8 ")).workers(), 8);
+        assert!(WorkerPool::from_env_str(None).workers() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "HETARCH_WORKERS must be a positive integer, got `abc`")]
+    fn from_env_str_rejects_garbage() {
+        WorkerPool::from_env_str(Some("abc"));
+    }
+
+    #[test]
+    #[should_panic(expected = "HETARCH_WORKERS must be at least 1")]
+    fn from_env_str_rejects_zero() {
+        WorkerPool::from_env_str(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "HETARCH_WORKERS must be a positive integer, got `-2`")]
+    fn from_env_str_rejects_negative() {
+        WorkerPool::from_env_str(Some("-2"));
+    }
+
+    #[test]
+    fn large_results_drain_in_order() {
+        // Results are drained into their slots while workers are still
+        // producing; the output must still be exactly in index order for
+        // every worker count (the determinism suite depends on it).
+        for workers in [1, 2, 8] {
+            let pool = WorkerPool::new(workers);
+            let out = pool.map_indexed(500, |i| vec![i as u64; 100]);
+            assert_eq!(out.len(), 500);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(v.len(), 100);
+                assert!(v.iter().all(|&x| x == i as u64));
+            }
+        }
     }
 }

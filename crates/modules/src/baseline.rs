@@ -10,6 +10,7 @@
 //! circuits.
 
 use hetarch_exec::WorkerPool;
+use hetarch_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -22,6 +23,12 @@ use hetarch_stab::pauli::PauliString;
 use crate::uec::sim::{combine, first_order_table, pack_syndrome, sample_pauli_into, UecNoise};
 
 use std::collections::HashMap;
+
+// Homogeneous-baseline Monte-Carlo metrics (no-ops unless the `obs` feature
+// is on and `HETARCH_OBS=1`).
+static HOM_SHOTS: obs::Counter = obs::Counter::new("modules.baseline.shots");
+static HOM_FAILURES: obs::Counter = obs::Counter::new("modules.baseline.failures");
+static HOM_RUN_NS: obs::Histogram = obs::Histogram::new("modules.baseline.run_ns");
 
 /// A square-lattice embedding of a code: data coordinates plus one ancilla
 /// coordinate per stabilizer, with per-qubit routing distances.
@@ -294,6 +301,7 @@ impl HomModule {
             let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
             !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
         };
+        let span = obs::span!(HOM_RUN_NS);
         let failures = pool.fold_shards(
             shots,
             crate::uec::sim::MC_SHARD_SHOTS,
@@ -305,6 +313,9 @@ impl HomModule {
             0usize,
             |acc, f| acc + f,
         );
+        drop(span);
+        HOM_SHOTS.add(shots as u64);
+        HOM_FAILURES.add(failures as u64);
         HomResult {
             logical_error_rate: if shots == 0 {
                 0.0

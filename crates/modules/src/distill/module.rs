@@ -5,6 +5,7 @@
 //! pairs land in an output memory where they keep decaying until consumed.
 
 use hetarch_exec::{shard_seed, WorkerPool};
+use hetarch_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -17,6 +18,14 @@ use crate::distill::memory::{PairMemory, StoredPair};
 use crate::distill::scheduler::{choose_action, Action, Policy};
 use crate::epsource::EpSource;
 use crate::event::EventQueue;
+
+// Distillation-module metrics (no-ops unless the `obs` feature is on and
+// `HETARCH_OBS=1`).
+static DISTILL_RUNS: obs::Counter = obs::Counter::new("modules.distill.runs");
+static DISTILL_ROUNDS: obs::Counter = obs::Counter::new("modules.distill.rounds_attempted");
+static DISTILL_DELIVERED: obs::Counter = obs::Counter::new("modules.distill.delivered");
+static DISTILL_RUN_NS: obs::Histogram = obs::Histogram::new("modules.distill.run_ns");
+static DISTILL_SIM_SECONDS: obs::Ledger = obs::Ledger::new("modules.distill.simulated_seconds");
 
 /// Configuration of a distillation module run.
 #[derive(Clone, Debug)]
@@ -174,6 +183,7 @@ impl DistillModule {
 
     /// Runs the module for `duration` seconds.
     pub fn run(&self, duration: f64) -> DistillReport {
+        let span = obs::span!(DISTILL_RUN_NS);
         let c = &self.config;
         let mut rng = StdRng::seed_from_u64(c.seed);
         let mut queue: EventQueue<Ev> = EventQueue::new();
@@ -290,6 +300,11 @@ impl DistillModule {
             }
         }
         report.delivered_rate_hz = report.delivered as f64 / duration;
+        drop(span);
+        DISTILL_RUNS.inc();
+        DISTILL_ROUNDS.add(report.rounds_attempted as u64);
+        DISTILL_DELIVERED.add(report.delivered as u64);
+        DISTILL_SIM_SECONDS.add(duration);
         report
     }
 

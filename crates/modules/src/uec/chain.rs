@@ -19,7 +19,11 @@ use hetarch_stab::codes::StabilizerCode;
 use hetarch_stab::decoder::LookupDecoder;
 use hetarch_stab::pauli::PauliString;
 
-use crate::uec::sim::{combine, first_order_table, pack_syndrome, sample_pauli_into, UecNoise};
+use crate::uec::sim::{
+    combine, first_order_table, pack_syndrome, sample_pauli_into, UecNoise, UEC_FAILURES,
+    UEC_RUN_NS, UEC_SHOTS,
+};
+use hetarch_obs as obs;
 
 /// The chain geometry: segment 0 is the head USC, the rest are extensions.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -394,6 +398,7 @@ impl ChainUecModule {
             let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
             !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
         };
+        let span = obs::span!(UEC_RUN_NS);
         let failures = pool.fold_shards(
             shots,
             crate::uec::sim::MC_SHARD_SHOTS,
@@ -405,6 +410,9 @@ impl ChainUecModule {
             0usize,
             |acc, f| acc + f,
         );
+        drop(span);
+        UEC_SHOTS.add(shots as u64);
+        UEC_FAILURES.add(failures as u64);
         crate::uec::sim::UecResult {
             logical_error_rate: if shots == 0 {
                 0.0

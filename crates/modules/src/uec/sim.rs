@@ -9,6 +9,7 @@
 //! codes).
 
 use hetarch_exec::WorkerPool;
+use hetarch_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -27,6 +28,12 @@ use std::collections::HashMap;
 /// the worker count) so shard boundaries — and therefore results — are
 /// identical for every worker count.
 pub(crate) const MC_SHARD_SHOTS: usize = 512;
+
+// UEC Monte-Carlo metrics, shared with the chained variant in `chain.rs`
+// (no-ops unless the `obs` feature is on and `HETARCH_OBS=1`).
+pub(crate) static UEC_SHOTS: obs::Counter = obs::Counter::new("modules.uec.shots");
+pub(crate) static UEC_FAILURES: obs::Counter = obs::Counter::new("modules.uec.failures");
+pub(crate) static UEC_RUN_NS: obs::Histogram = obs::Histogram::new("modules.uec.run_ns");
 
 /// Gate-level noise settings for the UEC study (§4.2: two-qubit gates at
 /// 1%).
@@ -241,6 +248,7 @@ impl UecModule {
             let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
             !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
         };
+        let span = obs::span!(UEC_RUN_NS);
         let failures = pool.fold_shards(
             shots,
             MC_SHARD_SHOTS,
@@ -252,6 +260,9 @@ impl UecModule {
             0usize,
             |acc, f| acc + f,
         );
+        drop(span);
+        UEC_SHOTS.add(shots as u64);
+        UEC_FAILURES.add(failures as u64);
         UecResult {
             logical_error_rate: if shots == 0 {
                 0.0

@@ -1,0 +1,859 @@
+//! Runtime observability for the HetArch workspace: lock-free counters,
+//! gauges, f64 ledgers and wall-time histograms behind a global registry,
+//! scoped span timers, and a [`RunReport`] that serializes to deterministic
+//! JSON.
+//!
+//! # The no-op guarantee
+//!
+//! Instrumentation must never perturb the workspace's bit-identical
+//! Monte-Carlo contract or its hot-path throughput, so collection is double
+//! gated:
+//!
+//! * **Compile time** — without the `enabled` cargo feature (exposed as the
+//!   `obs` feature by every instrumented crate), every operation in this
+//!   crate is an inline empty function and the instrumented binaries are
+//!   identical to uninstrumented ones.
+//! * **Run time** — with the feature on, collection still only happens when
+//!   `HETARCH_OBS=1` is set in the environment (checked once, cached); the
+//!   hot-path cost when disabled is a single relaxed atomic load.
+//!
+//! Metrics only ever *count* and *time* — they never feed back into RNG
+//! streams, shard plans or results, so enabling them cannot change any
+//! simulation output.
+//!
+//! # Usage
+//!
+//! Call sites declare `static` metrics and touch them directly; a metric
+//! registers itself in the global registry on first touch:
+//!
+//! ```
+//! use hetarch_obs as obs;
+//!
+//! static SHOTS: obs::Counter = obs::Counter::new("example.shots");
+//! static RUN: obs::Histogram = obs::Histogram::new("example.run_ns");
+//!
+//! obs::force_enabled(true); // tests/tools; production uses HETARCH_OBS=1
+//! let _span = RUN.span();
+//! SHOTS.add(128);
+//! let report = obs::report();
+//! # #[cfg(feature = "enabled")]
+//! assert_eq!(report.counters.get("example.shots"), Some(&128));
+//! ```
+//!
+//! [`report`] snapshots every registered metric into a [`RunReport`];
+//! [`RunReport::to_json`] emits JSON with stable (sorted) key order, and
+//! [`RunReport::golden_json`] restricts the payload to worker-count- and
+//! wall-clock-independent quantities (counters), making it safe to check
+//! against golden files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Snapshot of one histogram: total observations, summed nanoseconds, and
+/// the non-empty power-of-two buckets as `(upper_bound_ns, count)` pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations (nanoseconds for time histograms).
+    pub sum: u64,
+    /// Non-empty buckets as `(exclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another snapshot into this one (summing counts bucket-wise).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut map: BTreeMap<u64, u64> = self.buckets.iter().copied().collect();
+        for &(ub, c) in &other.buckets {
+            *map.entry(ub).or_insert(0) += c;
+        }
+        self.buckets = map.into_iter().collect();
+    }
+}
+
+/// A point-in-time snapshot of every registered metric, with stable
+/// (lexicographic) key order everywhere.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Monotonic event counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges.
+    pub gauges: BTreeMap<String, u64>,
+    /// Accumulating f64 ledgers (e.g. simulated-seconds totals).
+    pub ledgers: BTreeMap<String, f64>,
+    /// Wall-time histograms.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_map<V, F: Fn(&V) -> String>(out: &mut String, map: &BTreeMap<String, V>, fmt: F) {
+    out.push('{');
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(k), fmt(v)));
+    }
+    out.push('}');
+}
+
+impl RunReport {
+    /// Serializes the full report to JSON with deterministic key order.
+    ///
+    /// Timing quantities (ledgers, histograms) are wall-clock dependent, so
+    /// this payload is **not** suitable for golden checks — use
+    /// [`RunReport::golden_json`] for that.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":");
+        push_map(&mut out, &self.counters, |v| v.to_string());
+        out.push_str(",\"gauges\":");
+        push_map(&mut out, &self.gauges, |v| v.to_string());
+        out.push_str(",\"ledgers\":");
+        // `{:?}` is the shortest round-trip float form: deterministic for a
+        // given value, unlike a fixed precision which hides real drift.
+        push_map(&mut out, &self.ledgers, |v| format!("{v:?}"));
+        out.push_str(",\"histograms\":");
+        push_map(&mut out, &self.histograms, |h| {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(ub, c)| format!("[{ub},{c}]"))
+                .collect();
+            format!(
+                "{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                h.count,
+                h.sum,
+                buckets.join(",")
+            )
+        });
+        out.push('}');
+        out
+    }
+
+    /// Serializes only the deterministic portion of the report: counters,
+    /// which depend on *what* was computed but never on wall-clock time or
+    /// the worker count. Safe to compare byte-for-byte across runs and
+    /// worker counts.
+    pub fn golden_json(&self) -> String {
+        let mut out = String::from("{\"counters\":");
+        push_map(&mut out, &self.counters, |v| v.to_string());
+        out.push('}');
+        out
+    }
+
+    /// Merges another report into this one: counters, ledgers and
+    /// histograms add; gauges take the other report's value.
+    pub fn merge(&mut self, other: &RunReport) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.ledgers {
+            *self.ledgers.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    //! The real metric implementations (feature `enabled`).
+
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    use crate::{HistSnapshot, RunReport};
+
+    // Runtime gate: 0 = not yet resolved from the environment, 1 = on,
+    // 2 = off. `force_enabled` overwrites the resolved state directly.
+    static STATE: AtomicU8 = AtomicU8::new(0);
+
+    /// True when metric collection is active (`HETARCH_OBS=1`, or a
+    /// [`force_enabled`] override). The hot-path cost of a disabled check is
+    /// one relaxed atomic load.
+    #[inline]
+    pub fn enabled() -> bool {
+        match STATE.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => init_from_env(),
+        }
+    }
+
+    #[cold]
+    fn init_from_env() -> bool {
+        let on = std::env::var("HETARCH_OBS")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+        on
+    }
+
+    /// Overrides the runtime gate, bypassing `HETARCH_OBS` (tests and
+    /// report-mode tools that opt in explicitly).
+    pub fn force_enabled(on: bool) {
+        STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+    }
+
+    #[derive(Default)]
+    struct Registry {
+        counters: Vec<&'static Counter>,
+        gauges: Vec<&'static Gauge>,
+        ledgers: Vec<&'static Ledger>,
+        histograms: Vec<&'static Histogram>,
+    }
+
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+        counters: Vec::new(),
+        gauges: Vec::new(),
+        ledgers: Vec::new(),
+        histograms: Vec::new(),
+    });
+
+    /// A monotonically increasing event counter.
+    pub struct Counter {
+        name: &'static str,
+        registered: AtomicBool,
+        value: AtomicU64,
+    }
+
+    impl Counter {
+        /// A counter named `name`; `const`, so it can live in a `static`.
+        pub const fn new(name: &'static str) -> Self {
+            Counter {
+                name,
+                registered: AtomicBool::new(false),
+                value: AtomicU64::new(0),
+            }
+        }
+
+        fn register(&'static self) {
+            if !self.registered.swap(true, Ordering::Relaxed) {
+                REGISTRY.lock().expect("obs registry").counters.push(self);
+            }
+        }
+
+        /// Adds `n` to the counter (no-op while collection is disabled).
+        #[inline]
+        pub fn add(&'static self, n: u64) {
+            if enabled() {
+                self.register();
+                self.value.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+
+        /// Adds one to the counter.
+        #[inline]
+        pub fn inc(&'static self) {
+            self.add(1);
+        }
+
+        /// Current value (0 until first registered touch).
+        pub fn get(&'static self) -> u64 {
+            self.value.load(Ordering::Relaxed)
+        }
+    }
+
+    /// A last-value gauge.
+    pub struct Gauge {
+        name: &'static str,
+        registered: AtomicBool,
+        value: AtomicU64,
+    }
+
+    impl Gauge {
+        /// A gauge named `name`.
+        pub const fn new(name: &'static str) -> Self {
+            Gauge {
+                name,
+                registered: AtomicBool::new(false),
+                value: AtomicU64::new(0),
+            }
+        }
+
+        /// Sets the gauge (no-op while collection is disabled).
+        #[inline]
+        pub fn set(&'static self, v: u64) {
+            if enabled() {
+                if !self.registered.swap(true, Ordering::Relaxed) {
+                    REGISTRY.lock().expect("obs registry").gauges.push(self);
+                }
+                self.value.store(v, Ordering::Relaxed);
+            }
+        }
+
+        /// Current value.
+        pub fn get(&'static self) -> u64 {
+            self.value.load(Ordering::Relaxed)
+        }
+    }
+
+    /// An accumulating `f64` ledger (lock-free via CAS on the bit pattern).
+    pub struct Ledger {
+        name: &'static str,
+        registered: AtomicBool,
+        bits: AtomicU64,
+    }
+
+    impl Ledger {
+        /// A ledger named `name`, starting at 0.0.
+        pub const fn new(name: &'static str) -> Self {
+            Ledger {
+                name,
+                registered: AtomicBool::new(false),
+                bits: AtomicU64::new(0),
+            }
+        }
+
+        /// Adds `v` to the ledger (no-op while collection is disabled).
+        #[inline]
+        pub fn add(&'static self, v: f64) {
+            if enabled() {
+                if !self.registered.swap(true, Ordering::Relaxed) {
+                    REGISTRY.lock().expect("obs registry").ledgers.push(self);
+                }
+                let _ = self
+                    .bits
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                        Some((f64::from_bits(bits) + v).to_bits())
+                    });
+            }
+        }
+
+        /// Current total.
+        pub fn get(&'static self) -> f64 {
+            f64::from_bits(self.bits.load(Ordering::Relaxed))
+        }
+    }
+
+    const NUM_BUCKETS: usize = 64;
+
+    /// A lock-free histogram over power-of-two buckets; time histograms
+    /// record nanoseconds.
+    pub struct Histogram {
+        name: &'static str,
+        registered: AtomicBool,
+        count: AtomicU64,
+        sum: AtomicU64,
+        buckets: [AtomicU64; NUM_BUCKETS],
+    }
+
+    impl Histogram {
+        /// A histogram named `name`.
+        pub const fn new(name: &'static str) -> Self {
+            // A `const` repeat operand is the only way to build an array of
+            // non-`Copy` atomics in a `const fn`; each element gets a fresh
+            // zero, so the interior-mutability-in-const lint does not apply.
+            #[allow(clippy::declare_interior_mutable_const)]
+            const Z: AtomicU64 = AtomicU64::new(0);
+            Histogram {
+                name,
+                registered: AtomicBool::new(false),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                buckets: [Z; NUM_BUCKETS],
+            }
+        }
+
+        fn register(&'static self) {
+            if !self.registered.swap(true, Ordering::Relaxed) {
+                REGISTRY.lock().expect("obs registry").histograms.push(self);
+            }
+        }
+
+        /// Records one observation (no-op while collection is disabled).
+        #[inline]
+        pub fn record(&'static self, v: u64) {
+            if enabled() {
+                self.register();
+                // Bucket i counts values in [2^(i-1), 2^i); v = 0 lands in
+                // bucket 0.
+                let idx = (64 - (v | 1).leading_zeros() as usize).min(NUM_BUCKETS - 1);
+                self.count.fetch_add(1, Ordering::Relaxed);
+                self.sum.fetch_add(v, Ordering::Relaxed);
+                self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        /// Records the elapsed time of `timer` in nanoseconds.
+        #[inline]
+        pub fn record_timer(&'static self, timer: Timer) {
+            if let Some(start) = timer.start {
+                self.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+        }
+
+        /// Starts a scoped span that records its elapsed time into this
+        /// histogram when dropped.
+        pub fn span(&'static self) -> SpanGuard {
+            SpanGuard {
+                hist: self,
+                timer: Timer::start(),
+            }
+        }
+
+        fn snapshot(&'static self) -> HistSnapshot {
+            let buckets = self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let c = b.load(Ordering::Relaxed);
+                    (c > 0).then(|| (1u64 << i.min(63), c))
+                })
+                .collect();
+            HistSnapshot {
+                count: self.count.load(Ordering::Relaxed),
+                sum: self.sum.load(Ordering::Relaxed),
+                buckets,
+            }
+        }
+    }
+
+    /// A started wall-clock timer; [`Timer::start`] is free when collection
+    /// is disabled (no `Instant::now` call).
+    #[derive(Debug)]
+    pub struct Timer {
+        start: Option<Instant>,
+    }
+
+    impl Timer {
+        /// Starts the timer (captures `Instant::now` only when enabled).
+        #[inline]
+        pub fn start() -> Timer {
+            Timer {
+                start: enabled().then(Instant::now),
+            }
+        }
+    }
+
+    /// Scope guard recording its lifetime into a histogram on drop.
+    pub struct SpanGuard {
+        hist: &'static Histogram,
+        timer: Timer,
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if let Some(start) = self.timer.start.take() {
+                self.hist
+                    .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+        }
+    }
+
+    /// Snapshots every registered metric into a [`RunReport`]. Metrics that
+    /// have never been touched while enabled do not appear.
+    pub fn report() -> RunReport {
+        let reg = REGISTRY.lock().expect("obs registry");
+        let mut r = RunReport::default();
+        for c in &reg.counters {
+            r.counters
+                .insert(c.name.to_string(), c.value.load(Ordering::Relaxed));
+        }
+        for g in &reg.gauges {
+            r.gauges
+                .insert(g.name.to_string(), g.value.load(Ordering::Relaxed));
+        }
+        for l in &reg.ledgers {
+            r.ledgers.insert(
+                l.name.to_string(),
+                f64::from_bits(l.bits.load(Ordering::Relaxed)),
+            );
+        }
+        let hists: Vec<&'static Histogram> = reg.histograms.clone();
+        drop(reg);
+        for h in hists {
+            r.histograms.insert(h.name.to_string(), h.snapshot());
+        }
+        r
+    }
+
+    /// Zeroes every registered metric (report isolation in tests/tools).
+    pub fn reset() {
+        let reg = REGISTRY.lock().expect("obs registry");
+        for c in &reg.counters {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for g in &reg.gauges {
+            g.value.store(0, Ordering::Relaxed);
+        }
+        for l in &reg.ledgers {
+            l.bits.store(0, Ordering::Relaxed);
+        }
+        for h in &reg.histograms {
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    //! Zero-cost no-op implementations (feature `enabled` off). Every method
+    //! is an inline empty body, so instrumented call sites compile away.
+
+    use crate::RunReport;
+
+    /// Always false without the `enabled` feature.
+    #[inline(always)]
+    pub const fn enabled() -> bool {
+        false
+    }
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn force_enabled(_on: bool) {}
+
+    /// No-op counter.
+    pub struct Counter(());
+
+    impl Counter {
+        /// No-op counter (zero-sized state).
+        pub const fn new(_name: &'static str) -> Self {
+            Counter(())
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&'static self, _n: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn inc(&'static self) {}
+
+        /// Always 0.
+        pub fn get(&'static self) -> u64 {
+            0
+        }
+    }
+
+    /// No-op gauge.
+    pub struct Gauge(());
+
+    impl Gauge {
+        /// No-op gauge.
+        pub const fn new(_name: &'static str) -> Self {
+            Gauge(())
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn set(&'static self, _v: u64) {}
+
+        /// Always 0.
+        pub fn get(&'static self) -> u64 {
+            0
+        }
+    }
+
+    /// No-op ledger.
+    pub struct Ledger(());
+
+    impl Ledger {
+        /// No-op ledger.
+        pub const fn new(_name: &'static str) -> Self {
+            Ledger(())
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&'static self, _v: f64) {}
+
+        /// Always 0.0.
+        pub fn get(&'static self) -> f64 {
+            0.0
+        }
+    }
+
+    /// No-op histogram.
+    pub struct Histogram(());
+
+    impl Histogram {
+        /// No-op histogram.
+        pub const fn new(_name: &'static str) -> Self {
+            Histogram(())
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record(&'static self, _v: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record_timer(&'static self, _timer: Timer) {}
+
+        /// No-op span.
+        #[inline(always)]
+        pub fn span(&'static self) -> SpanGuard {
+            SpanGuard(())
+        }
+    }
+
+    /// No-op timer (zero-sized, no clock read).
+    #[derive(Debug)]
+    pub struct Timer;
+
+    impl Timer {
+        /// No-op.
+        #[inline(always)]
+        pub fn start() -> Timer {
+            Timer
+        }
+    }
+
+    /// No-op span guard.
+    pub struct SpanGuard(());
+
+    /// Always the empty report without the `enabled` feature.
+    pub fn report() -> RunReport {
+        RunReport::default()
+    }
+
+    /// No-op without the `enabled` feature.
+    pub fn reset() {}
+}
+
+pub use imp::{
+    enabled, force_enabled, report, reset, Counter, Gauge, Histogram, Ledger, SpanGuard, Timer,
+};
+
+/// Starts a scoped timer recording into the given `static` [`Histogram`]
+/// when the returned guard drops.
+///
+/// ```
+/// use hetarch_obs as obs;
+/// static PHASE: obs::Histogram = obs::Histogram::new("example.phase_ns");
+/// {
+///     let _span = obs::span!(PHASE);
+///     // ... timed work ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($hist:expr) => {
+        $hist.span()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "enabled")]
+    mod enabled_tests {
+        use super::super::*;
+        use std::sync::Mutex;
+
+        // Metrics are process-global; serialize tests that reset/report.
+        static LOCK: Mutex<()> = Mutex::new(());
+
+        fn guard() -> std::sync::MutexGuard<'static, ()> {
+            let g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+            force_enabled(true);
+            reset();
+            g
+        }
+
+        static C1: Counter = Counter::new("test.c1");
+        static C2: Counter = Counter::new("test.c2");
+        static G1: Gauge = Gauge::new("test.g1");
+        static L1: Ledger = Ledger::new("test.l1");
+        static H1: Histogram = Histogram::new("test.h1");
+
+        #[test]
+        fn counters_accumulate_and_report() {
+            let _g = guard();
+            C1.inc();
+            C1.add(9);
+            C2.add(5);
+            G1.set(3);
+            L1.add(0.25);
+            L1.add(0.5);
+            let r = report();
+            assert_eq!(r.counters["test.c1"], 10);
+            assert_eq!(r.counters["test.c2"], 5);
+            assert_eq!(r.gauges["test.g1"], 3);
+            assert!((r.ledgers["test.l1"] - 0.75).abs() < 1e-12);
+        }
+
+        #[test]
+        fn disabled_records_nothing() {
+            let _g = guard();
+            force_enabled(false);
+            C1.add(100);
+            H1.record(7);
+            force_enabled(true);
+            let r = report();
+            assert_eq!(r.counters.get("test.c1").copied().unwrap_or(0), 0);
+        }
+
+        #[test]
+        fn histogram_buckets_and_concurrent_merge() {
+            let _g = guard();
+            // 0 -> bucket [_,1); 1 -> [1,2); 7 -> [4,8); 8 -> [8,16).
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for v in [0u64, 1, 7, 8, 1_000] {
+                            H1.record(v);
+                        }
+                    });
+                }
+            });
+            let snap = report().histograms["test.h1"].clone();
+            assert_eq!(snap.count, 20);
+            assert_eq!(snap.sum, 4 * 1016);
+            let total: u64 = snap.buckets.iter().map(|(_, c)| c).sum();
+            assert_eq!(total, 20);
+            assert!(snap.buckets.iter().any(|&(ub, c)| ub == 8 && c == 4));
+            assert!((snap.mean() - 1016.0 / 5.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn snapshot_merge_sums() {
+            let mut a = HistSnapshot {
+                count: 2,
+                sum: 10,
+                buckets: vec![(4, 1), (8, 1)],
+            };
+            let b = HistSnapshot {
+                count: 3,
+                sum: 9,
+                buckets: vec![(8, 2), (16, 1)],
+            };
+            a.merge(&b);
+            assert_eq!(a.count, 5);
+            assert_eq!(a.sum, 19);
+            assert_eq!(a.buckets, vec![(4, 1), (8, 3), (16, 1)]);
+
+            let mut r1 = RunReport::default();
+            r1.counters.insert("x".into(), 1);
+            let mut r2 = RunReport::default();
+            r2.counters.insert("x".into(), 2);
+            r2.gauges.insert("g".into(), 7);
+            r1.merge(&r2);
+            assert_eq!(r1.counters["x"], 3);
+            assert_eq!(r1.gauges["g"], 7);
+        }
+
+        #[test]
+        fn json_is_deterministic_and_sorted() {
+            let _g = guard();
+            C2.add(2);
+            C1.add(1);
+            G1.set(4);
+            let r = report();
+            let json = r.to_json();
+            assert_eq!(json, report().to_json(), "same state, same bytes");
+            let c1 = json.find("test.c1").expect("c1 present");
+            let c2 = json.find("test.c2").expect("c2 present");
+            assert!(c1 < c2, "keys sorted");
+            assert!(json.starts_with("{\"counters\":{"));
+            let golden = r.golden_json();
+            assert!(golden.contains("\"test.c1\":1"));
+            assert!(
+                !golden.contains("gauges"),
+                "golden payload is counters-only"
+            );
+        }
+
+        #[test]
+        fn span_records_into_histogram() {
+            let _g = guard();
+            {
+                let _span = span!(H1);
+                std::hint::black_box(0);
+            }
+            let snap = &report().histograms["test.h1"];
+            assert_eq!(snap.count, 1);
+        }
+
+        #[test]
+        fn reset_zeroes_everything() {
+            let _g = guard();
+            C1.add(3);
+            H1.record(5);
+            L1.add(1.0);
+            reset();
+            let r = report();
+            assert_eq!(r.counters["test.c1"], 0);
+            assert_eq!(r.histograms["test.h1"].count, 0);
+            assert_eq!(r.ledgers["test.l1"], 0.0);
+        }
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    mod disabled_tests {
+        use super::super::*;
+
+        static C: Counter = Counter::new("noop.c");
+        static H: Histogram = Histogram::new("noop.h");
+
+        #[test]
+        fn everything_is_a_noop() {
+            assert!(!enabled());
+            force_enabled(true);
+            assert!(!enabled(), "force_enabled is inert without the feature");
+            C.add(5);
+            assert_eq!(C.get(), 0);
+            let _span = span!(H);
+            H.record_timer(Timer::start());
+            let r = report();
+            assert!(r.counters.is_empty());
+            reset();
+        }
+    }
+
+    #[test]
+    fn empty_report_json_shape() {
+        let r = RunReport::default();
+        assert_eq!(
+            r.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"ledgers\":{},\"histograms\":{}}"
+        );
+        assert_eq!(r.golden_json(), "{\"counters\":{}}");
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let mut r = RunReport::default();
+        r.counters.insert("weird\"name\\x".into(), 1);
+        let json = r.to_json();
+        assert!(json.contains("weird\\\"name\\\\x"));
+    }
+}

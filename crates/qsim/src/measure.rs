@@ -53,6 +53,10 @@ pub fn project_z(rho: &mut DensityMatrix, q: usize, outcome: bool) -> f64 {
     p
 }
 
+/// Branch probabilities at or below this (relative) threshold are treated as
+/// numerically-impossible measurement outcomes.
+const BRANCH_EPS: f64 = 1e-12;
+
 /// Measures qubit `q` in the Z basis, collapsing and renormalizing the state.
 /// Returns the sampled outcome.
 ///
@@ -60,19 +64,49 @@ pub fn project_z(rho: &mut DensityMatrix, q: usize, outcome: bool) -> f64 {
 ///
 /// Panics if the state trace is zero.
 pub fn measure_z<R: Rng + ?Sized>(rho: &mut DensityMatrix, q: usize, rng: &mut R) -> bool {
+    measure_z_with(rho, q, rng.gen::<f64>())
+}
+
+/// [`measure_z`] with an explicit uniform sample `u ∈ [0, 1)` instead of an
+/// RNG — the deterministic seam behind the sampled branch selection.
+///
+/// When the sampled branch's probability underflows (a clamped `prob_one`
+/// or a numerically pure state can leave the minority branch at ~1e-300;
+/// renormalizing by it would fill the state with inf/NaN), the measurement
+/// takes the other branch instead: outcomes with probability below
+/// ~`1e-12` are physically unobservable, and the surviving branch is the
+/// state's entire remaining weight.
+///
+/// # Panics
+///
+/// Panics if the state trace is zero (both branches empty).
+pub fn measure_z_with(rho: &mut DensityMatrix, q: usize, u: f64) -> bool {
     let p1 = prob_one(rho, q).clamp(0.0, 1.0);
-    let outcome = rng.gen::<f64>() < p1;
+    let mut outcome = u < p1;
+    let branch = if outcome { p1 } else { 1.0 - p1 };
+    if branch <= BRANCH_EPS {
+        outcome = !outcome;
+    }
     let p = project_z(rho, q, outcome);
-    rho.renormalize(p.max(f64::MIN_POSITIVE));
+    rho.renormalize(p);
     outcome
 }
 
 /// Post-selects qubit `q` on `outcome`, renormalizing. Returns `Some(p)` with
 /// the branch probability, or `None` if the probability is (numerically)
 /// zero and the state is left unusable.
+///
+/// "Numerically zero" is judged **relative to the input trace**: the
+/// documented trajectory-averaging use of [`project_z`] hands this function
+/// subnormalized states whose legitimate branches can sit far below any
+/// absolute cutoff, and they must not be spuriously rejected.
 pub fn postselect_z(rho: &mut DensityMatrix, q: usize, outcome: bool) -> Option<f64> {
+    let trace_in = rho.trace().re;
     let p = project_z(rho, q, outcome);
-    if p <= 1e-15 {
+    // Negated `>` rather than `<=`: a NaN branch probability (e.g. from a
+    // zero-trace input) must also take the rejection path.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(p > trace_in * 1e-15) {
         return None;
     }
     rho.renormalize(p);
@@ -167,6 +201,40 @@ mod tests {
     fn postselect_impossible_outcome_is_none() {
         let mut rho = DensityMatrix::zero_state(1);
         assert!(postselect_z(&mut rho, 0, true).is_none());
+    }
+
+    /// Regression: the sampled branch of a near-pure state can have
+    /// probability ~1e-18; the old code renormalized by
+    /// `p.max(f64::MIN_POSITIVE)` — dividing by 2.2e-308 and filling the
+    /// state with inf/NaN. The measurement must take the other branch.
+    #[test]
+    fn measure_underflowing_branch_takes_the_other_branch() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_1q(0, &Mat::ry(2e-9)); // p1 = sin²(1e-9) ≈ 1e-18
+        let p1 = prob_one(&rho, 0);
+        assert!(p1 > 0.0 && p1 < 1e-12, "branch must underflow: {p1}");
+        // u = 0.0 < p1 samples the ~zero-probability |1⟩ branch.
+        let outcome = measure_z_with(&mut rho, 0, 0.0);
+        assert!(!outcome, "must fall back to the dominant branch");
+        assert!((prob_one(&rho, 0)).abs() < TOL);
+        rho.validate(TOL).unwrap();
+    }
+
+    /// Regression: `postselect_z` rejected branches with an *absolute*
+    /// `p <= 1e-15` cutoff, spuriously discarding legitimate branches of
+    /// subnormalized trajectory states (the documented `project_z` use).
+    #[test]
+    fn postselect_accepts_branches_of_subnormalized_states() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_1q(0, &Mat::hadamard());
+        // A trajectory state carrying 1e-16 of the ensemble weight: both of
+        // its Z branches hold 5e-17 — below any absolute cutoff.
+        rho.renormalize(1e16);
+        assert!((rho.trace().re - 1e-16).abs() < 1e-28);
+        let p = postselect_z(&mut rho, 0, false).expect("legitimate branch kept");
+        assert!((p - 0.5e-16).abs() < 1e-28, "branch probability {p}");
+        rho.validate(TOL).unwrap();
+        assert!((rho.trace().re - 1.0).abs() < TOL);
     }
 
     #[test]

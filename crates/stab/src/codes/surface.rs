@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use hetarch_exec::WorkerPool;
+use hetarch_obs as obs;
 
 use crate::circuit::{Circuit, PauliErr};
 use crate::codes::code::{typed_string, StabilizerCode};
@@ -20,6 +21,12 @@ use crate::pauli::Pauli;
 /// Shots per decoding shard; fixed so shard boundaries never depend on the
 /// worker count.
 const DECODE_SHARD_SHOTS: usize = 1024;
+
+// Surface-memory Monte-Carlo metrics (no-ops unless the `obs` feature is on
+// and `HETARCH_OBS=1`).
+static SURFACE_SHOTS: obs::Counter = obs::Counter::new("stab.surface.shots");
+static SURFACE_FAILURES: obs::Counter = obs::Counter::new("stab.surface.failures");
+static SURFACE_RUN_NS: obs::Histogram = obs::Histogram::new("stab.surface.run_ns");
 
 /// One stabilizer plaquette of the rotated lattice.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -582,6 +589,7 @@ impl SurfaceMemory {
                 Box::new(move |syn| d.decode(syn))
             }
         };
+        let span = obs::span!(SURFACE_RUN_NS);
         let samples = sample_detectors_on(pool, &circuit, shots, seed);
         let n_det = circuit.num_detectors();
         // Decoding is deterministic per shot, so sharding it only splits the
@@ -604,6 +612,9 @@ impl SurfaceMemory {
             })
             .into_iter()
             .sum();
+        drop(span);
+        SURFACE_SHOTS.add(shots as u64);
+        SURFACE_FAILURES.add(errors as u64);
         if shots == 0 {
             return (0.0, 0.0);
         }

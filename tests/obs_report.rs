@@ -1,0 +1,142 @@
+//! Integration checks for the observability layer.
+//!
+//! Compiled only with the `obs` feature (the file is empty otherwise), and
+//! run in CI alongside the determinism and golden suites with
+//! `HETARCH_OBS=1` to prove that instrumentation never perturbs results.
+
+#![cfg(feature = "obs")]
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use hetarch::obs;
+use hetarch::prelude::*;
+use hetarch::stab::codes::SurfaceDecoder;
+
+/// Serializes tests: the obs registry and runtime gate are process-global.
+fn serialized() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+const UEC_SHOTS: usize = 1500;
+
+fn uec_workload(pool: &WorkerPool) -> UecResult {
+    let usc = UscCell::new(
+        catalog::coherence_limited_compute(0.5e-3),
+        catalog::coherence_limited_storage(10e-3),
+    )
+    .expect("valid USC")
+    .characterize();
+    UecModule::new(steane(), usc, UecNoise::default()).logical_error_rate_on(pool, UEC_SHOTS, 17)
+}
+
+fn surface_workload(pool: &WorkerPool) -> (f64, f64) {
+    SurfaceMemory::new(3, 3, SurfaceNoise::default()).logical_error_rate_on(
+        pool,
+        SurfaceDecoder::UnionFind,
+        2000,
+        23,
+    )
+}
+
+fn distill_workload(pool: &WorkerPool) -> Vec<usize> {
+    let module = DistillModule::new(DistillConfig::heterogeneous(2.5e-3, 1e6, 7));
+    module
+        .run_batch_on(pool, 500e-6, 4)
+        .into_iter()
+        .map(|r| r.delivered)
+        .collect()
+}
+
+/// The golden (counters-only) report is byte-identical for every worker
+/// count: counters track simulation events, never scheduling artifacts.
+#[test]
+fn golden_report_is_worker_count_invariant() {
+    let _guard = serialized();
+    obs::force_enabled(true);
+    struct Baseline {
+        golden: String,
+        uec: UecResult,
+        surface: (f64, f64),
+        distill: Vec<usize>,
+    }
+    let mut baseline: Option<Baseline> = None;
+    for workers in [1, 2, 8] {
+        obs::reset();
+        let pool = WorkerPool::new(workers);
+        let uec = uec_workload(&pool);
+        let surface = surface_workload(&pool);
+        let distill = distill_workload(&pool);
+        let golden = obs::report().golden_json();
+        match &baseline {
+            None => {
+                baseline = Some(Baseline {
+                    golden,
+                    uec,
+                    surface,
+                    distill,
+                })
+            }
+            Some(b) => {
+                assert_eq!(
+                    golden, b.golden,
+                    "golden report differs at {workers} workers"
+                );
+                assert_eq!(uec, b.uec, "UEC result differs at {workers} workers");
+                assert_eq!(
+                    surface, b.surface,
+                    "surface result differs at {workers} workers"
+                );
+                assert_eq!(
+                    distill, b.distill,
+                    "distill result differs at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+/// Counters account for exactly the work submitted.
+#[test]
+fn counters_track_submitted_work() {
+    let _guard = serialized();
+    obs::force_enabled(true);
+    obs::reset();
+    let pool = WorkerPool::new(2);
+    let result = uec_workload(&pool);
+    let report = obs::report();
+    assert_eq!(report.counters["modules.uec.shots"], UEC_SHOTS as u64);
+    assert_eq!(
+        report.counters["modules.uec.failures"],
+        (result.logical_error_rate * UEC_SHOTS as f64).round() as u64
+    );
+    let shards = UEC_SHOTS.div_ceil(512) as u64;
+    assert_eq!(report.counters["exec.shards_executed"], shards);
+    // Full JSON is well-formed enough to embed: keys appear in sorted order.
+    let json = report.to_json();
+    assert!(json.starts_with("{\"counters\":{"));
+    assert!(json.contains("\"modules.uec.shots\":1500"));
+}
+
+/// With the runtime gate off nothing is recorded, and results are
+/// bit-identical to an instrumented run.
+#[test]
+fn runtime_gate_off_records_nothing_and_results_match() {
+    let _guard = serialized();
+    obs::force_enabled(true);
+    obs::reset();
+    let zeroed = obs::report().golden_json();
+    obs::force_enabled(false);
+    let pool = WorkerPool::new(4);
+    let off = uec_workload(&pool);
+    obs::force_enabled(true);
+    assert_eq!(
+        obs::report().golden_json(),
+        zeroed,
+        "disabled run must not advance any counter"
+    );
+    let on = uec_workload(&pool);
+    assert_eq!(off, on, "instrumentation must not perturb results");
+}
