@@ -147,6 +147,14 @@ impl ParCheckCell {
             .expect("catalog coherence is physical");
 
         let depol2 = Kraus2::depolarizing(g2.error).expect("validated gate error");
+        // Both probe families decohere for the same gate + readout window;
+        // build the channels once so each compiles its kernel once.
+        let idle_a_ch = idle_a
+            .channel(g2.time + t_read)
+            .expect("non-negative duration");
+        let idle_b_ch = idle_b
+            .channel(g2.time + t_read)
+            .expect("non-negative duration");
         let mut total = 0.0;
         for input in 0..4usize {
             let mut rho = DensityMatrix::zero_state(2);
@@ -160,10 +168,8 @@ impl ParCheckCell {
             // the gate and the readout window.
             hetarch_qsim::gates::cnot(&mut rho, 0, 1);
             depol2.apply(&mut rho, 0, 1);
-            for (q, idle) in [(0usize, &idle_a), (1usize, &idle_b)] {
-                idle.channel(g2.time + t_read)
-                    .expect("non-negative duration")
-                    .apply(&mut rho, q);
+            for (q, idle) in [(0usize, &idle_a_ch), (1usize, &idle_b_ch)] {
+                idle.apply(&mut rho, q);
             }
             let parity = (input & 1) ^ ((input >> 1) & 1) == 1;
             let p_correct = {
@@ -187,10 +193,8 @@ impl ParCheckCell {
             hetarch_qsim::gates::h(&mut rho, 0);
             hetarch_qsim::gates::cnot(&mut rho, 0, 1);
             depol2.apply(&mut rho, 0, 1);
-            for (q, idle) in [(0usize, &idle_a), (1usize, &idle_b)] {
-                idle.channel(g2.time + t_read)
-                    .expect("non-negative duration")
-                    .apply(&mut rho, q);
+            for (q, idle) in [(0usize, &idle_a_ch), (1usize, &idle_b_ch)] {
+                idle.apply(&mut rho, q);
             }
             use hetarch_qsim::complex::C64;
             let inv = std::f64::consts::FRAC_1_SQRT_2;

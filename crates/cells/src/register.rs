@@ -122,20 +122,22 @@ impl RegisterCell {
         let storage_idle = IdleParams::new(self.storage.t1, self.storage.t2)
             .expect("catalog storage coherence is physical");
 
+        // Channels are hoisted out of the probe closure so each compiles its
+        // superoperator kernel once across the six Pauli-eigenstate probes.
+        let depol_swap =
+            Kraus2::depolarizing(swap.error).expect("gate error validated by DeviceSpec");
+        let compute_idle_ch = compute_idle
+            .channel(swap.time)
+            .expect("non-negative duration");
+        let storage_idle_ch = storage_idle
+            .channel(swap.time)
+            .expect("non-negative duration");
         let fidelity = average_transfer_fidelity(|rho: &mut DensityMatrix| {
             // Qubit 0 = compute (input), qubit 1 = storage mode.
             rho.apply_2q(0, 1, &Mat::swap());
-            Kraus2::depolarizing(swap.error)
-                .expect("gate error validated by DeviceSpec")
-                .apply(rho, 0, 1);
-            compute_idle
-                .channel(swap.time)
-                .expect("non-negative duration")
-                .apply(rho, 0);
-            storage_idle
-                .channel(swap.time)
-                .expect("non-negative duration")
-                .apply(rho, 1);
+            depol_swap.apply(rho, 0, 1);
+            compute_idle_ch.apply(rho, 0);
+            storage_idle_ch.apply(rho, 1);
         });
 
         RegisterChannel {

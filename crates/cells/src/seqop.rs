@@ -5,7 +5,7 @@
 //! sequential two-qubit operations between stored qubits, with parity
 //! checks available on the side.
 
-use hetarch_qsim::channels::{IdleParams, Kraus2};
+use hetarch_qsim::channels::{IdleParams, Kraus1, Kraus2};
 use hetarch_qsim::complex::C64;
 use hetarch_qsim::fidelity::fidelity_with_pure;
 use hetarch_qsim::gates;
@@ -131,13 +131,25 @@ impl SeqOpCell {
         let depol_swap = Kraus2::depolarizing(swap.error).expect("validated");
         let depol_g2 = Kraus2::depolarizing(g2.error).expect("validated");
 
+        // Idle channels are built once per distinct phase duration and reused
+        // across probes and qubits, so each compiles its superoperator kernel
+        // exactly once.
+        let idle_pair = |t: f64| {
+            (
+                storage_idle.channel(t).expect("valid"),
+                compute_idle.channel(t).expect("valid"),
+            )
+        };
+        let idle_swap = idle_pair(swap.time);
+        let idle_g2 = idle_pair(g2.time);
+
         // Qubits: 0 = s1 mode, 1 = c1, 2 = c2, 3 = s2 mode.
-        let idle_all = |rho: &mut DensityMatrix, t: f64| {
+        let idle_all = |rho: &mut DensityMatrix, (storage_ch, compute_ch): &(Kraus1, Kraus1)| {
             for q in [0usize, 3] {
-                storage_idle.channel(t).expect("valid").apply(rho, q);
+                storage_ch.apply(rho, q);
             }
             for q in [1usize, 2] {
-                compute_idle.channel(t).expect("valid").apply(rho, q);
+                compute_ch.apply(rho, q);
             }
         };
         let probes = [0usize, 1, 2]; // 0 -> |0>, 1 -> |1>, 2 -> |+>
@@ -153,17 +165,17 @@ impl SeqOpCell {
                 gates::swap(&mut rho, 3, 2);
                 depol_swap.apply(&mut rho, 0, 1);
                 depol_swap.apply(&mut rho, 3, 2);
-                idle_all(&mut rho, swap.time);
+                idle_all(&mut rho, &idle_swap);
                 // Entangle.
                 gates::cnot(&mut rho, 1, 2);
                 depol_g2.apply(&mut rho, 1, 2);
-                idle_all(&mut rho, g2.time);
+                idle_all(&mut rho, &idle_g2);
                 // Store back.
                 gates::swap(&mut rho, 0, 1);
                 gates::swap(&mut rho, 3, 2);
                 depol_swap.apply(&mut rho, 0, 1);
                 depol_swap.apply(&mut rho, 3, 2);
-                idle_all(&mut rho, swap.time);
+                idle_all(&mut rho, &idle_swap);
 
                 let out = rho.partial_trace(&[0, 3]);
                 total += fidelity_with_pure(&out, &ideal_cnot_output(a, b));
@@ -176,6 +188,7 @@ impl SeqOpCell {
         // Parity check on the two in-compute qubits via the cp ancilla:
         // CX(c1 -> cp), CX(c2 -> cp), measure cp. Characterized over the
         // four classical inputs on three qubits (0 = c1, 1 = c2, 2 = cp).
+        let idle_parity = compute_idle.channel(2.0 * g2.time + t_read).expect("valid");
         let mut ptotal = 0.0;
         for input in 0..4usize {
             let mut rho = DensityMatrix::zero_state(3);
@@ -190,10 +203,7 @@ impl SeqOpCell {
             gates::cnot(&mut rho, 1, 2);
             depol_g2.apply(&mut rho, 1, 2);
             for q in 0..3 {
-                compute_idle
-                    .channel(2.0 * g2.time + t_read)
-                    .expect("valid")
-                    .apply(&mut rho, q);
+                idle_parity.apply(&mut rho, q);
             }
             let parity = ((input & 1) ^ ((input >> 1) & 1)) == 1;
             let mut branch = rho.clone();

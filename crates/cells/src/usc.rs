@@ -7,7 +7,7 @@
 //! swapped back — trading time (and hence demanding long `T_S`) for
 //! topology-agnostic error correction.
 
-use hetarch_qsim::channels::{IdleParams, Kraus2};
+use hetarch_qsim::channels::{IdleParams, Kraus1, Kraus2};
 use hetarch_qsim::gates;
 use hetarch_qsim::measure::project_z;
 use hetarch_qsim::state::DensityMatrix;
@@ -156,13 +156,26 @@ impl UscCell {
         let depol_swap = Kraus2::depolarizing(swap.error).expect("validated");
         let depol_g2 = Kraus2::depolarizing(g2.error).expect("validated");
 
+        // Idle channels are built once per distinct phase duration and reused
+        // across inputs and qubits, so each compiles its superoperator kernel
+        // exactly once.
+        let idle_pair = |t: f64| {
+            (
+                storage_idle.channel(t).expect("valid"),
+                compute_idle.channel(t).expect("valid"),
+            )
+        };
+        let idle_swap = idle_pair(swap.time);
+        let idle_g2 = idle_pair(g2.time);
+        let idle_read = idle_pair(t_read);
+
         // Qubits: 0 = s0 mode, 1 = c0, 2 = s1 mode, 3 = c1, 4 = ancilla.
-        let idle_all = |rho: &mut DensityMatrix, t: f64| {
+        let idle_all = |rho: &mut DensityMatrix, (storage_ch, compute_ch): &(Kraus1, Kraus1)| {
             for q in [0usize, 2] {
-                storage_idle.channel(t).expect("valid").apply(rho, q);
+                storage_ch.apply(rho, q);
             }
             for q in [1usize, 3, 4] {
-                compute_idle.channel(t).expect("valid").apply(rho, q);
+                compute_ch.apply(rho, q);
             }
         };
         let mut total = 0.0;
@@ -179,22 +192,22 @@ impl UscCell {
             gates::swap(&mut rho, 2, 3);
             depol_swap.apply(&mut rho, 0, 1);
             depol_swap.apply(&mut rho, 2, 3);
-            idle_all(&mut rho, swap.time);
+            idle_all(&mut rho, &idle_swap);
             // Serial CXs to ancilla.
             gates::cnot(&mut rho, 1, 4);
             depol_g2.apply(&mut rho, 1, 4);
-            idle_all(&mut rho, g2.time);
+            idle_all(&mut rho, &idle_g2);
             gates::cnot(&mut rho, 3, 4);
             depol_g2.apply(&mut rho, 3, 4);
-            idle_all(&mut rho, g2.time);
+            idle_all(&mut rho, &idle_g2);
             // Swap back.
             gates::swap(&mut rho, 0, 1);
             gates::swap(&mut rho, 2, 3);
             depol_swap.apply(&mut rho, 0, 1);
             depol_swap.apply(&mut rho, 2, 3);
-            idle_all(&mut rho, swap.time);
+            idle_all(&mut rho, &idle_swap);
             // Readout window.
-            idle_all(&mut rho, t_read);
+            idle_all(&mut rho, &idle_read);
 
             let parity = ((input & 1) ^ ((input >> 1) & 1)) == 1;
             let p_syndrome = {

@@ -53,13 +53,28 @@ fn round_improves(pool: &PairMemory, table: &DejmpsTable) -> Option<bool> {
     if slots.len() < 2 {
         return None;
     }
-    let mut fids: Vec<f64> = slots.iter().map(|s| s.pair.fidelity()).collect();
-    fids.sort_by(f64::total_cmp);
-    let best = fids[fids.len() - 1];
-    let mut sorted: Vec<_> = slots.to_vec();
-    sorted.sort_by(|a, b| b.pair.fidelity().total_cmp(&a.pair.fidelity()));
-    let out = table.round(&sorted[0].pair, &sorted[1].pair)?;
-    Some(out.pair.fidelity() > best)
+    // Allocation-free top-two scan. Strict `>` comparisons break ties toward
+    // the earliest slot, reproducing the stable descending sort this replaced
+    // (the scheduler runs per event, so its pair choice must stay
+    // bit-identical for the determinism contract).
+    let mut best_i = 0usize;
+    let mut best_f = slots[0].pair.fidelity();
+    let mut second_i = usize::MAX;
+    let mut second_f = f64::NEG_INFINITY;
+    for (i, s) in slots.iter().enumerate().skip(1) {
+        let f = s.pair.fidelity();
+        if f > best_f {
+            second_i = best_i;
+            second_f = best_f;
+            best_i = i;
+            best_f = f;
+        } else if f > second_f {
+            second_i = i;
+            second_f = f;
+        }
+    }
+    let out = table.round(&slots[best_i].pair, &slots[second_i].pair)?;
+    Some(out.pair.fidelity() > best_f)
 }
 
 /// Chooses the next distiller action. Pools must be decayed to the current

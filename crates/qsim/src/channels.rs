@@ -11,15 +11,25 @@
 //! * the **Pauli twirl** of the idle channel, which is what the stochastic
 //!   stabilizer simulator consumes.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use crate::complex::C64;
 use crate::error::QsimError;
+use crate::kernel::{ChannelKernel1, ChannelKernel2};
 use crate::matrix::Mat;
 use crate::state::DensityMatrix;
 
 /// A single-qubit channel described by Kraus operators `{K_i}` with
 /// `Σ K_i† K_i = I`.
+///
+/// [`apply`](Kraus1::apply) runs through a precompiled superoperator kernel
+/// (see [`crate::kernel`]), compiled lazily on first use and cached for the
+/// lifetime of the channel — so constructing a channel once and applying it
+/// many times is the intended usage pattern. The original Kraus-sum loop is
+/// kept as [`apply_reference`](Kraus1::apply_reference), the oracle the
+/// differential tests compare the kernel against.
 ///
 /// # Examples
 ///
@@ -34,9 +44,17 @@ use crate::state::DensityMatrix;
 /// damp.apply(&mut rho, 0);
 /// assert!((rho.diagonal_prob(0) - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Kraus1 {
     ops: Vec<Mat>,
+    kernel: OnceLock<ChannelKernel1>,
+}
+
+impl PartialEq for Kraus1 {
+    fn eq(&self, other: &Self) -> bool {
+        // The kernel is a cache derived from `ops`; identity is the ops.
+        self.ops == other.ops
+    }
 }
 
 impl Kraus1 {
@@ -64,14 +82,19 @@ impl Kraus1 {
                 "kraus operators do not satisfy the completeness relation".into(),
             ));
         }
-        Ok(Kraus1 { ops })
+        Ok(Kraus1::from_ops(ops))
+    }
+
+    fn from_ops(ops: Vec<Mat>) -> Self {
+        Kraus1 {
+            ops,
+            kernel: OnceLock::new(),
+        }
     }
 
     /// The identity channel.
     pub fn identity() -> Self {
-        Kraus1 {
-            ops: vec![Mat::identity(2)],
-        }
+        Kraus1::from_ops(vec![Mat::identity(2)])
     }
 
     /// Amplitude damping with decay probability `gamma = 1 - e^{-t/T1}`.
@@ -134,12 +157,25 @@ impl Kraus1 {
         &self.ops
     }
 
-    /// Applies the channel to qubit `q` of `rho`.
+    /// Applies the channel to qubit `q` of `rho` through the precompiled
+    /// superoperator kernel (one allocation-free pass regardless of the
+    /// number of Kraus operators).
     ///
     /// With the `validate` feature, debug builds check the output state's
     /// conformance invariants (see [`crate::conformance`]) and panic on
     /// violation.
     pub fn apply(&self, rho: &mut DensityMatrix, q: usize) {
+        self.kernel().apply(rho, q);
+        #[cfg(feature = "validate")]
+        crate::conformance::debug_validate_state(rho, "Kraus1::apply");
+    }
+
+    /// Applies the channel by the literal Kraus sum `Σ_k K_k ρ K_k†`
+    /// (one density-matrix clone and conjugation sweep per operator).
+    ///
+    /// This is the reference oracle the kernel path is differentially
+    /// tested against; production code should use [`apply`](Kraus1::apply).
+    pub fn apply_reference(&self, rho: &mut DensityMatrix, q: usize) {
         if self.ops.len() == 1 {
             rho.apply_conjugation_1q(q, &self.ops[0]);
         } else {
@@ -157,7 +193,13 @@ impl Kraus1 {
             }
         }
         #[cfg(feature = "validate")]
-        crate::conformance::debug_validate_state(rho, "Kraus1::apply");
+        crate::conformance::debug_validate_state(rho, "Kraus1::apply_reference");
+    }
+
+    /// The compiled superoperator kernel (compiled on first call, cached).
+    pub fn kernel(&self) -> &ChannelKernel1 {
+        self.kernel
+            .get_or_init(|| ChannelKernel1::compile(&self.ops))
     }
 
     /// Composes `self` followed by `other` into a single channel.
@@ -168,14 +210,25 @@ impl Kraus1 {
                 ops.push(b * a);
             }
         }
-        Kraus1 { ops }
+        Kraus1::from_ops(ops)
     }
 }
 
 /// A two-qubit channel described by 4×4 Kraus operators.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Like [`Kraus1`], application runs through a lazily compiled, cached
+/// superoperator kernel; [`apply_reference`](Kraus2::apply_reference) keeps
+/// the Kraus-sum loop as the differential-testing oracle.
+#[derive(Clone, Debug)]
 pub struct Kraus2 {
     ops: Vec<Mat>,
+    kernel: OnceLock<ChannelKernel2>,
+}
+
+impl PartialEq for Kraus2 {
+    fn eq(&self, other: &Self) -> bool {
+        self.ops == other.ops
+    }
 }
 
 impl Kraus2 {
@@ -203,7 +256,10 @@ impl Kraus2 {
                 "kraus operators do not satisfy the completeness relation".into(),
             ));
         }
-        Ok(Kraus2 { ops })
+        Ok(Kraus2 {
+            ops,
+            kernel: OnceLock::new(),
+        })
     }
 
     /// Two-qubit depolarizing channel: with probability `p` one of the 15
@@ -240,12 +296,25 @@ impl Kraus2 {
         &self.ops
     }
 
-    /// Applies the channel to qubits `(q_hi, q_lo)` of `rho`.
+    /// Applies the channel to qubits `(q_hi, q_lo)` of `rho` through the
+    /// precompiled superoperator kernel (one allocation-free pass
+    /// regardless of the number of Kraus operators).
     ///
     /// With the `validate` feature, debug builds check the output state's
     /// conformance invariants (see [`crate::conformance`]) and panic on
     /// violation.
     pub fn apply(&self, rho: &mut DensityMatrix, q_hi: usize, q_lo: usize) {
+        self.kernel().apply(rho, q_hi, q_lo);
+        #[cfg(feature = "validate")]
+        crate::conformance::debug_validate_state(rho, "Kraus2::apply");
+    }
+
+    /// Applies the channel by the literal Kraus sum `Σ_k K_k ρ K_k†`
+    /// (one density-matrix clone and conjugation sweep per operator).
+    ///
+    /// This is the reference oracle the kernel path is differentially
+    /// tested against; production code should use [`apply`](Kraus2::apply).
+    pub fn apply_reference(&self, rho: &mut DensityMatrix, q_hi: usize, q_lo: usize) {
         if self.ops.len() == 1 {
             rho.apply_conjugation_2q(q_hi, q_lo, &self.ops[0]);
         } else {
@@ -263,18 +332,20 @@ impl Kraus2 {
             }
         }
         #[cfg(feature = "validate")]
-        crate::conformance::debug_validate_state(rho, "Kraus2::apply");
+        crate::conformance::debug_validate_state(rho, "Kraus2::apply_reference");
+    }
+
+    /// The compiled superoperator kernel (compiled on first call, cached).
+    pub fn kernel(&self) -> &ChannelKernel2 {
+        self.kernel
+            .get_or_init(|| ChannelKernel2::compile(&self.ops))
     }
 }
 
 fn accumulate(into: &mut DensityMatrix, term: &DensityMatrix) {
     debug_assert_eq!(into.dim(), term.dim());
-    let dim = into.dim();
-    for r in 0..dim {
-        for c in 0..dim {
-            let v = into.entry(r, c) + term.entry(r, c);
-            *into.entry_mut(r, c) = v;
-        }
+    for (a, b) in into.as_mut_slice().iter_mut().zip(term.as_slice()) {
+        *a += *b;
     }
 }
 

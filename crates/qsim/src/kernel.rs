@@ -1,0 +1,298 @@
+//! Precompiled superoperator kernels for Kraus channel application.
+//!
+//! Applying a channel from its Kraus operators `{K_k}` costs one full clone
+//! of the density matrix plus a left/right conjugation sweep *per operator*
+//! — 16 clones and 32 sweeps for a two-qubit depolarizing channel. But the
+//! channel itself is a fixed linear map on the local 2×2 (or 4×4) block:
+//!
+//! ```text
+//! B ↦ Σ_k K_k B K_k†
+//! ```
+//!
+//! [`ChannelKernel1`] and [`ChannelKernel2`] fold an entire Kraus set into
+//! that single superoperator — a 4×4 (one qubit) or 16×16 (two qubits)
+//! complex matrix acting on the vectorized block — compiled once and applied
+//! in **one allocation-free pass** over the density matrix regardless of how
+//! many Kraus operators the channel has.
+//!
+//! In the vectorization convention used here, `vec(B)[i·d + j] = B[i, j]`
+//! (row-major, `d ∈ {2, 4}`), the superoperator entries are
+//!
+//! ```text
+//! S[(i·d + j), (p·d + q)] = Σ_k K_k[i, p] · conj(K_k[j, q])
+//! ```
+//!
+//! [`Kraus1`](crate::channels::Kraus1) and
+//! [`Kraus2`](crate::channels::Kraus2) compile their kernel lazily behind a
+//! `OnceLock` on first `apply`, so every consumer of the channel API gets
+//! the fast path without code changes; the original Kraus-sum loop survives
+//! as `apply_reference`, the oracle the differential tests compare against.
+//!
+//! Pauli-structured channels (depolarizing, Pauli twirls) produce
+//! superoperators where 3/4 of the entries are exactly zero, so
+//! [`ChannelKernel2`] stores a per-row compressed form and skips the zeros;
+//! the summation order over the surviving entries is fixed (ascending column
+//! index), keeping results deterministic.
+
+use hetarch_obs as obs;
+
+use crate::complex::C64;
+use crate::matrix::Mat;
+use crate::state::DensityMatrix;
+
+// Kernel cache behavior (no-ops unless the `obs` feature is on and
+// `HETARCH_OBS=1`): one compile per distinct channel instance means the
+// OnceLock caches are working; compiles tracking applies means someone is
+// rebuilding channels in a hot loop.
+static OBS_COMPILES: obs::Counter = obs::Counter::new("qsim.kernel.compiles");
+static OBS_APPLIES: obs::Counter = obs::Counter::new("qsim.kernel.applies");
+
+/// Precompiled single-qubit channel superoperator (4×4, dense).
+///
+/// # Examples
+///
+/// ```
+/// use hetarch_qsim::channels::Kraus1;
+/// use hetarch_qsim::kernel::ChannelKernel1;
+/// use hetarch_qsim::state::DensityMatrix;
+///
+/// let depol = Kraus1::depolarizing(0.1).unwrap();
+/// let kernel = ChannelKernel1::compile(depol.ops());
+/// let mut via_kernel = DensityMatrix::zero_state(2);
+/// let mut via_kraus = via_kernel.clone();
+/// kernel.apply(&mut via_kernel, 0);
+/// depol.apply_reference(&mut via_kraus, 0);
+/// for r in 0..4 {
+///     for c in 0..4 {
+///         assert!(via_kernel.entry(r, c).approx_eq(via_kraus.entry(r, c), 1e-12));
+///     }
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelKernel1 {
+    s: [C64; 16],
+}
+
+impl ChannelKernel1 {
+    /// Compiles the superoperator for the Kraus set `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operator is not 2×2. Completeness is *not* required:
+    /// the kernel is faithful to whatever linear map the operators define
+    /// (trace-decreasing measurement branches included).
+    pub fn compile(ops: &[Mat]) -> Self {
+        OBS_COMPILES.inc();
+        let mut s = [C64::ZERO; 16];
+        for k in ops {
+            assert_eq!((k.rows(), k.cols()), (2, 2), "expected 2x2 Kraus operators");
+            let m = k.as_slice();
+            for i in 0..2 {
+                for j in 0..2 {
+                    for p in 0..2 {
+                        for q in 0..2 {
+                            s[(i * 2 + j) * 4 + (p * 2 + q)] += m[i * 2 + p] * m[j * 2 + q].conj();
+                        }
+                    }
+                }
+            }
+        }
+        ChannelKernel1 { s }
+    }
+
+    /// Applies the channel to qubit `q` of `rho` in one pass.
+    pub fn apply(&self, rho: &mut DensityMatrix, q: usize) {
+        OBS_APPLIES.inc();
+        rho.apply_superop_1q(q, &self.s);
+    }
+
+    /// The dense 4×4 superoperator, row-major in the vectorization
+    /// convention of the module docs.
+    pub fn as_matrix(&self) -> &[C64; 16] {
+        &self.s
+    }
+}
+
+/// Precompiled two-qubit channel superoperator (16×16, stored per-row
+/// compressed so exactly-zero entries — 3/4 of them for Pauli channels —
+/// cost nothing at apply time).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChannelKernel2 {
+    /// Number of non-zero entries in each superoperator row.
+    nnz: [u8; 16],
+    /// Column indices of the non-zero entries, ascending within each row.
+    cols: [[u8; 16]; 16],
+    /// Values matching `cols`.
+    vals: [[C64; 16]; 16],
+}
+
+impl ChannelKernel2 {
+    /// Compiles the superoperator for the Kraus set `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operator is not 4×4. Completeness is not required.
+    pub fn compile(ops: &[Mat]) -> Self {
+        OBS_COMPILES.inc();
+        let mut dense = [[C64::ZERO; 16]; 16];
+        for k in ops {
+            assert_eq!((k.rows(), k.cols()), (4, 4), "expected 4x4 Kraus operators");
+            let m = k.as_slice();
+            for i in 0..4 {
+                for j in 0..4 {
+                    for p in 0..4 {
+                        for q in 0..4 {
+                            dense[i * 4 + j][p * 4 + q] += m[i * 4 + p] * m[j * 4 + q].conj();
+                        }
+                    }
+                }
+            }
+        }
+        let mut nnz = [0u8; 16];
+        let mut cols = [[0u8; 16]; 16];
+        let mut vals = [[C64::ZERO; 16]; 16];
+        for (r, row) in dense.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                // Only exactly-zero entries are pruned (skipping `acc += 0·b`
+                // cannot change any finite result), and the survivors keep
+                // their ascending-column order, so the sparse apply computes
+                // the same floats as the dense superoperator would.
+                if v != C64::ZERO {
+                    let n = nnz[r] as usize;
+                    cols[r][n] = c as u8;
+                    vals[r][n] = v;
+                    nnz[r] += 1;
+                }
+            }
+        }
+        ChannelKernel2 { nnz, cols, vals }
+    }
+
+    /// Applies the channel to qubits `(q_hi, q_lo)` of `rho` in one pass.
+    pub fn apply(&self, rho: &mut DensityMatrix, q_hi: usize, q_lo: usize) {
+        OBS_APPLIES.inc();
+        rho.apply_superop_2q(q_hi, q_lo, |block| {
+            let mut out = [C64::ZERO; 16];
+            for (r, o) in out.iter_mut().enumerate() {
+                let n = self.nnz[r] as usize;
+                let cols = &self.cols[r][..n];
+                let vals = &self.vals[r][..n];
+                let mut acc = C64::ZERO;
+                for (col, val) in cols.iter().zip(vals) {
+                    acc += *val * block[*col as usize];
+                }
+                *o = acc;
+            }
+            out
+        });
+    }
+
+    /// Total non-zero superoperator entries (≤ 256); Pauli channels compile
+    /// to ≤ 64 (28 for uniform depolarizing, whose equal Pauli weights
+    /// cancel exactly).
+    pub fn nnz(&self) -> usize {
+        self.nnz.iter().map(|&n| n as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::{IdleParams, Kraus1, Kraus2};
+
+    const TOL: f64 = 1e-13;
+
+    fn assert_states_close(a: &DensityMatrix, b: &DensityMatrix, tol: f64) {
+        assert_eq!(a.dim(), b.dim());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(x.approx_eq(*y, tol), "{x} vs {y}");
+        }
+    }
+
+    fn entangled_state(n: usize) -> DensityMatrix {
+        let mut rho = DensityMatrix::zero_state(n);
+        crate::gates::h(&mut rho, 0);
+        for q in 1..n {
+            crate::gates::cnot(&mut rho, q - 1, q);
+        }
+        crate::gates::t(&mut rho, n - 1);
+        rho
+    }
+
+    #[test]
+    fn identity_kernel_is_identity() {
+        let kernel = ChannelKernel1::compile(Kraus1::identity().ops());
+        let mut rho = entangled_state(3);
+        let before = rho.clone();
+        kernel.apply(&mut rho, 1);
+        assert_states_close(&rho, &before, TOL);
+    }
+
+    #[test]
+    fn kernel1_matches_reference_on_idle_channel() {
+        // amplitude damping ∘ dephasing: 4 Kraus operators, dense superop.
+        let ch = IdleParams::new(300e-6, 200e-6)
+            .unwrap()
+            .channel(40e-6)
+            .unwrap();
+        let kernel = ChannelKernel1::compile(ch.ops());
+        for q in 0..3 {
+            let mut a = entangled_state(3);
+            let mut b = a.clone();
+            kernel.apply(&mut a, q);
+            ch.apply_reference(&mut b, q);
+            assert_states_close(&a, &b, TOL);
+        }
+    }
+
+    #[test]
+    fn kernel2_matches_reference_on_depolarizing() {
+        let ch = Kraus2::depolarizing(0.07).unwrap();
+        let kernel = ChannelKernel2::compile(ch.ops());
+        for (hi, lo) in [(0usize, 1usize), (2, 0), (1, 2)] {
+            let mut a = entangled_state(3);
+            let mut b = a.clone();
+            kernel.apply(&mut a, hi, lo);
+            ch.apply_reference(&mut b, hi, lo);
+            assert_states_close(&a, &b, TOL);
+        }
+    }
+
+    #[test]
+    fn pauli_channel_kernel_is_three_quarters_sparse() {
+        // The uniform depolarizing channel is sparser still than a generic
+        // Pauli channel (≤ 64 entries): equal X/Y/Z weights cancel exactly,
+        // leaving aδ_ip δ_jq + bδ_ij δ_pq = 16 + 16 − 4 entries.
+        let kernel = ChannelKernel2::compile(Kraus2::depolarizing(0.2).unwrap().ops());
+        assert_eq!(kernel.nnz(), 28);
+        // A Hadamard ⊗ Hadamard conjugation has no zero matrix entries, so
+        // its superoperator is fully dense.
+        let hh = Mat::hadamard().kron(&Mat::hadamard());
+        assert_eq!(
+            ChannelKernel2::compile(std::slice::from_ref(&hh)).nnz(),
+            256
+        );
+    }
+
+    #[test]
+    fn kernel_preserves_trace_of_cptp_channel() {
+        let ch = Kraus2::depolarizing(0.3).unwrap();
+        let kernel = ChannelKernel2::compile(ch.ops());
+        let mut rho = entangled_state(4);
+        kernel.apply(&mut rho, 3, 1);
+        assert!(rho.trace().approx_eq(C64::ONE, 1e-12));
+        rho.validate(1e-10).unwrap();
+    }
+
+    #[test]
+    fn trace_decreasing_sets_compile() {
+        // A single measurement branch |0><0| is a valid (non-CPTP-complete)
+        // kernel: the map B ↦ P0 B P0.
+        let p0 = Mat::from_reals(2, &[1.0, 0.0, 0.0, 0.0]);
+        let kernel = ChannelKernel1::compile(std::slice::from_ref(&p0));
+        let mut rho = DensityMatrix::maximally_mixed(1);
+        kernel.apply(&mut rho, 0);
+        assert!((rho.diagonal_prob(0) - 0.5).abs() < TOL);
+        assert!((rho.diagonal_prob(1)).abs() < TOL);
+    }
+}

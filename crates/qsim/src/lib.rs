@@ -14,6 +14,8 @@
 //! * [`gates`] — circuit-style gate application helpers,
 //! * [`channels`] — Kraus channels for superconducting noise (T1/T2 idling,
 //!   depolarizing gate error, Pauli twirling),
+//! * [`kernel`] — precompiled superoperator kernels, the allocation-free
+//!   fast path behind every channel application,
 //! * [`measure`] — projective measurement and post-selection,
 //! * [`fidelity`] — fidelity metrics used in cell characterization,
 //! * [`bell`] — Bell-diagonal pair states and the DEJMPS distillation round.
@@ -48,6 +50,7 @@ pub mod conformance;
 pub mod error;
 pub mod fidelity;
 pub mod gates;
+pub mod kernel;
 pub mod matrix;
 pub mod measure;
 pub mod state;
@@ -60,6 +63,7 @@ pub mod prelude {
     pub use crate::error::QsimError;
     pub use crate::fidelity;
     pub use crate::gates;
+    pub use crate::kernel::{ChannelKernel1, ChannelKernel2};
     pub use crate::matrix::Mat;
     pub use crate::measure;
     pub use crate::state::DensityMatrix;

@@ -250,27 +250,31 @@ impl DensityMatrix {
         let mh = 1usize << q_hi;
         let ml = 1usize << q_lo;
         let dim = self.dim;
-        let idx = |base: usize, k: usize| -> usize {
-            let hi = (k >> 1) & 1;
-            let lo = k & 1;
-            base | (hi * mh) | (lo * ml)
-        };
+        let mut u = [C64::ZERO; 16];
+        u.copy_from_slice(m.as_slice());
         // Left multiply.
         let mut tmp = [C64::ZERO; 4];
         for base in 0..dim {
             if base & (mh | ml) != 0 {
                 continue;
             }
+            // Block row index k = (bit_hi << 1) | bit_lo.
+            let rows = [
+                base * dim,
+                (base | ml) * dim,
+                (base | mh) * dim,
+                (base | mh | ml) * dim,
+            ];
             for c in 0..dim {
                 for (k, t) in tmp.iter_mut().enumerate() {
                     let mut acc = C64::ZERO;
                     for j in 0..4 {
-                        acc += m[(k, j)] * self.data[idx(base, j) * dim + c];
+                        acc += u[k * 4 + j] * self.data[rows[j] + c];
                     }
                     *t = acc;
                 }
                 for (k, t) in tmp.iter().enumerate() {
-                    self.data[idx(base, k) * dim + c] = *t;
+                    self.data[rows[k] + c] = *t;
                 }
             }
         }
@@ -281,15 +285,117 @@ impl DensityMatrix {
                 if base & (mh | ml) != 0 {
                     continue;
                 }
+                let cols = [base, base | ml, base | mh, base | mh | ml];
                 for (k, t) in tmp.iter_mut().enumerate() {
                     let mut acc = C64::ZERO;
                     for j in 0..4 {
-                        acc += self.data[row + idx(base, j)] * m[(k, j)].conj();
+                        acc += self.data[row + cols[j]] * u[k * 4 + j].conj();
                     }
                     *t = acc;
                 }
                 for (k, t) in tmp.iter().enumerate() {
-                    self.data[row + idx(base, k)] = *t;
+                    self.data[row + cols[k]] = *t;
+                }
+            }
+        }
+    }
+
+    /// Applies a precompiled single-qubit channel superoperator `s` (4×4,
+    /// row-major over `vec(B)[i*2 + j] = B[i, j]`) to qubit `q` in one
+    /// allocation-free pass: every 2×2 block of ρ addressed by the qubit's
+    /// bit in the row and column index is replaced by `S · vec(B)`.
+    ///
+    /// This is the hot path behind [`crate::kernel::ChannelKernel1`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    pub(crate) fn apply_superop_1q(&mut self, q: usize, s: &[C64; 16]) {
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        let mask = 1usize << q;
+        let low = mask - 1;
+        let dim = self.dim;
+        let half = dim / 2;
+        for br in 0..half {
+            // br enumerates row indices with the qubit's bit deleted;
+            // re-insert a zero bit at position q.
+            let r0 = ((br & !low) << 1) | (br & low);
+            let row0 = r0 * dim;
+            let row1 = (r0 | mask) * dim;
+            for bc in 0..half {
+                let c0 = ((bc & !low) << 1) | (bc & low);
+                let c1 = c0 | mask;
+                let b = [
+                    self.data[row0 + c0],
+                    self.data[row0 + c1],
+                    self.data[row1 + c0],
+                    self.data[row1 + c1],
+                ];
+                let mut out = [C64::ZERO; 4];
+                for (i, o) in out.iter_mut().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (j, bj) in b.iter().enumerate() {
+                        acc += s[i * 4 + j] * *bj;
+                    }
+                    *o = acc;
+                }
+                self.data[row0 + c0] = out[0];
+                self.data[row0 + c1] = out[1];
+                self.data[row1 + c0] = out[2];
+                self.data[row1 + c1] = out[3];
+            }
+        }
+    }
+
+    /// Applies a precompiled two-qubit channel superoperator to qubits
+    /// `(q_hi, q_lo)` in one allocation-free pass. Each 4×4 block of ρ
+    /// (row and column sub-indices `(bit_hi << 1) | bit_lo`) is gathered
+    /// into `vec(B)[i*4 + j] = B[i, j]` and replaced by `superop(&vec(B))`.
+    ///
+    /// Taking the matrix–vector product as a closure lets
+    /// [`crate::kernel::ChannelKernel2`] exploit superoperator sparsity
+    /// without this traversal knowing about the storage format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range.
+    pub(crate) fn apply_superop_2q(
+        &mut self,
+        q_hi: usize,
+        q_lo: usize,
+        superop: impl Fn(&[C64; 16]) -> [C64; 16],
+    ) {
+        assert!(q_hi < self.n && q_lo < self.n, "qubit out of range");
+        assert_ne!(q_hi, q_lo, "two-qubit channel requires distinct qubits");
+        let mh = 1usize << q_hi;
+        let ml = 1usize << q_lo;
+        let dim = self.dim;
+        for base_r in 0..dim {
+            if base_r & (mh | ml) != 0 {
+                continue;
+            }
+            let rows = [
+                base_r * dim,
+                (base_r | ml) * dim,
+                (base_r | mh) * dim,
+                (base_r | mh | ml) * dim,
+            ];
+            for base_c in 0..dim {
+                if base_c & (mh | ml) != 0 {
+                    continue;
+                }
+                let cols = [base_c, base_c | ml, base_c | mh, base_c | mh | ml];
+                let mut b = [C64::ZERO; 16];
+                for (i, &row) in rows.iter().enumerate() {
+                    for (j, &col) in cols.iter().enumerate() {
+                        b[i * 4 + j] = self.data[row + col];
+                    }
+                }
+                let out = superop(&b);
+                for (i, &row) in rows.iter().enumerate() {
+                    for (j, &col) in cols.iter().enumerate() {
+                        self.data[row + col] = out[i * 4 + j];
+                    }
                 }
             }
         }
@@ -434,6 +540,12 @@ impl DensityMatrix {
     /// Borrows the row-major backing data.
     pub fn as_slice(&self) -> &[C64] {
         &self.data
+    }
+
+    /// Mutably borrows the row-major backing data (crate-internal: used by
+    /// the channel accumulation loop).
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
     }
 
     /// Converts into a [`Mat`] (for diagnostics and tests).
