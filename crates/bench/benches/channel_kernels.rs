@@ -4,9 +4,22 @@
 //! Kraus operator); the `superop` rows run `apply` (the compiled
 //! `ChannelKernel` one-pass path). The PR 5 acceptance target is ≥3× on the
 //! 16-operator `Kraus2::depolarizing` at n = 5.
+//!
+//! The `superop_per_state` / `superop_batch` rows compare the two
+//! `DmBackend` strategies on a 16-state batch: a per-state loop of `apply`
+//! versus one `apply_batch` call that blocks lanes of states through the
+//! kernel. The PR 6 acceptance target is ≥1.5× on the batched 2q rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hetarch::prelude::*;
+
+/// States per batch in the `superop_per_state`/`superop_batch` rows: a
+/// multiple of the lane width, sized like a cell-characterization probe set.
+const BATCH: usize = 16;
+
+fn batch_of_states(n: usize) -> Vec<DensityMatrix> {
+    (0..BATCH).map(|_| DensityMatrix::zero_state(n)).collect()
+}
 
 fn bench_kraus1(c: &mut Criterion) {
     let mut group = c.benchmark_group("channel_kernels_1q");
@@ -24,6 +37,18 @@ fn bench_kraus1(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("superop", n), &n, |b, &n| {
             let mut rho = DensityMatrix::zero_state(n);
             b.iter(|| idle.apply(&mut rho, 0));
+        });
+        group.bench_with_input(BenchmarkId::new("superop_per_state", n), &n, |b, &n| {
+            let mut states = batch_of_states(n);
+            b.iter(|| {
+                for rho in states.iter_mut() {
+                    idle.apply(rho, 0);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("superop_batch", n), &n, |b, &n| {
+            let mut states = batch_of_states(n);
+            b.iter(|| idle.apply_batch(&mut states, 0));
         });
     }
     group.finish();
@@ -43,6 +68,18 @@ fn bench_kraus2(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("superop", n), &n, |b, &n| {
             let mut rho = DensityMatrix::zero_state(n);
             b.iter(|| depol.apply(&mut rho, 0, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("superop_per_state", n), &n, |b, &n| {
+            let mut states = batch_of_states(n);
+            b.iter(|| {
+                for rho in states.iter_mut() {
+                    depol.apply(rho, 0, 1);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("superop_batch", n), &n, |b, &n| {
+            let mut states = batch_of_states(n);
+            b.iter(|| depol.apply_batch(&mut states, 0, 1));
         });
     }
     group.finish();

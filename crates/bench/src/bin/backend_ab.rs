@@ -1,0 +1,142 @@
+//! Interleaved A/B comparison of the `DmBackend` strategies.
+//!
+//! Single-shot workload timings on this class of container swing ±40%
+//! between CPU-frequency bands, which drowns single-digit-percent effects
+//! (see the PR 5 notes in CHANGES.md). This bin interleaves the two
+//! backends trial by trial and reports medians, so band noise hits both
+//! sides equally:
+//!
+//! * `kernel` rows — per-state loop vs `apply_batch` on a 16-state batch,
+//!   the microbenchmark behind the criterion `superop_per_state` /
+//!   `superop_batch` rows (1q idle and 2q depolarizing, n ∈ {2, 5}).
+//! * `cell_characterization` row — the four standard-cell `characterize()`
+//!   calls under `force_active(Scalar)` vs `force_active(Batched)`; the
+//!   backends are bit-identical, so the ratio is pure speed.
+//!
+//! `HETARCH_AB_TRIALS` overrides the trial count (default 96).
+
+use std::time::Instant;
+
+use hetarch::prelude::*;
+use hetarch::qsim::backend::{force_active, BackendChoice};
+
+fn trials() -> usize {
+    std::env::var("HETARCH_AB_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(96)
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    v[v.len() / 2]
+}
+
+fn batch_of_states(n: usize, count: usize) -> Vec<DensityMatrix> {
+    (0..count).map(|_| DensityMatrix::zero_state(n)).collect()
+}
+
+fn kernel_rows(trials: usize) {
+    let idle = IdleParams::new(300e-6, 150e-6)
+        .unwrap()
+        .channel(1e-6)
+        .unwrap();
+    idle.kernel();
+    let depol = Kraus2::depolarizing(0.01).unwrap();
+    depol.kernel();
+    const BATCH: usize = 16;
+    for n in [2usize, 5] {
+        // Scale inner repetitions so each timed window is a few hundred µs.
+        let reps = if n == 2 { 200 } else { 8 };
+        let mut states = batch_of_states(n, BATCH);
+        let mut t_1q = (Vec::new(), Vec::new());
+        let mut t_2q = (Vec::new(), Vec::new());
+        for _ in 0..trials {
+            let t = Instant::now();
+            for _ in 0..reps {
+                for rho in states.iter_mut() {
+                    idle.apply(rho, 0);
+                }
+            }
+            t_1q.0.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            for _ in 0..reps {
+                idle.apply_batch(&mut states, 0);
+            }
+            t_1q.1.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            for _ in 0..reps {
+                for rho in states.iter_mut() {
+                    depol.apply(rho, 0, 1);
+                }
+            }
+            t_2q.0.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            for _ in 0..reps {
+                depol.apply_batch(&mut states, 0, 1);
+            }
+            t_2q.1.push(t.elapsed().as_secs_f64());
+        }
+        for (label, (per, bat)) in [("1q", t_1q), ("2q", t_2q)] {
+            let (p, b) = (median(per), median(bat));
+            println!(
+                "kernel {label} n={n}: per_state {:>8.2} µs  batch {:>8.2} µs  speedup {:.2}x",
+                p * 1e6,
+                b * 1e6,
+                p / b
+            );
+        }
+    }
+}
+
+fn characterization_row(trials: usize) {
+    let compute = catalog::coherence_limited_compute(0.5e-3);
+    let storage = catalog::coherence_limited_storage(50e-3);
+    let characterize_all = || {
+        RegisterCell::new(compute.clone(), storage.clone())
+            .unwrap()
+            .characterize();
+        ParCheckCell::new(compute.clone(), compute.clone())
+            .unwrap()
+            .characterize();
+        SeqOpCell::new(compute.clone(), storage.clone())
+            .unwrap()
+            .characterize();
+        UscCell::new(compute.clone(), storage.clone())
+            .unwrap()
+            .characterize();
+    };
+    characterize_all(); // warm kernel compiles and the probe-state cache
+    let mut scalar = Vec::new();
+    let mut batched = Vec::new();
+    for _ in 0..trials {
+        force_active(Some(BackendChoice::Scalar));
+        let t = Instant::now();
+        characterize_all();
+        scalar.push(t.elapsed().as_secs_f64());
+        force_active(Some(BackendChoice::Batched));
+        let t = Instant::now();
+        characterize_all();
+        batched.push(t.elapsed().as_secs_f64());
+    }
+    force_active(None);
+    let (s, b) = (median(scalar), median(batched));
+    println!(
+        "cell_characterization: scalar {:>8.3} ms  batched {:>8.3} ms  speedup {:.3}x",
+        s * 1e3,
+        b * 1e3,
+        s / b
+    );
+}
+
+fn main() {
+    let trials = trials();
+    hetarch_bench::header(
+        "backend_ab",
+        "interleaved scalar-vs-batched DmBackend medians (band-noise-immune)",
+    );
+    println!("trials per row: {trials}\n");
+    kernel_rows(trials);
+    characterization_row(trials);
+}

@@ -10,9 +10,12 @@
 //! surface-memory, distillation and cold-cache cell-characterization
 //! workloads once each, and writes shots/sec, shard counts, superoperator
 //! kernel counters and characterization-cache hit ratios — together with
-//! the full metric report — to `BENCH_pr5.json`. The first three workloads
-//! are definition-identical to the `BENCH_pr4.json` baseline so their
-//! shots/sec are directly comparable across the two files.
+//! the full metric report — to `BENCH_pr6.json`. The first four workloads
+//! are definition-identical to the `BENCH_pr5.json` baseline so their
+//! shots/sec are directly comparable across the two files; the extra
+//! `cell_characterization_scalar` workload re-runs cold characterization
+//! with the scalar `DmBackend` forced, quantifying the batched backend's
+//! speedup inside one report.
 //!
 //! `HETARCH_SHOTS` scales the shot count (default 4096);
 //! `HETARCH_WORKER_COUNTS` is a comma-separated override of the swept
@@ -57,14 +60,14 @@ fn uec_module() -> UecModule {
 }
 
 /// `--report`: one pass per workload with the observability layer armed,
-/// emitting `BENCH_pr5.json`.
+/// emitting `BENCH_pr6.json`.
 fn report_mode() {
     obs::force_enabled(true);
     obs::reset();
     let shots = hetarch_bench::shots(4096);
     let seed = 2023;
     hetarch_bench::header(
-        "BENCH_pr5",
+        "BENCH_pr6",
         "observability report: shots/sec, kernel counters and cache-hit ratios per workload",
     );
     if !obs::enabled() {
@@ -122,7 +125,7 @@ fn report_mode() {
     // from scratch (direct `characterize()`, no CellLibrary), the density-
     // matrix-heavy path the superoperator kernels accelerate.
     let cold_reps = 4usize;
-    timed("cell_characterization_cold", 4 * cold_reps, &mut || {
+    let mut characterize_all = || {
         for _ in 0..cold_reps {
             RegisterCell::new(compute.clone(), storage.clone())
                 .unwrap()
@@ -137,14 +140,29 @@ fn report_mode() {
                 .unwrap()
                 .characterize();
         }
-    });
+    };
+    timed(
+        "cell_characterization_cold",
+        4 * cold_reps,
+        &mut characterize_all,
+    );
+    // The same workload with the scalar reference backend forced: the two
+    // rows differ only in `DmBackend` strategy (results are bit-identical),
+    // so their ratio is the batched backend's cell-characterization speedup.
+    hetarch::qsim::backend::force_active(Some(hetarch::qsim::backend::BackendChoice::Scalar));
+    timed(
+        "cell_characterization_scalar",
+        4 * cold_reps,
+        &mut characterize_all,
+    );
+    hetarch::qsim::backend::force_active(None);
 
     let report = obs::report();
     let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"mc_scaling_report\",\n");
-    json.push_str("  \"baseline\": \"BENCH_pr4.json\",\n");
+    json.push_str("  \"baseline\": \"BENCH_pr5.json\",\n");
     json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str("  \"workloads\": [\n");
@@ -185,8 +203,8 @@ fn report_mode() {
     ));
     json.push_str(&format!("  \"obs_report\": {}\n", report.to_json()));
     json.push_str("}\n");
-    std::fs::write("BENCH_pr5.json", &json).expect("write BENCH_pr5.json");
-    println!("\nwrote BENCH_pr5.json ({} workloads)", workloads.len());
+    std::fs::write("BENCH_pr6.json", &json).expect("write BENCH_pr6.json");
+    println!("\nwrote BENCH_pr6.json ({} workloads)", workloads.len());
 }
 
 /// Default mode: the PR 2 worker-count scaling study (`BENCH_pr2.json`).

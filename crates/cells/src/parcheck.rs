@@ -4,6 +4,7 @@
 //! Optimized for parity checks: move two qubits in, apply one- and two-qubit
 //! gates, measure one qubit.
 
+use hetarch_qsim::backend;
 use hetarch_qsim::bell::DistillNoise;
 use hetarch_qsim::channels::{IdleParams, Kraus1, Kraus2};
 use hetarch_qsim::measure::project_z;
@@ -155,22 +156,38 @@ impl ParCheckCell {
         let idle_b_ch = idle_b
             .channel(g2.time + t_read)
             .expect("non-negative duration");
-        let mut total = 0.0;
-        for input in 0..4usize {
+        // All five probes (four classical basis inputs + the Bell coherence
+        // probe) run the same circuit, so they are materialized up front and
+        // every channel step is one batched apply over the whole set.
+        let backend = backend::active();
+        let mut states: Vec<DensityMatrix> = (0..4usize)
+            .map(|input| {
+                let mut rho = DensityMatrix::zero_state(2);
+                if input & 1 == 1 {
+                    hetarch_qsim::gates::x(&mut rho, 0);
+                }
+                if input & 2 == 2 {
+                    hetarch_qsim::gates::x(&mut rho, 1);
+                }
+                rho
+            })
+            .collect();
+        states.push({
             let mut rho = DensityMatrix::zero_state(2);
-            if input & 1 == 1 {
-                hetarch_qsim::gates::x(&mut rho, 0);
-            }
-            if input & 2 == 2 {
-                hetarch_qsim::gates::x(&mut rho, 1);
-            }
-            // CX from a (qubit 0) onto b (qubit 1), then decoherence during
-            // the gate and the readout window.
-            hetarch_qsim::gates::cnot(&mut rho, 0, 1);
-            depol2.apply(&mut rho, 0, 1);
-            for (q, idle) in [(0usize, &idle_a_ch), (1usize, &idle_b_ch)] {
-                idle.apply(&mut rho, q);
-            }
+            hetarch_qsim::gates::h(&mut rho, 0);
+            rho
+        });
+        // CX from a (qubit 0) onto b (qubit 1), then decoherence during the
+        // gate and the readout window.
+        for rho in states.iter_mut() {
+            hetarch_qsim::gates::cnot(rho, 0, 1);
+        }
+        backend.apply_2q(&depol2, &mut states, 0, 1);
+        backend.apply_1q(&idle_a_ch, &mut states, 0);
+        backend.apply_1q(&idle_b_ch, &mut states, 1);
+
+        let mut total = 0.0;
+        for (input, rho) in states.iter().take(4).enumerate() {
             let parity = (input & 1) ^ ((input >> 1) & 1) == 1;
             let p_correct = {
                 let mut branch = rho.clone();
@@ -189,17 +206,10 @@ impl ParCheckCell {
         // gate + readout window shows up here and nowhere in the classical
         // probes.
         let bell_fidelity = {
-            let mut rho = DensityMatrix::zero_state(2);
-            hetarch_qsim::gates::h(&mut rho, 0);
-            hetarch_qsim::gates::cnot(&mut rho, 0, 1);
-            depol2.apply(&mut rho, 0, 1);
-            for (q, idle) in [(0usize, &idle_a_ch), (1usize, &idle_b_ch)] {
-                idle.apply(&mut rho, q);
-            }
             use hetarch_qsim::complex::C64;
             let inv = std::f64::consts::FRAC_1_SQRT_2;
             let phi_plus = [C64::new(inv, 0.0), C64::ZERO, C64::ZERO, C64::new(inv, 0.0)];
-            hetarch_qsim::fidelity::fidelity_with_pure(&rho, &phi_plus)
+            hetarch_qsim::fidelity::fidelity_with_pure(&states[4], &phi_plus)
         };
 
         // Report the worst probe family: the cell abstraction must hold for

@@ -5,6 +5,7 @@
 //! sequential two-qubit operations between stored qubits, with parity
 //! checks available on the side.
 
+use hetarch_qsim::backend;
 use hetarch_qsim::channels::{IdleParams, Kraus1, Kraus2};
 use hetarch_qsim::complex::C64;
 use hetarch_qsim::fidelity::fidelity_with_pure;
@@ -143,68 +144,95 @@ impl SeqOpCell {
         let idle_swap = idle_pair(swap.time);
         let idle_g2 = idle_pair(g2.time);
 
-        // Qubits: 0 = s1 mode, 1 = c1, 2 = c2, 3 = s2 mode.
-        let idle_all = |rho: &mut DensityMatrix, (storage_ch, compute_ch): &(Kraus1, Kraus1)| {
+        // Qubits: 0 = s1 mode, 1 = c1, 2 = c2, 3 = s2 mode. All nine product
+        // probes run the same circuit, so they are materialized up front and
+        // every gate/channel step sweeps the whole batch — channel steps as
+        // one batched backend apply each.
+        let backend = backend::active();
+        let idle_all = |states: &mut [DensityMatrix],
+                        (storage_ch, compute_ch): &(Kraus1, Kraus1)| {
             for q in [0usize, 3] {
-                storage_ch.apply(rho, q);
+                backend.apply_1q(storage_ch, states, q);
             }
             for q in [1usize, 2] {
-                compute_ch.apply(rho, q);
+                backend.apply_1q(compute_ch, states, q);
             }
         };
         let probes = [0usize, 1, 2]; // 0 -> |0>, 1 -> |1>, 2 -> |+>
-        let mut total = 0.0;
-        let mut count = 0;
-        for a in probes {
-            for b in probes {
+        let inputs: Vec<(usize, usize)> = probes
+            .iter()
+            .flat_map(|&a| probes.iter().map(move |&b| (a, b)))
+            .collect();
+        let mut states: Vec<DensityMatrix> = inputs
+            .iter()
+            .map(|&(a, b)| {
                 let mut rho = DensityMatrix::zero_state(4);
                 prepare(&mut rho, 0, a);
                 prepare(&mut rho, 3, b);
-                // Load both operands (parallel swaps).
-                gates::swap(&mut rho, 0, 1);
-                gates::swap(&mut rho, 3, 2);
-                depol_swap.apply(&mut rho, 0, 1);
-                depol_swap.apply(&mut rho, 3, 2);
-                idle_all(&mut rho, &idle_swap);
-                // Entangle.
-                gates::cnot(&mut rho, 1, 2);
-                depol_g2.apply(&mut rho, 1, 2);
-                idle_all(&mut rho, &idle_g2);
-                // Store back.
-                gates::swap(&mut rho, 0, 1);
-                gates::swap(&mut rho, 3, 2);
-                depol_swap.apply(&mut rho, 0, 1);
-                depol_swap.apply(&mut rho, 3, 2);
-                idle_all(&mut rho, &idle_swap);
-
-                let out = rho.partial_trace(&[0, 3]);
-                total += fidelity_with_pure(&out, &ideal_cnot_output(a, b));
-                count += 1;
-            }
+                rho
+            })
+            .collect();
+        // Load both operands (parallel swaps).
+        for rho in states.iter_mut() {
+            gates::swap(rho, 0, 1);
+            gates::swap(rho, 3, 2);
         }
-        let cnot_fid = (total / count as f64).clamp(0.0, 1.0);
+        backend.apply_2q(&depol_swap, &mut states, 0, 1);
+        backend.apply_2q(&depol_swap, &mut states, 3, 2);
+        idle_all(&mut states, &idle_swap);
+        // Entangle.
+        for rho in states.iter_mut() {
+            gates::cnot(rho, 1, 2);
+        }
+        backend.apply_2q(&depol_g2, &mut states, 1, 2);
+        idle_all(&mut states, &idle_g2);
+        // Store back.
+        for rho in states.iter_mut() {
+            gates::swap(rho, 0, 1);
+            gates::swap(rho, 3, 2);
+        }
+        backend.apply_2q(&depol_swap, &mut states, 0, 1);
+        backend.apply_2q(&depol_swap, &mut states, 3, 2);
+        idle_all(&mut states, &idle_swap);
+
+        let mut total = 0.0;
+        for (&(a, b), rho) in inputs.iter().zip(&states) {
+            let out = rho.partial_trace(&[0, 3]);
+            total += fidelity_with_pure(&out, &ideal_cnot_output(a, b));
+        }
+        let cnot_fid = (total / inputs.len() as f64).clamp(0.0, 1.0);
         let cnot_time = 2.0 * swap.time + g2.time;
 
         // Parity check on the two in-compute qubits via the cp ancilla:
         // CX(c1 -> cp), CX(c2 -> cp), measure cp. Characterized over the
-        // four classical inputs on three qubits (0 = c1, 1 = c2, 2 = cp).
+        // four classical inputs on three qubits (0 = c1, 1 = c2, 2 = cp),
+        // batched the same way.
         let idle_parity = compute_idle.channel(2.0 * g2.time + t_read).expect("valid");
+        let mut pstates: Vec<DensityMatrix> = (0..4usize)
+            .map(|input| {
+                let mut rho = DensityMatrix::zero_state(3);
+                if input & 1 == 1 {
+                    gates::x(&mut rho, 0);
+                }
+                if input & 2 == 2 {
+                    gates::x(&mut rho, 1);
+                }
+                rho
+            })
+            .collect();
+        for rho in pstates.iter_mut() {
+            gates::cnot(rho, 0, 2);
+        }
+        backend.apply_2q(&depol_g2, &mut pstates, 0, 2);
+        for rho in pstates.iter_mut() {
+            gates::cnot(rho, 1, 2);
+        }
+        backend.apply_2q(&depol_g2, &mut pstates, 1, 2);
+        for q in 0..3 {
+            backend.apply_1q(&idle_parity, &mut pstates, q);
+        }
         let mut ptotal = 0.0;
-        for input in 0..4usize {
-            let mut rho = DensityMatrix::zero_state(3);
-            if input & 1 == 1 {
-                gates::x(&mut rho, 0);
-            }
-            if input & 2 == 2 {
-                gates::x(&mut rho, 1);
-            }
-            gates::cnot(&mut rho, 0, 2);
-            depol_g2.apply(&mut rho, 0, 2);
-            gates::cnot(&mut rho, 1, 2);
-            depol_g2.apply(&mut rho, 1, 2);
-            for q in 0..3 {
-                idle_parity.apply(&mut rho, q);
-            }
+        for (input, rho) in pstates.iter().enumerate() {
             let parity = ((input & 1) ^ ((input >> 1) & 1)) == 1;
             let mut branch = rho.clone();
             ptotal += project_z(&mut branch, 2, parity);

@@ -7,6 +7,7 @@
 //! swapped back — trading time (and hence demanding long `T_S`) for
 //! topology-agnostic error correction.
 
+use hetarch_qsim::backend;
 use hetarch_qsim::channels::{IdleParams, Kraus1, Kraus2};
 use hetarch_qsim::gates;
 use hetarch_qsim::measure::project_z;
@@ -170,45 +171,63 @@ impl UscCell {
         let idle_read = idle_pair(t_read);
 
         // Qubits: 0 = s0 mode, 1 = c0, 2 = s1 mode, 3 = c1, 4 = ancilla.
-        let idle_all = |rho: &mut DensityMatrix, (storage_ch, compute_ch): &(Kraus1, Kraus1)| {
+        // All four classical inputs run the same circuit, so they are
+        // materialized up front and every channel step is one batched
+        // backend apply over the whole probe set.
+        let backend = backend::active();
+        let idle_all = |states: &mut [DensityMatrix],
+                        (storage_ch, compute_ch): &(Kraus1, Kraus1)| {
             for q in [0usize, 2] {
-                storage_ch.apply(rho, q);
+                backend.apply_1q(storage_ch, states, q);
             }
             for q in [1usize, 3, 4] {
-                compute_ch.apply(rho, q);
+                backend.apply_1q(compute_ch, states, q);
             }
         };
-        let mut total = 0.0;
-        for input in 0..4usize {
-            let mut rho = DensityMatrix::zero_state(5);
-            if input & 1 == 1 {
-                gates::x(&mut rho, 0);
-            }
-            if input & 2 == 2 {
-                gates::x(&mut rho, 2);
-            }
-            // Swap out (parallel: data live in different registers).
-            gates::swap(&mut rho, 0, 1);
-            gates::swap(&mut rho, 2, 3);
-            depol_swap.apply(&mut rho, 0, 1);
-            depol_swap.apply(&mut rho, 2, 3);
-            idle_all(&mut rho, &idle_swap);
-            // Serial CXs to ancilla.
-            gates::cnot(&mut rho, 1, 4);
-            depol_g2.apply(&mut rho, 1, 4);
-            idle_all(&mut rho, &idle_g2);
-            gates::cnot(&mut rho, 3, 4);
-            depol_g2.apply(&mut rho, 3, 4);
-            idle_all(&mut rho, &idle_g2);
-            // Swap back.
-            gates::swap(&mut rho, 0, 1);
-            gates::swap(&mut rho, 2, 3);
-            depol_swap.apply(&mut rho, 0, 1);
-            depol_swap.apply(&mut rho, 2, 3);
-            idle_all(&mut rho, &idle_swap);
-            // Readout window.
-            idle_all(&mut rho, &idle_read);
+        let mut states: Vec<DensityMatrix> = (0..4usize)
+            .map(|input| {
+                let mut rho = DensityMatrix::zero_state(5);
+                if input & 1 == 1 {
+                    gates::x(&mut rho, 0);
+                }
+                if input & 2 == 2 {
+                    gates::x(&mut rho, 2);
+                }
+                rho
+            })
+            .collect();
+        // Swap out (parallel: data live in different registers).
+        for rho in states.iter_mut() {
+            gates::swap(rho, 0, 1);
+            gates::swap(rho, 2, 3);
+        }
+        backend.apply_2q(&depol_swap, &mut states, 0, 1);
+        backend.apply_2q(&depol_swap, &mut states, 2, 3);
+        idle_all(&mut states, &idle_swap);
+        // Serial CXs to ancilla.
+        for rho in states.iter_mut() {
+            gates::cnot(rho, 1, 4);
+        }
+        backend.apply_2q(&depol_g2, &mut states, 1, 4);
+        idle_all(&mut states, &idle_g2);
+        for rho in states.iter_mut() {
+            gates::cnot(rho, 3, 4);
+        }
+        backend.apply_2q(&depol_g2, &mut states, 3, 4);
+        idle_all(&mut states, &idle_g2);
+        // Swap back.
+        for rho in states.iter_mut() {
+            gates::swap(rho, 0, 1);
+            gates::swap(rho, 2, 3);
+        }
+        backend.apply_2q(&depol_swap, &mut states, 0, 1);
+        backend.apply_2q(&depol_swap, &mut states, 2, 3);
+        idle_all(&mut states, &idle_swap);
+        // Readout window.
+        idle_all(&mut states, &idle_read);
 
+        let mut total = 0.0;
+        for (input, rho) in states.iter().enumerate() {
             let parity = ((input & 1) ^ ((input >> 1) & 1)) == 1;
             let p_syndrome = {
                 let mut b = rho.clone();

@@ -35,7 +35,7 @@ use hetarch_qsim::state::DensityMatrix;
 pub fn average_teleport_fidelity(pair: &BellDiagonal) -> f64 {
     let probes = hetarch_cells::probe::pauli_eigenstate_probes();
     let mut total = 0.0;
-    for (gates_in, psi) in &probes {
+    for (gates_in, psi) in probes {
         // Build |probe> ⊗ ρ_pair on qubits (0) and (1, 2).
         let mut probe = DensityMatrix::zero_state(1);
         for g in gates_in {

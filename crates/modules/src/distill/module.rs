@@ -154,6 +154,12 @@ pub struct DistillModule {
 impl DistillModule {
     /// Builds the module, precomputing the DEJMPS bilinear table for the
     /// ParCheck cell's noise.
+    ///
+    /// The table build pushes all 16 pure-Bell input combinations through
+    /// one batched density-matrix pass on the active
+    /// [`DmBackend`](hetarch_qsim::backend::DmBackend); both backends yield
+    /// bit-identical tables, so every downstream report is
+    /// backend-independent.
     pub fn new(config: DistillConfig) -> Self {
         let table = DejmpsTable::new(&config.parcheck.distill_noise());
         DistillModule { config, table }
@@ -320,6 +326,11 @@ impl DistillModule {
     }
 
     /// As [`Self::run_batch`] with an explicit worker pool.
+    ///
+    /// Every shard shares (by clone) the module's batch-built
+    /// [`DejmpsTable`], so the density-matrix work behind the pair states
+    /// runs once through the batched backend rather than once per shard;
+    /// the per-shard event loops then evaluate the bilinear form only.
     pub fn run_batch_on(
         &self,
         pool: &WorkerPool,

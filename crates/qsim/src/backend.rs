@@ -1,0 +1,212 @@
+//! Pluggable density-matrix apply backends.
+//!
+//! HetArch's hottest loop applies the *same* noise channel to *many*
+//! density-matrix states: every Pauli-eigenstate probe during standard-cell
+//! characterization and every pair state in a DEJMPS distillation batch.
+//! [`DmBackend`] abstracts that step so callers write
+//! `backend.apply_1q(&ch, states, q)` once and the execution strategy —
+//! one state at a time or blocked across the batch — is chosen in a single
+//! place:
+//!
+//! - [`ScalarBackend`] applies the compiled kernel to each state in turn.
+//!   It is the *reference backend*: a thin loop over the long-standing
+//!   single-state path, mirroring how `apply_reference` serves as the
+//!   Kraus-sum oracle for the kernels themselves.
+//! - [`BatchedBackend`] routes the whole slice through
+//!   [`ChannelKernel1::apply_batch`](crate::kernel::ChannelKernel1::apply_batch)
+//!   /
+//!   [`ChannelKernel2::apply_batch`](crate::kernel::ChannelKernel2::apply_batch),
+//!   which block over states so the contraction vectorizes across the
+//!   batch. Batching never mixes floats between states, so both backends
+//!   produce bit-identical results (the differential suite in
+//!   `tests/backend_differential.rs` pins this, and additionally checks
+//!   both against the Kraus-sum reference to ≤1e-12).
+//!
+//! [`active`] returns the process-wide backend: `HETARCH_DM_BACKEND=scalar`
+//! opts out of batching (the default is `batched`), and [`force_active`]
+//! overrides the choice at runtime for benchmarks that compare the two in
+//! one process.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use crate::channels::{Kraus1, Kraus2};
+use crate::state::DensityMatrix;
+
+/// Strategy for applying compiled channel kernels to one or many states.
+///
+/// Implementations must be pure routing: the same floats as the scalar
+/// single-state apply, in the same per-state order, for any batch size
+/// (including 0 and 1). The contract is enforced differentially in
+/// `tests/backend_differential.rs`.
+pub trait DmBackend: std::fmt::Debug + Send + Sync {
+    /// Short stable identifier (`"scalar"`, `"batched"`) for reports.
+    fn name(&self) -> &'static str;
+
+    /// Applies a single-qubit channel to qubit `q` of every state.
+    fn apply_1q(&self, ch: &Kraus1, states: &mut [DensityMatrix], q: usize);
+
+    /// Applies a two-qubit channel to qubits `(q_hi, q_lo)` of every state.
+    fn apply_2q(&self, ch: &Kraus2, states: &mut [DensityMatrix], q_hi: usize, q_lo: usize);
+
+    /// Convenience wrapper for a single state.
+    fn apply_1q_one(&self, ch: &Kraus1, rho: &mut DensityMatrix, q: usize) {
+        self.apply_1q(ch, std::slice::from_mut(rho), q);
+    }
+
+    /// Convenience wrapper for a single state.
+    fn apply_2q_one(&self, ch: &Kraus2, rho: &mut DensityMatrix, q_hi: usize, q_lo: usize) {
+        self.apply_2q(ch, std::slice::from_mut(rho), q_hi, q_lo);
+    }
+}
+
+/// Reference backend: the compiled kernel applied to each state in turn.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScalarBackend;
+
+impl DmBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn apply_1q(&self, ch: &Kraus1, states: &mut [DensityMatrix], q: usize) {
+        for rho in states {
+            ch.apply(rho, q);
+        }
+    }
+
+    fn apply_2q(&self, ch: &Kraus2, states: &mut [DensityMatrix], q_hi: usize, q_lo: usize) {
+        for rho in states {
+            ch.apply(rho, q_hi, q_lo);
+        }
+    }
+}
+
+/// Batched backend: one kernel pass blocked across the whole state slice.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchedBackend;
+
+impl DmBackend for BatchedBackend {
+    fn name(&self) -> &'static str {
+        "batched"
+    }
+
+    fn apply_1q(&self, ch: &Kraus1, states: &mut [DensityMatrix], q: usize) {
+        ch.apply_batch(states, q);
+    }
+
+    fn apply_2q(&self, ch: &Kraus2, states: &mut [DensityMatrix], q_hi: usize, q_lo: usize) {
+        ch.apply_batch(states, q_hi, q_lo);
+    }
+}
+
+/// The scalar reference backend as a borrowable static.
+pub static SCALAR: ScalarBackend = ScalarBackend;
+
+/// The batched backend as a borrowable static.
+pub static BATCHED: BatchedBackend = BatchedBackend;
+
+/// Runtime choice between the two built-in backends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// [`ScalarBackend`].
+    Scalar,
+    /// [`BatchedBackend`].
+    Batched,
+}
+
+// 0 = no runtime override (fall back to the environment default).
+static FORCED: AtomicU8 = AtomicU8::new(0);
+static ENV_DEFAULT: OnceLock<BackendChoice> = OnceLock::new();
+
+fn env_default() -> BackendChoice {
+    *ENV_DEFAULT.get_or_init(|| {
+        match std::env::var("HETARCH_DM_BACKEND").ok().as_deref() {
+            Some("scalar") => BackendChoice::Scalar,
+            // Unknown values fall through to the default rather than
+            // aborting a long run over a typo; the differential suite
+            // guarantees both backends agree anyway.
+            _ => BackendChoice::Batched,
+        }
+    })
+}
+
+/// The process-wide active backend.
+///
+/// Resolution order: a [`force_active`] override if one is set, else the
+/// `HETARCH_DM_BACKEND` environment variable (`scalar` or `batched`, read
+/// once), else [`BatchedBackend`].
+pub fn active() -> &'static dyn DmBackend {
+    let choice = match FORCED.load(Ordering::Relaxed) {
+        1 => BackendChoice::Scalar,
+        2 => BackendChoice::Batched,
+        _ => env_default(),
+    };
+    match choice {
+        BackendChoice::Scalar => &SCALAR,
+        BackendChoice::Batched => &BATCHED,
+    }
+}
+
+/// Overrides (or, with `None`, clears the override of) the backend returned
+/// by [`active`], regardless of the environment. Intended for benchmarks
+/// and tests that compare both backends in one process; both backends are
+/// bit-identical, so flipping this never changes results — only speed.
+pub fn force_active(choice: Option<BackendChoice>) {
+    let v = match choice {
+        None => 0,
+        Some(BackendChoice::Scalar) => 1,
+        Some(BackendChoice::Batched) => 2,
+    };
+    FORCED.store(v, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::IdleParams;
+    use crate::gates;
+
+    fn probe_states(count: usize) -> Vec<DensityMatrix> {
+        (0..count)
+            .map(|i| {
+                let mut rho = DensityMatrix::zero_state(3);
+                gates::rx(&mut rho, 0, 0.3 + 0.1 * i as f64);
+                gates::cnot(&mut rho, 0, 1);
+                gates::ry(&mut rho, 2, 0.7);
+                rho
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backends_are_bit_identical() {
+        let ch1 = IdleParams::new(300e-6, 150e-6)
+            .unwrap()
+            .channel(40e-6)
+            .unwrap();
+        let ch2 = Kraus2::depolarizing(0.07).unwrap();
+        for count in [0usize, 1, 3, 4, 7, 9] {
+            let mut scalar = probe_states(count);
+            let mut batched = scalar.clone();
+            SCALAR.apply_1q(&ch1, &mut scalar, 1);
+            BATCHED.apply_1q(&ch1, &mut batched, 1);
+            assert!(scalar == batched, "1q mismatch at batch size {count}");
+            SCALAR.apply_2q(&ch2, &mut scalar, 2, 0);
+            BATCHED.apply_2q(&ch2, &mut batched, 2, 0);
+            assert!(scalar == batched, "2q mismatch at batch size {count}");
+        }
+    }
+
+    #[test]
+    fn force_active_overrides_selection() {
+        force_active(Some(BackendChoice::Scalar));
+        assert_eq!(active().name(), "scalar");
+        force_active(Some(BackendChoice::Batched));
+        assert_eq!(active().name(), "batched");
+        force_active(None);
+        // Back to the environment default (batched unless overridden).
+        let default_name = active().name();
+        assert!(default_name == "batched" || default_name == "scalar");
+    }
+}

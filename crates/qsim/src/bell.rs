@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::{self, DmBackend};
 use crate::channels::{Kraus1, Kraus2, PauliProbs};
 use crate::complex::C64;
 use crate::fidelity::fidelity_with_pure;
@@ -239,34 +240,65 @@ pub fn dejmps_density(
     pair2: &BellDiagonal,
     noise: &DistillNoise,
 ) -> Option<DistillOutcome> {
-    let rho1 = pair1.to_density_matrix();
-    let rho2 = pair2.to_density_matrix();
-    let mut rho = rho1.tensor(&rho2); // qubits 0,1 = pair1; 2,3 = pair2
+    dejmps_density_batch(&[(*pair1, *pair2)], noise, backend::active())
+        .pop()
+        .expect("batch of one yields one outcome")
+}
+
+/// Runs one DEJMPS round exactly on every input pair combination in
+/// `inputs`, pushing all 4-qubit protocol states through `backend` so a
+/// whole batch shares each channel's compiled kernel pass (see
+/// [`crate::backend`]).
+///
+/// Per state, the circuit and its operation order are exactly those of
+/// [`dejmps_density`], so outcome `k` is bit-identical to
+/// `dejmps_density(&inputs[k].0, &inputs[k].1, noise)` regardless of the
+/// backend.
+pub fn dejmps_density_batch(
+    inputs: &[(BellDiagonal, BellDiagonal)],
+    noise: &DistillNoise,
+    backend: &dyn DmBackend,
+) -> Vec<Option<DistillOutcome>> {
+    // Qubits 0,1 = kept pair; 2,3 = sacrificed pair.
+    let mut states: Vec<DensityMatrix> = inputs
+        .iter()
+        .map(|(p1, p2)| p1.to_density_matrix().tensor(&p2.to_density_matrix()))
+        .collect();
 
     let half_pi = std::f64::consts::FRAC_PI_2;
-    gates::rx(&mut rho, 0, half_pi);
-    gates::rx(&mut rho, 2, half_pi);
-    gates::rx(&mut rho, 1, -half_pi);
-    gates::rx(&mut rho, 3, -half_pi);
+    for rho in &mut states {
+        gates::rx(rho, 0, half_pi);
+        gates::rx(rho, 2, half_pi);
+        gates::rx(rho, 1, -half_pi);
+        gates::rx(rho, 3, -half_pi);
+    }
     if noise.p1q > 0.0 {
         let d = Kraus1::depolarizing(noise.p1q).expect("validated probability");
         for q in 0..4 {
-            d.apply(&mut rho, q);
+            backend.apply_1q(&d, &mut states, q);
         }
     }
-    gates::cnot(&mut rho, 0, 2);
-    gates::cnot(&mut rho, 1, 3);
+    for rho in &mut states {
+        gates::cnot(rho, 0, 2);
+        gates::cnot(rho, 1, 3);
+    }
     if noise.p2q > 0.0 {
         let d = Kraus2::depolarizing(noise.p2q).expect("validated probability");
-        d.apply(&mut rho, 0, 2);
-        d.apply(&mut rho, 1, 3);
+        backend.apply_2q(&d, &mut states, 0, 2);
+        backend.apply_2q(&d, &mut states, 1, 3);
     }
     if noise.meas_flip > 0.0 {
         let f = Kraus1::bit_flip(noise.meas_flip).expect("validated probability");
-        f.apply(&mut rho, 2);
-        f.apply(&mut rho, 3);
+        backend.apply_1q(&f, &mut states, 2);
+        backend.apply_1q(&f, &mut states, 3);
     }
 
+    states.iter().map(herald_equal_outcomes).collect()
+}
+
+/// Measures qubits 2/3 of a post-circuit DEJMPS state and heralds on equal
+/// outcomes, returning the renormalized kept pair.
+fn herald_equal_outcomes(rho: &DensityMatrix) -> Option<DistillOutcome> {
     // Herald on equal outcomes: branches (0,0) and (1,1).
     let mut keep = DensityMatrix::zero_state(2);
     *keep.entry_mut(0, 0) = C64::ZERO;
@@ -319,23 +351,38 @@ pub struct DejmpsTable {
 
 impl DejmpsTable {
     /// Builds the table for a fixed per-round noise setting.
+    ///
+    /// All 16 pure Bell input combinations are simulated in one
+    /// [`dejmps_density_batch`] call through [`backend::active`], so the
+    /// protocol's channel kernels are compiled once and swept across the
+    /// whole probe set.
     pub fn new(noise: &DistillNoise) -> Self {
-        let mut success = [[0.0; 4]; 4];
-        let mut out = [[[0.0; 4]; 4]; 4];
+        Self::new_with_backend(noise, backend::active())
+    }
+
+    /// [`new`](Self::new) with an explicit [`DmBackend`]; both built-in
+    /// backends yield bit-identical tables.
+    pub fn new_with_backend(noise: &DistillNoise, backend: &dyn DmBackend) -> Self {
+        let mut inputs = Vec::with_capacity(16);
         for i in 0..4 {
             for j in 0..4 {
                 let mut pi = [0.0; 4];
                 pi[i] = 1.0;
                 let mut pj = [0.0; 4];
                 pj[j] = 1.0;
-                if let Some(o) =
-                    dejmps_density(&BellDiagonal::new(pi), &BellDiagonal::new(pj), noise)
-                {
-                    success[i][j] = o.success_prob;
-                    let comp = o.pair.components();
-                    for k in 0..4 {
-                        out[i][j][k] = comp[k] * o.success_prob;
-                    }
+                inputs.push((BellDiagonal::new(pi), BellDiagonal::new(pj)));
+            }
+        }
+        let outcomes = dejmps_density_batch(&inputs, noise, backend);
+        let mut success = [[0.0; 4]; 4];
+        let mut out = [[[0.0; 4]; 4]; 4];
+        for (idx, outcome) in outcomes.iter().enumerate() {
+            let (i, j) = (idx / 4, idx % 4);
+            if let Some(o) = outcome {
+                success[i][j] = o.success_prob;
+                let comp = o.pair.components();
+                for k in 0..4 {
+                    out[i][j][k] = comp[k] * o.success_prob;
                 }
             }
         }

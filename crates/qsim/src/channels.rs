@@ -170,6 +170,22 @@ impl Kraus1 {
         crate::conformance::debug_validate_state(rho, "Kraus1::apply");
     }
 
+    /// Applies the channel to qubit `q` of every state in `states` through
+    /// one blocked kernel pass (the [`crate::backend::BatchedBackend`]
+    /// path). Bit-identical to calling [`apply`](Kraus1::apply) on each
+    /// state; empty batches are a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states disagree on qubit count or `q` is out of range.
+    pub fn apply_batch(&self, states: &mut [DensityMatrix], q: usize) {
+        self.kernel().apply_batch(states, q);
+        #[cfg(feature = "validate")]
+        for rho in states.iter() {
+            crate::conformance::debug_validate_state(rho, "Kraus1::apply_batch");
+        }
+    }
+
     /// Applies the channel by the literal Kraus sum `Σ_k K_k ρ K_k†`
     /// (one density-matrix clone and conjugation sweep per operator).
     ///
@@ -307,6 +323,23 @@ impl Kraus2 {
         self.kernel().apply(rho, q_hi, q_lo);
         #[cfg(feature = "validate")]
         crate::conformance::debug_validate_state(rho, "Kraus2::apply");
+    }
+
+    /// Applies the channel to qubits `(q_hi, q_lo)` of every state in
+    /// `states` through one blocked kernel pass (the
+    /// [`crate::backend::BatchedBackend`] path). Bit-identical to calling
+    /// [`apply`](Kraus2::apply) on each state; empty batches are a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states disagree on qubit count, the qubits coincide,
+    /// or either qubit is out of range.
+    pub fn apply_batch(&self, states: &mut [DensityMatrix], q_hi: usize, q_lo: usize) {
+        self.kernel().apply_batch(states, q_hi, q_lo);
+        #[cfg(feature = "validate")]
+        for rho in states.iter() {
+            crate::conformance::debug_validate_state(rho, "Kraus2::apply_batch");
+        }
     }
 
     /// Applies the channel by the literal Kraus sum `Σ_k K_k ρ K_k†`

@@ -33,6 +33,20 @@
 //! [`ChannelKernel2`] stores a per-row compressed form and skips the zeros;
 //! the summation order over the surviving entries is fixed (ascending column
 //! index), keeping results deterministic.
+//!
+//! Both kernels store their coefficients **real/imag-split** (separate `f64`
+//! slices instead of interleaved `C64`), so the contraction loops in
+//! [`DensityMatrix`] are plain fused multiply-add chains over independent
+//! `f64` lanes that LLVM autovectorizes. The split arithmetic
+//! `acc_re += s_re·b_re − s_im·b_im; acc_im += s_re·b_im + s_im·b_re`
+//! performs exactly the floating-point operations of the `C64` product in
+//! the same order, so results are bit-identical to the interleaved form.
+//!
+//! `apply_batch` pushes one compiled kernel through a whole slice of states
+//! (the [`crate::backend::BatchedBackend`] path): coefficient loads, block
+//! index arithmetic, and bounds checks are amortized across the batch, and
+//! the innermost loop runs across states — independent lanes with no
+//! cross-state data flow, so each state still sees its exact scalar result.
 
 use hetarch_obs as obs;
 
@@ -71,6 +85,10 @@ static OBS_APPLIES: obs::Counter = obs::Counter::new("qsim.kernel.applies");
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChannelKernel1 {
     s: [C64; 16],
+    /// Real parts of `s`, split out so the apply loop autovectorizes.
+    s_re: [f64; 16],
+    /// Imaginary parts of `s`.
+    s_im: [f64; 16],
 }
 
 impl ChannelKernel1 {
@@ -97,19 +115,43 @@ impl ChannelKernel1 {
                 }
             }
         }
-        ChannelKernel1 { s }
+        let mut s_re = [0.0f64; 16];
+        let mut s_im = [0.0f64; 16];
+        for (i, z) in s.iter().enumerate() {
+            s_re[i] = z.re;
+            s_im[i] = z.im;
+        }
+        ChannelKernel1 { s, s_re, s_im }
     }
 
     /// Applies the channel to qubit `q` of `rho` in one pass.
     pub fn apply(&self, rho: &mut DensityMatrix, q: usize) {
         OBS_APPLIES.inc();
-        rho.apply_superop_1q(q, &self.s);
+        rho.apply_superop_1q(q, self);
+    }
+
+    /// Applies the channel to qubit `q` of every state in `states`,
+    /// blocking over states so the compiled coefficients stay hot and the
+    /// inner loop vectorizes across the batch. Each state receives exactly
+    /// the floats [`apply`](Self::apply) would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states disagree on qubit count or `q` is out of range.
+    pub fn apply_batch(&self, states: &mut [DensityMatrix], q: usize) {
+        OBS_APPLIES.add(states.len() as u64);
+        DensityMatrix::apply_superop_1q_batch(states, q, self);
     }
 
     /// The dense 4×4 superoperator, row-major in the vectorization
     /// convention of the module docs.
     pub fn as_matrix(&self) -> &[C64; 16] {
         &self.s
+    }
+
+    /// Real/imag-split views of the superoperator for the contraction loops.
+    pub(crate) fn split(&self) -> (&[f64; 16], &[f64; 16]) {
+        (&self.s_re, &self.s_im)
     }
 }
 
@@ -122,8 +164,11 @@ pub struct ChannelKernel2 {
     nnz: [u8; 16],
     /// Column indices of the non-zero entries, ascending within each row.
     cols: [[u8; 16]; 16],
-    /// Values matching `cols`.
-    vals: [[C64; 16]; 16],
+    /// Real parts of the values matching `cols` (split storage so the
+    /// contraction is a flat `f64` multiply-add chain).
+    vals_re: [[f64; 16]; 16],
+    /// Imaginary parts of the values matching `cols`.
+    vals_im: [[f64; 16]; 16],
 }
 
 impl ChannelKernel2 {
@@ -150,7 +195,8 @@ impl ChannelKernel2 {
         }
         let mut nnz = [0u8; 16];
         let mut cols = [[0u8; 16]; 16];
-        let mut vals = [[C64::ZERO; 16]; 16];
+        let mut vals_re = [[0.0f64; 16]; 16];
+        let mut vals_im = [[0.0f64; 16]; 16];
         for (r, row) in dense.iter().enumerate() {
             for (c, &v) in row.iter().enumerate() {
                 // Only exactly-zero entries are pruned (skipping `acc += 0·b`
@@ -160,31 +206,53 @@ impl ChannelKernel2 {
                 if v != C64::ZERO {
                     let n = nnz[r] as usize;
                     cols[r][n] = c as u8;
-                    vals[r][n] = v;
+                    vals_re[r][n] = v.re;
+                    vals_im[r][n] = v.im;
                     nnz[r] += 1;
                 }
             }
         }
-        ChannelKernel2 { nnz, cols, vals }
+        ChannelKernel2 {
+            nnz,
+            cols,
+            vals_re,
+            vals_im,
+        }
     }
 
     /// Applies the channel to qubits `(q_hi, q_lo)` of `rho` in one pass.
     pub fn apply(&self, rho: &mut DensityMatrix, q_hi: usize, q_lo: usize) {
         OBS_APPLIES.inc();
-        rho.apply_superop_2q(q_hi, q_lo, |block| {
-            let mut out = [C64::ZERO; 16];
-            for (r, o) in out.iter_mut().enumerate() {
-                let n = self.nnz[r] as usize;
-                let cols = &self.cols[r][..n];
-                let vals = &self.vals[r][..n];
-                let mut acc = C64::ZERO;
-                for (col, val) in cols.iter().zip(vals) {
-                    acc += *val * block[*col as usize];
-                }
-                *o = acc;
-            }
-            out
-        });
+        rho.apply_superop_2q(q_hi, q_lo, self);
+    }
+
+    /// Applies the channel to qubits `(q_hi, q_lo)` of every state in
+    /// `states`, blocking over states for cache locality: each 4×4 block
+    /// position is gathered across the batch and contracted with the inner
+    /// loop running over states. Each state receives exactly the floats
+    /// [`apply`](Self::apply) would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states disagree on qubit count, the qubits coincide,
+    /// or either qubit is out of range.
+    pub fn apply_batch(&self, states: &mut [DensityMatrix], q_hi: usize, q_lo: usize) {
+        OBS_APPLIES.add(states.len() as u64);
+        DensityMatrix::apply_superop_2q_batch(states, q_hi, q_lo, self);
+    }
+
+    /// Compressed-row views `(nnz, cols, vals_re, vals_im)` for the
+    /// contraction loops.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn rows(
+        &self,
+    ) -> (
+        &[u8; 16],
+        &[[u8; 16]; 16],
+        &[[f64; 16]; 16],
+        &[[f64; 16]; 16],
+    ) {
+        (&self.nnz, &self.cols, &self.vals_re, &self.vals_im)
     }
 
     /// Total non-zero superoperator entries (≤ 256); Pauli channels compile

@@ -12,7 +12,21 @@ use std::fmt;
 
 use crate::complex::C64;
 use crate::error::QsimError;
+use crate::kernel::{ChannelKernel1, ChannelKernel2};
 use crate::matrix::Mat;
+
+/// States per blocked lane group in the batched superoperator traversals.
+/// Four f64 pairs fill a 512-bit vector register; the tail of a batch falls
+/// back to the single-state path, which computes identical floats.
+const LANES: usize = 4;
+
+/// Largest qubit count for which the 1q batched apply lane-blocks over
+/// states. At n = 4 a lane group is 4 × 4 KiB — comfortably within L1 —
+/// while at n = 5 it is 4 × 16 KiB and the strided gathers start missing;
+/// the 1q contraction is too cheap to hide that. Beyond the cutoff the
+/// batch degenerates to a per-state loop (identical floats, so the choice
+/// is invisible to callers).
+const BATCH_1Q_MAX_QUBITS: usize = 4;
 
 /// A density matrix over `n` qubits.
 ///
@@ -300,18 +314,25 @@ impl DensityMatrix {
         }
     }
 
-    /// Applies a precompiled single-qubit channel superoperator `s` (4×4,
+    /// Applies a precompiled single-qubit channel superoperator (4×4,
     /// row-major over `vec(B)[i*2 + j] = B[i, j]`) to qubit `q` in one
     /// allocation-free pass: every 2×2 block of ρ addressed by the qubit's
     /// bit in the row and column index is replaced by `S · vec(B)`.
+    ///
+    /// The contraction runs on the kernel's real/imag-split coefficient
+    /// slices with the four output accumulators in the inner loop, so LLVM
+    /// turns it into straight-line vector FMAs. The accumulation order per
+    /// output entry (ascending `j`) matches the interleaved complex product
+    /// exactly, so results are bit-identical to the pre-split path.
     ///
     /// This is the hot path behind [`crate::kernel::ChannelKernel1`].
     ///
     /// # Panics
     ///
     /// Panics if `q >= n`.
-    pub(crate) fn apply_superop_1q(&mut self, q: usize, s: &[C64; 16]) {
+    pub(crate) fn apply_superop_1q(&mut self, q: usize, kernel: &ChannelKernel1) {
         assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        let (s_re, s_im) = kernel.split();
         let mask = 1usize << q;
         let low = mask - 1;
         let dim = self.dim;
@@ -325,48 +346,151 @@ impl DensityMatrix {
             for bc in 0..half {
                 let c0 = ((bc & !low) << 1) | (bc & low);
                 let c1 = c0 | mask;
-                let b = [
-                    self.data[row0 + c0],
-                    self.data[row0 + c1],
-                    self.data[row1 + c0],
-                    self.data[row1 + c1],
-                ];
-                let mut out = [C64::ZERO; 4];
-                for (i, o) in out.iter_mut().enumerate() {
-                    let mut acc = C64::ZERO;
-                    for (j, bj) in b.iter().enumerate() {
-                        acc += s[i * 4 + j] * *bj;
-                    }
-                    *o = acc;
+                let idx = [row0 + c0, row0 + c1, row1 + c0, row1 + c1];
+                let mut b_re = [0.0f64; 4];
+                let mut b_im = [0.0f64; 4];
+                for (j, &ix) in idx.iter().enumerate() {
+                    let z = self.data[ix];
+                    b_re[j] = z.re;
+                    b_im[j] = z.im;
                 }
-                self.data[row0 + c0] = out[0];
-                self.data[row0 + c1] = out[1];
-                self.data[row1 + c0] = out[2];
-                self.data[row1 + c1] = out[3];
+                let mut o_re = [0.0f64; 4];
+                let mut o_im = [0.0f64; 4];
+                for j in 0..4 {
+                    let br_ = b_re[j];
+                    let bi_ = b_im[j];
+                    for i in 0..4 {
+                        let sr = s_re[i * 4 + j];
+                        let si = s_im[i * 4 + j];
+                        o_re[i] += sr * br_ - si * bi_;
+                        o_im[i] += sr * bi_ + si * br_;
+                    }
+                }
+                for (i, &ix) in idx.iter().enumerate() {
+                    self.data[ix] = C64 {
+                        re: o_re[i],
+                        im: o_im[i],
+                    };
+                }
             }
+        }
+    }
+
+    /// Applies a precompiled single-qubit channel superoperator to qubit
+    /// `q` of every state in `states`, blocking over states: full lane
+    /// groups of [`LANES`] states are gathered block-position by
+    /// block-position (component-major, so the innermost loop runs across
+    /// states), the remainder goes through the single-state path. Per state
+    /// the arithmetic and its order are identical to
+    /// [`apply_superop_1q`](Self::apply_superop_1q) — batching never mixes
+    /// floats between states — so results are bit-identical to applying the
+    /// kernel to each state in turn.
+    ///
+    /// Lane blocking only pays while a whole lane group of states fits in
+    /// the fast cache — the 1q contraction does so little arithmetic per
+    /// block (4 outputs × 4 terms) that strided gathers across large states
+    /// cost more than they amortize. Above [`BATCH_1Q_MAX_QUBITS`] the
+    /// states are processed one at a time instead; because the per-state
+    /// float path is identical either way, the cutoff affects speed only,
+    /// never results.
+    ///
+    /// An empty batch is a no-op. This is the hot path behind
+    /// [`crate::kernel::ChannelKernel1::apply_batch`] and the batched
+    /// backend in [`crate::backend`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states disagree on qubit count or `q` is out of range.
+    pub fn apply_superop_1q_batch(states: &mut [DensityMatrix], q: usize, kernel: &ChannelKernel1) {
+        let Some(first) = states.first() else {
+            return;
+        };
+        let n = first.n;
+        assert!(q < n, "qubit {q} out of range for {n} qubits");
+        for s in states.iter() {
+            assert_eq!(s.n, n, "batched states must share the qubit count");
+        }
+        if n > BATCH_1Q_MAX_QUBITS {
+            for st in states {
+                st.apply_superop_1q(q, kernel);
+            }
+            return;
+        }
+        let (s_re, s_im) = kernel.split();
+        let mask = 1usize << q;
+        let low = mask - 1;
+        let dim = first.dim;
+        let half = dim / 2;
+        let mut chunks = states.chunks_exact_mut(LANES);
+        for chunk in chunks.by_ref() {
+            for br in 0..half {
+                let r0 = ((br & !low) << 1) | (br & low);
+                let row0 = r0 * dim;
+                let row1 = (r0 | mask) * dim;
+                for bc in 0..half {
+                    let c0 = ((bc & !low) << 1) | (bc & low);
+                    let c1 = c0 | mask;
+                    let idx = [row0 + c0, row0 + c1, row1 + c0, row1 + c1];
+                    let mut b_re = [[0.0f64; LANES]; 4];
+                    let mut b_im = [[0.0f64; LANES]; 4];
+                    for (l, st) in chunk.iter().enumerate() {
+                        for (j, &ix) in idx.iter().enumerate() {
+                            let z = st.data[ix];
+                            b_re[j][l] = z.re;
+                            b_im[j][l] = z.im;
+                        }
+                    }
+                    let mut o_re = [[0.0f64; LANES]; 4];
+                    let mut o_im = [[0.0f64; LANES]; 4];
+                    // Output-major: only one pair of lane accumulators is
+                    // live inside the j loop, so they stay in vector
+                    // registers. Per (i, l) the j-ascending order matches the
+                    // single-state path exactly.
+                    for i in 0..4 {
+                        let mut acc_re = [0.0f64; LANES];
+                        let mut acc_im = [0.0f64; LANES];
+                        for j in 0..4 {
+                            let sr = s_re[i * 4 + j];
+                            let si = s_im[i * 4 + j];
+                            for l in 0..LANES {
+                                acc_re[l] += sr * b_re[j][l] - si * b_im[j][l];
+                                acc_im[l] += sr * b_im[j][l] + si * b_re[j][l];
+                            }
+                        }
+                        o_re[i] = acc_re;
+                        o_im[i] = acc_im;
+                    }
+                    for (l, st) in chunk.iter_mut().enumerate() {
+                        for (i, &ix) in idx.iter().enumerate() {
+                            st.data[ix] = C64 {
+                                re: o_re[i][l],
+                                im: o_im[i][l],
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        for st in chunks.into_remainder() {
+            st.apply_superop_1q(q, kernel);
         }
     }
 
     /// Applies a precompiled two-qubit channel superoperator to qubits
     /// `(q_hi, q_lo)` in one allocation-free pass. Each 4×4 block of ρ
     /// (row and column sub-indices `(bit_hi << 1) | bit_lo`) is gathered
-    /// into `vec(B)[i*4 + j] = B[i, j]` and replaced by `superop(&vec(B))`.
-    ///
-    /// Taking the matrix–vector product as a closure lets
-    /// [`crate::kernel::ChannelKernel2`] exploit superoperator sparsity
-    /// without this traversal knowing about the storage format.
+    /// into `vec(B)[i*4 + j] = B[i, j]` and contracted against the kernel's
+    /// compressed rows in ascending-column order on real/imag-split slices
+    /// (bit-identical to the interleaved complex sum; see the module docs
+    /// of [`crate::kernel`]).
     ///
     /// # Panics
     ///
     /// Panics if the qubits coincide or are out of range.
-    pub(crate) fn apply_superop_2q(
-        &mut self,
-        q_hi: usize,
-        q_lo: usize,
-        superop: impl Fn(&[C64; 16]) -> [C64; 16],
-    ) {
+    pub(crate) fn apply_superop_2q(&mut self, q_hi: usize, q_lo: usize, kernel: &ChannelKernel2) {
         assert!(q_hi < self.n && q_lo < self.n, "qubit out of range");
         assert_ne!(q_hi, q_lo, "two-qubit channel requires distinct qubits");
+        let (nnz, cols, v_re, v_im) = kernel.rows();
         let mh = 1usize << q_hi;
         let ml = 1usize << q_lo;
         let dim = self.dim;
@@ -384,20 +508,145 @@ impl DensityMatrix {
                 if base_c & (mh | ml) != 0 {
                     continue;
                 }
-                let cols = [base_c, base_c | ml, base_c | mh, base_c | mh | ml];
-                let mut b = [C64::ZERO; 16];
+                let blk = [base_c, base_c | ml, base_c | mh, base_c | mh | ml];
+                let mut b_re = [0.0f64; 16];
+                let mut b_im = [0.0f64; 16];
                 for (i, &row) in rows.iter().enumerate() {
-                    for (j, &col) in cols.iter().enumerate() {
-                        b[i * 4 + j] = self.data[row + col];
+                    for (j, &col) in blk.iter().enumerate() {
+                        let z = self.data[row + col];
+                        b_re[i * 4 + j] = z.re;
+                        b_im[i * 4 + j] = z.im;
                     }
                 }
-                let out = superop(&b);
+                let mut o_re = [0.0f64; 16];
+                let mut o_im = [0.0f64; 16];
+                for r in 0..16 {
+                    let k = nnz[r] as usize;
+                    let mut ar = 0.0f64;
+                    let mut ai = 0.0f64;
+                    for t in 0..k {
+                        let c = cols[r][t] as usize;
+                        let wr = v_re[r][t];
+                        let wi = v_im[r][t];
+                        ar += wr * b_re[c] - wi * b_im[c];
+                        ai += wr * b_im[c] + wi * b_re[c];
+                    }
+                    o_re[r] = ar;
+                    o_im[r] = ai;
+                }
                 for (i, &row) in rows.iter().enumerate() {
-                    for (j, &col) in cols.iter().enumerate() {
-                        self.data[row + col] = out[i * 4 + j];
+                    for (j, &col) in blk.iter().enumerate() {
+                        self.data[row + col] = C64 {
+                            re: o_re[i * 4 + j],
+                            im: o_im[i * 4 + j],
+                        };
                     }
                 }
             }
+        }
+    }
+
+    /// Applies a precompiled two-qubit channel superoperator to qubits
+    /// `(q_hi, q_lo)` of every state in `states`, blocking over states:
+    /// full lane groups of [`LANES`] states are gathered 4×4 block by 4×4
+    /// block into component-major lane arrays and contracted with the
+    /// innermost loop across states, so the per-row sparse sum becomes a
+    /// vector FMA chain; the remainder goes through the single-state path.
+    /// Per state the arithmetic and its ascending-column order are
+    /// identical to [`apply_superop_2q`](Self::apply_superop_2q), so
+    /// results are bit-identical to applying the kernel per state.
+    ///
+    /// An empty batch is a no-op. This is the hot path behind
+    /// [`crate::kernel::ChannelKernel2::apply_batch`] and the batched
+    /// backend in [`crate::backend`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states disagree on qubit count, the qubits coincide,
+    /// or either qubit is out of range.
+    pub fn apply_superop_2q_batch(
+        states: &mut [DensityMatrix],
+        q_hi: usize,
+        q_lo: usize,
+        kernel: &ChannelKernel2,
+    ) {
+        let Some(first) = states.first() else {
+            return;
+        };
+        let n = first.n;
+        assert!(q_hi < n && q_lo < n, "qubit out of range");
+        assert_ne!(q_hi, q_lo, "two-qubit channel requires distinct qubits");
+        for s in states.iter() {
+            assert_eq!(s.n, n, "batched states must share the qubit count");
+        }
+        let (nnz, cols, v_re, v_im) = kernel.rows();
+        let mh = 1usize << q_hi;
+        let ml = 1usize << q_lo;
+        let dim = first.dim;
+        let mut chunks = states.chunks_exact_mut(LANES);
+        for chunk in chunks.by_ref() {
+            for base_r in 0..dim {
+                if base_r & (mh | ml) != 0 {
+                    continue;
+                }
+                let rows = [
+                    base_r * dim,
+                    (base_r | ml) * dim,
+                    (base_r | mh) * dim,
+                    (base_r | mh | ml) * dim,
+                ];
+                for base_c in 0..dim {
+                    if base_c & (mh | ml) != 0 {
+                        continue;
+                    }
+                    let blk = [base_c, base_c | ml, base_c | mh, base_c | mh | ml];
+                    let mut b_re = [[0.0f64; LANES]; 16];
+                    let mut b_im = [[0.0f64; LANES]; 16];
+                    for (l, st) in chunk.iter().enumerate() {
+                        for (i, &row) in rows.iter().enumerate() {
+                            for (j, &col) in blk.iter().enumerate() {
+                                let z = st.data[row + col];
+                                b_re[i * 4 + j][l] = z.re;
+                                b_im[i * 4 + j][l] = z.im;
+                            }
+                        }
+                    }
+                    let mut o_re = [[0.0f64; LANES]; 16];
+                    let mut o_im = [[0.0f64; LANES]; 16];
+                    // Row-local lane accumulators stay in vector registers
+                    // across the sparse sum; per (r, l) the ascending-column
+                    // order matches the single-state path exactly.
+                    for r in 0..16 {
+                        let k = nnz[r] as usize;
+                        let mut acc_re = [0.0f64; LANES];
+                        let mut acc_im = [0.0f64; LANES];
+                        for t in 0..k {
+                            let c = cols[r][t] as usize;
+                            let wr = v_re[r][t];
+                            let wi = v_im[r][t];
+                            for l in 0..LANES {
+                                acc_re[l] += wr * b_re[c][l] - wi * b_im[c][l];
+                                acc_im[l] += wr * b_im[c][l] + wi * b_re[c][l];
+                            }
+                        }
+                        o_re[r] = acc_re;
+                        o_im[r] = acc_im;
+                    }
+                    for (l, st) in chunk.iter_mut().enumerate() {
+                        for (i, &row) in rows.iter().enumerate() {
+                            for (j, &col) in blk.iter().enumerate() {
+                                st.data[row + col] = C64 {
+                                    re: o_re[i * 4 + j][l],
+                                    im: o_im[i * 4 + j][l],
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for st in chunks.into_remainder() {
+            st.apply_superop_2q(q_hi, q_lo, kernel);
         }
     }
 
@@ -542,9 +791,22 @@ impl DensityMatrix {
         &self.data
     }
 
-    /// Mutably borrows the row-major backing data (crate-internal: used by
-    /// the channel accumulation loop).
-    pub(crate) fn as_mut_slice(&mut self) -> &mut [C64] {
+    /// Mutably borrows the row-major backing data.
+    ///
+    /// Backend implementations (see [`crate::backend`]) may rely on the
+    /// following layout invariants, which are stable API:
+    ///
+    /// - the slice holds exactly `dim² = 4^n` entries, where
+    ///   `dim = 2^n = self.dim()`;
+    /// - entry `ρ[r, c]` lives at index `r * dim + c` (row-major);
+    /// - qubit `0` is the least-significant bit of a basis index, so the
+    ///   2×2 block of qubit `q` is addressed by bit `1 << q` of `r` and `c`.
+    ///
+    /// Callers must not change the slice length and are responsible for
+    /// keeping the matrix a valid state (Hermitian, unit trace) if it is
+    /// handed back to code that assumes one — [`validate`](Self::validate)
+    /// checks those invariants.
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
         &mut self.data
     }
 

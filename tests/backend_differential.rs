@@ -1,0 +1,233 @@
+//! Differential property suite for the `DmBackend` abstraction: the batched
+//! backend (`apply_superop_*_batch`, lane-blocked over states) must agree
+//! with the scalar reference backend (per-state kernel application) and with
+//! the Kraus-sum reference (`apply_reference`) on random mixed states and
+//! random batch sizes — including the degenerate sizes 0 and 1 and sizes
+//! that exercise both the full-lane path and the scalar remainder. On top
+//! of the ≤1e-12 analytic bound, the scalar and batched outputs are checked
+//! *bit-identical*: lane blocking never mixes floats between states, so the
+//! two backends perform the same operations in the same order per state.
+//!
+//! The suite closes the contract at the module layer too:
+//! `DistillModule::run_batch_on` (whose DEJMPS table and pair states ride
+//! the batched path) must stay worker-count invariant, and the
+//! cross-simulator [`DiffOracle`] must pass when pinned to either backend.
+
+use hetarch::modules::distill::{DistillConfig, DistillModule};
+use hetarch::qsim::backend::{DmBackend, BATCHED, SCALAR};
+use hetarch::qsim::channels::{IdleParams, Kraus1, Kraus2};
+use hetarch::qsim::gates;
+use hetarch::qsim::state::DensityMatrix;
+use hetarch::testkit::prelude::*;
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-12;
+
+fn assert_states_close(batched: &DensityMatrix, reference: &DensityMatrix) {
+    assert_eq!(batched.dim(), reference.dim());
+    for (a, b) in batched.as_slice().iter().zip(reference.as_slice()) {
+        assert!(
+            a.approx_eq(*b, TOL),
+            "batched {a} vs reference {b} (|Δ| = {:.3e})",
+            (*a - *b).abs()
+        );
+    }
+}
+
+/// A random mixed state on `n` qubits (same construction as the kernel
+/// differential suite): random local rotations, an entangling ladder, and a
+/// touch of depolarizing noise so the state has full-rank support.
+fn random_state(n: usize, angles: &[f64], noise: f64) -> DensityMatrix {
+    let mut rho = DensityMatrix::zero_state(n);
+    for (q, chunk) in angles.chunks(3).take(n).enumerate() {
+        gates::rx(&mut rho, q, chunk[0]);
+        gates::ry(&mut rho, q, chunk[1]);
+        gates::rz(&mut rho, q, chunk[2]);
+    }
+    for q in 1..n {
+        gates::cnot(&mut rho, q - 1, q);
+    }
+    let depol = Kraus1::depolarizing(noise).expect("valid probability");
+    for q in 0..n {
+        depol.apply(&mut rho, q);
+    }
+    rho
+}
+
+/// A batch of `count` distinct random mixed states sharing qubit count `n`.
+fn random_batch(n: usize, count: usize, angles: &[f64], noise: f64) -> Vec<DensityMatrix> {
+    (0..count)
+        .map(|i| {
+            // Offset the angles per state so batch members differ.
+            let shifted: Vec<f64> = angles.iter().map(|a| a + 0.1 * i as f64).collect();
+            random_state(n, &shifted, noise)
+        })
+        .collect()
+}
+
+/// A random single-qubit CPTP channel assembled from the library primitives.
+fn kraus1_strategy() -> impl Strategy<Value = Kraus1> {
+    let primitive = (0u8..5, 0.0..0.9f64).prop_map(|(which, p)| match which {
+        0 => Kraus1::depolarizing(p).unwrap(),
+        1 => Kraus1::amplitude_damping(p).unwrap(),
+        2 => Kraus1::phase_flip(p).unwrap(),
+        3 => Kraus1::bit_flip(p).unwrap(),
+        _ => IdleParams::new(300e-6, 150e-6)
+            .unwrap()
+            .channel(p * 100e-6)
+            .unwrap(),
+    });
+    proptest::collection::vec(primitive, 1..=3).prop_map(|chain| {
+        chain
+            .iter()
+            .skip(1)
+            .fold(chain[0].clone(), |acc, c| acc.then(c))
+    })
+}
+
+/// A random two-qubit CPTP channel: a tensor product of two single-qubit
+/// channels or a two-qubit depolarizing channel.
+fn kraus2_strategy() -> impl Strategy<Value = Kraus2> {
+    prop_oneof![
+        (kraus1_strategy(), kraus1_strategy()).prop_map(|(a, b)| {
+            let mut ops = Vec::new();
+            for ka in a.ops() {
+                for kb in b.ops() {
+                    ops.push(ka.kron(kb));
+                }
+            }
+            Kraus2::new(ops).expect("kron of CPTP sets is CPTP")
+        }),
+        (0.0..0.9f64).prop_map(|p| Kraus2::depolarizing(p).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole property for single-qubit channels: on every state of a
+    /// random batch, the batched backend agrees with the scalar backend
+    /// bitwise and with the Kraus-sum reference to ≤1e-12. Batch sizes 0
+    /// and 1 are generated (0..=9), covering empty input, the pure remainder
+    /// path, full lanes, and lanes-plus-remainder.
+    fn backend_1q_matches_scalar_and_reference(
+        ch in kraus1_strategy(),
+        angles in proptest::collection::vec(0.0..std::f64::consts::TAU, 9),
+        noise in 0.0..0.2f64,
+        q in 0usize..3,
+        count in 0usize..=9,
+    ) {
+        let via_batched = {
+            let mut states = random_batch(3, count, &angles, noise);
+            BATCHED.apply_1q(&ch, &mut states, q);
+            states
+        };
+        let via_scalar = {
+            let mut states = random_batch(3, count, &angles, noise);
+            SCALAR.apply_1q(&ch, &mut states, q);
+            states
+        };
+        let via_reference = {
+            let mut states = random_batch(3, count, &angles, noise);
+            for rho in states.iter_mut() {
+                ch.apply_reference(rho, q);
+            }
+            states
+        };
+        prop_assert_eq!(via_batched.len(), count);
+        // Bitwise: lane blocking performs the same float ops per state.
+        prop_assert_eq!(&via_batched, &via_scalar);
+        for (b, r) in via_batched.iter().zip(&via_reference) {
+            assert_states_close(b, r);
+        }
+    }
+
+    /// The same property for two-qubit channels on 4-qubit states.
+    fn backend_2q_matches_scalar_and_reference(
+        ch in kraus2_strategy(),
+        angles in proptest::collection::vec(0.0..std::f64::consts::TAU, 12),
+        noise in 0.0..0.2f64,
+        pair in prop_oneof![Just((0usize, 1usize)), Just((3, 1)), Just((2, 0)), Just((1, 3))],
+        count in 0usize..=9,
+    ) {
+        let via_batched = {
+            let mut states = random_batch(4, count, &angles, noise);
+            BATCHED.apply_2q(&ch, &mut states, pair.0, pair.1);
+            states
+        };
+        let via_scalar = {
+            let mut states = random_batch(4, count, &angles, noise);
+            SCALAR.apply_2q(&ch, &mut states, pair.0, pair.1);
+            states
+        };
+        let via_reference = {
+            let mut states = random_batch(4, count, &angles, noise);
+            for rho in states.iter_mut() {
+                ch.apply_reference(rho, pair.0, pair.1);
+            }
+            states
+        };
+        prop_assert_eq!(via_batched.len(), count);
+        prop_assert_eq!(&via_batched, &via_scalar);
+        for (b, r) in via_batched.iter().zip(&via_reference) {
+            assert_states_close(b, r);
+        }
+    }
+
+    /// The single-state convenience wrappers route through the same code as
+    /// the slice entry points.
+    fn backend_one_state_wrappers_agree(
+        ch in kraus1_strategy(),
+        angles in proptest::collection::vec(0.0..std::f64::consts::TAU, 9),
+        q in 0usize..3,
+    ) {
+        let mut via_one = random_state(3, &angles, 0.05);
+        let mut via_slice = via_one.clone();
+        BATCHED.apply_1q_one(&ch, &mut via_one, q);
+        BATCHED.apply_1q(&ch, std::slice::from_mut(&mut via_slice), q);
+        prop_assert_eq!(via_one, via_slice);
+    }
+}
+
+/// The module-layer closure: `DistillModule::run_batch_on` threads its pair
+/// states and DEJMPS lookup table through the active (batched) backend, and
+/// the result must stay bit-identical across worker counts — batching is a
+/// per-shard layout decision, never a semantic one.
+#[test]
+fn distill_batch_reports_are_worker_count_invariant() {
+    use hetarch::exec::WorkerPool;
+    let mut config = DistillConfig::heterogeneous(2.5e-3, 1e6, 7);
+    config.seed = 7;
+    let module = DistillModule::new(config);
+    let one = module.run_batch_on(&WorkerPool::new(1), 500e-6, 6);
+    for workers in [2, 8] {
+        let many = module.run_batch_on(&WorkerPool::new(workers), 500e-6, 6);
+        // DistillReport: PartialEq over every field, floats included.
+        assert_eq!(one, many, "worker count {workers} changed the reports");
+    }
+}
+
+/// Cross-model closure: the differential oracle passes when pinned to
+/// either backend explicitly — the sampler and composed-error models agree
+/// with the exact path regardless of how the exact path batches.
+#[test]
+fn oracle_agrees_under_both_backends() {
+    let circuit = NoisyCircuit {
+        num_qubits: 3,
+        ops: vec![
+            NoisyOp::H(0),
+            NoisyOp::Depol(0, 0.11),
+            NoisyOp::Cx(0, 1),
+            NoisyOp::X(2),
+            NoisyOp::Depol(1, 0.06),
+            NoisyOp::Cx(1, 2),
+            NoisyOp::Depol(2, 0.09),
+        ],
+    };
+    DiffOracle::new(40_000, 29)
+        .with_backend(&SCALAR)
+        .assert_agrees(&circuit);
+    DiffOracle::new(40_000, 29)
+        .with_backend(&BATCHED)
+        .assert_agrees(&circuit);
+}
