@@ -10,12 +10,14 @@
 //! surface-memory, distillation and cold-cache cell-characterization
 //! workloads once each, and writes shots/sec, shard counts, superoperator
 //! kernel counters and characterization-cache hit ratios — together with
-//! the full metric report — to `BENCH_pr6.json`. The first four workloads
-//! are definition-identical to the `BENCH_pr5.json` baseline so their
-//! shots/sec are directly comparable across the two files; the extra
-//! `cell_characterization_scalar` workload re-runs cold characterization
-//! with the scalar `DmBackend` forced, quantifying the batched backend's
-//! speedup inside one report.
+//! the full metric report — to `BENCH_pr7.json`. The first six workloads
+//! are definition-identical to the `BENCH_pr6.json` baseline so their
+//! shots/sec are directly comparable across the two files; the new
+//! `rare_event` workload runs the weight-stratified estimator on a
+//! deep-subthreshold d=5 surface memory (a point the plain estimator
+//! cannot resolve at any comparable budget) and reports its
+//! `exec.rare.strata` / `exec.rare.shots` counters plus the full
+//! `(p_L, sigma, truncation_bound)` error budget.
 //!
 //! `HETARCH_SHOTS` scales the shot count (default 4096);
 //! `HETARCH_WORKER_COUNTS` is a comma-separated override of the swept
@@ -60,14 +62,14 @@ fn uec_module() -> UecModule {
 }
 
 /// `--report`: one pass per workload with the observability layer armed,
-/// emitting `BENCH_pr6.json`.
+/// emitting `BENCH_pr7.json`.
 fn report_mode() {
     obs::force_enabled(true);
     obs::reset();
     let shots = hetarch_bench::shots(4096);
     let seed = 2023;
     hetarch_bench::header(
-        "BENCH_pr6",
+        "BENCH_pr7",
         "observability report: shots/sec, kernel counters and cache-hit ratios per workload",
     );
     if !obs::enabled() {
@@ -157,12 +159,50 @@ fn report_mode() {
     );
     hetarch::qsim::backend::force_active(None);
 
+    // Rare-event estimator on a deep-subthreshold d=5 surface memory: at
+    // these noise figures the plain estimator returns 0 failures for any
+    // comparable budget, so the row reports the stratified shot count the
+    // run actually spent together with the full (p_L, sigma,
+    // truncation_bound) error budget.
+    let rare_memory = SurfaceMemory::new(
+        5,
+        2,
+        SurfaceNoise {
+            t_data: 10.0,
+            t_anc: 10.0,
+            p1: 2e-5,
+            p2: 2e-4,
+            p_meas: 1e-4,
+            ..SurfaceNoise::default()
+        },
+    );
+    let rare_config = hetarch::exec::rare::RareConfig {
+        max_strata: 8,
+        shots_per_stratum: 2048,
+        ..Default::default()
+    };
+    let rare_start = Instant::now();
+    let rare_outcome =
+        rare_memory.logical_error_rate_rare_on(&pool, SurfaceDecoder::UnionFind, rare_config, seed);
+    let rare_secs = rare_start.elapsed().as_secs_f64();
+    let rare_converged = rare_outcome.is_converged();
+    let rare = rare_outcome.into_report();
+    println!(
+        "{:>28}: {:>12.0} shots/s ({rare_secs:.3} s, p_L = {:.3e} ± {:.1e}, trunc {:.1e})",
+        "rare_event",
+        rare.total_shots as f64 / rare_secs,
+        rare.p_l,
+        rare.sigma,
+        rare.truncation_bound
+    );
+    workloads.push(("rare_event", rare.total_shots, rare_secs));
+
     let report = obs::report();
     let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"mc_scaling_report\",\n");
-    json.push_str("  \"baseline\": \"BENCH_pr5.json\",\n");
+    json.push_str("  \"baseline\": \"BENCH_pr6.json\",\n");
     json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str("  \"workloads\": [\n");
@@ -201,10 +241,19 @@ fn report_mode() {
         counter("qsim.kernel.compiles"),
         counter("qsim.kernel.applies")
     ));
+    json.push_str(&format!(
+        "  \"rare\": {{\"strata\": {}, \"shots\": {}, \"p_l\": {:e}, \"sigma\": {:e}, \
+         \"truncation_bound\": {:e}, \"converged\": {rare_converged}}},\n",
+        counter("exec.rare.strata"),
+        counter("exec.rare.shots"),
+        rare.p_l,
+        rare.sigma,
+        rare.truncation_bound
+    ));
     json.push_str(&format!("  \"obs_report\": {}\n", report.to_json()));
     json.push_str("}\n");
-    std::fs::write("BENCH_pr6.json", &json).expect("write BENCH_pr6.json");
-    println!("\nwrote BENCH_pr6.json ({} workloads)", workloads.len());
+    std::fs::write("BENCH_pr7.json", &json).expect("write BENCH_pr7.json");
+    println!("\nwrote BENCH_pr7.json ({} workloads)", workloads.len());
 }
 
 /// Default mode: the PR 2 worker-count scaling study (`BENCH_pr2.json`).

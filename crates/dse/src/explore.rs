@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use hetarch_exec::rare::RareConfig;
 use hetarch_modules::distill::{DistillConfig, DistillModule};
 
 use crate::space::{Axis, DesignSpace};
@@ -123,6 +124,112 @@ pub fn explore_surface_coherence(
             scaled_data: p.get("data") > 0.5,
             logical_per_round: rate,
         })
+        .collect()
+}
+
+/// Estimator selection for surface-memory design points.
+///
+/// Deep-subthreshold points (large α, low noise) have logical error rates
+/// the plain frequency estimator returns `0/N` for; the rare-event mode
+/// resolves them with an explicit error budget instead.
+#[derive(Clone, Copy, Debug)]
+pub enum SurfaceEstimator {
+    /// Plain frequency estimator at a fixed shot budget.
+    Plain {
+        /// Monte-Carlo shots per design point.
+        shots: usize,
+    },
+    /// Weight-stratified rare-event estimator
+    /// ([`hetarch_stab::codes::SurfaceMemory::logical_error_rate_rare`]).
+    Rare(RareConfig),
+}
+
+/// One surface design point evaluated with a full error budget.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SurfaceRatePoint {
+    /// Data-qubit coherence scaling factor α.
+    pub alpha: f64,
+    /// Whether α was applied to data (true) or ancilla (false) qubits.
+    pub scaled_data: bool,
+    /// Logical error rate per round.
+    pub logical_per_round: f64,
+    /// One statistical standard deviation of the **per-shot** estimate.
+    pub sigma: f64,
+    /// Truncation bound of the per-shot estimate (0 for the plain
+    /// estimator, which has no truncation error).
+    pub truncation_bound: f64,
+    /// Whether the estimator met its tolerance (always true for plain).
+    pub converged: bool,
+}
+
+/// As [`explore_surface_coherence`] with an explicit estimator choice: the
+/// rare-event cost mode evaluates each design point with the stratified
+/// estimator and reports `(p_L, sigma, truncation_bound)` per point, which
+/// is what makes deep-subthreshold sweeps meaningful at all.
+pub fn explore_surface_coherence_with(
+    d: usize,
+    base_tc: f64,
+    alphas: &[f64],
+    estimator: SurfaceEstimator,
+    seed: u64,
+) -> Vec<SurfaceRatePoint> {
+    use hetarch_stab::codes::{SurfaceDecoder, SurfaceMemory, SurfaceNoise};
+    let mut space_axes = vec![Axis::new("alpha", alphas.to_vec())];
+    space_axes.push(Axis::new("data", vec![0.0, 1.0]));
+    let space = DesignSpace::new(space_axes);
+    let results = sweep(&space, |p| {
+        let alpha = p.get("alpha");
+        let scaled_data = p.get("data") > 0.5;
+        let noise = SurfaceNoise {
+            t_data: if scaled_data {
+                base_tc * alpha
+            } else {
+                base_tc
+            },
+            t_anc: if scaled_data {
+                base_tc
+            } else {
+                base_tc * alpha
+            },
+            ..SurfaceNoise::default()
+        };
+        let memory = SurfaceMemory::new(d, d, noise);
+        match estimator {
+            SurfaceEstimator::Plain { shots } => {
+                let (per_shot, per_round) = memory.logical_error_rate(shots, seed);
+                let sigma = if shots == 0 {
+                    0.0
+                } else {
+                    (per_shot * (1.0 - per_shot) / shots as f64).sqrt()
+                };
+                (per_round, sigma, 0.0, true)
+            }
+            SurfaceEstimator::Rare(config) => {
+                let outcome =
+                    memory.logical_error_rate_rare(SurfaceDecoder::UnionFind, config, seed);
+                let converged = outcome.is_converged();
+                let report = outcome.report();
+                (
+                    report.per_round(memory.rounds),
+                    report.sigma,
+                    report.truncation_bound,
+                    converged,
+                )
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(
+            |(p, (logical_per_round, sigma, truncation_bound, converged))| SurfaceRatePoint {
+                alpha: p.get("alpha"),
+                scaled_data: p.get("data") > 0.5,
+                logical_per_round,
+                sigma,
+                truncation_bound,
+                converged,
+            },
+        )
         .collect()
 }
 
@@ -280,6 +387,51 @@ mod tests {
             transmon_sum / 5.0,
             fluxonium_sum / 5.0
         );
+    }
+
+    #[test]
+    fn rare_cost_mode_agrees_with_plain_at_high_noise() {
+        use hetarch_exec::rare::RareConfig;
+        // One high-noise design point evaluated both ways.
+        let alphas = [1.0];
+        let plain = explore_surface_coherence_with(
+            3,
+            0.1e-3,
+            &alphas,
+            SurfaceEstimator::Plain { shots: 8_000 },
+            21,
+        );
+        let rare = explore_surface_coherence_with(
+            3,
+            0.1e-3,
+            &alphas,
+            SurfaceEstimator::Rare(RareConfig {
+                max_strata: 40,
+                rel_tol: 0.05,
+                shots_per_stratum: 3_000,
+                ..RareConfig::default()
+            }),
+            23,
+        );
+        assert_eq!(plain.len(), 2);
+        assert_eq!(rare.len(), 2);
+        for (p, r) in plain.iter().zip(&rare) {
+            assert_eq!(p.alpha, r.alpha);
+            assert_eq!(p.scaled_data, r.scaled_data);
+            assert_eq!(p.truncation_bound, 0.0);
+            assert!(p.converged);
+            assert!(r.converged, "rare mode should converge at high noise");
+            // Per-round rates agree within generous combined error bars
+            // (sigmas are per-shot; the per-round conversion only shrinks
+            // deviations for rates this small).
+            let tol = 6.0 * (p.sigma + r.sigma) + r.truncation_bound;
+            assert!(
+                (p.logical_per_round - r.logical_per_round).abs() <= tol,
+                "plain {} vs rare {} (tol {tol})",
+                p.logical_per_round,
+                r.logical_per_round
+            );
+        }
     }
 
     #[test]

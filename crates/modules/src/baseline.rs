@@ -9,10 +9,11 @@
 //! which converges to the same first-order SWAP counts for these small
 //! circuits.
 
+use hetarch_exec::rare::{RareConfig, RareOutcome};
 use hetarch_exec::WorkerPool;
 use hetarch_obs as obs;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use hetarch_qsim::channels::{IdleParams, PauliProbs};
@@ -20,7 +21,8 @@ use hetarch_stab::codes::StabilizerCode;
 use hetarch_stab::decoder::LookupDecoder;
 use hetarch_stab::pauli::PauliString;
 
-use crate::uec::sim::{combine, first_order_table, pack_syndrome, sample_pauli_into, UecNoise};
+use crate::faults::{stratified_rate, FaultDriver, RecordFaults, RngFaults};
+use crate::uec::sim::{combine, first_order_table, pack_syndrome, UecNoise};
 
 use std::collections::HashMap;
 
@@ -226,81 +228,8 @@ impl HomModule {
 
     /// As [`Self::logical_error_rate`] with an explicit worker pool.
     pub fn logical_error_rate_on(&self, pool: &WorkerPool, shots: usize, seed: u64) -> HomResult {
-        let n = self.code.num_qubits();
-        let stabs = self.code.stabilizers();
-        let supports: Vec<Vec<usize>> = stabs
-            .iter()
-            .map(|s| s.iter_support().map(|(q, _)| q).collect())
-            .collect();
-
-        // Per-layer precomputation.
-        struct LayerNoise {
-            idle: PauliProbs,
-            checks: Vec<usize>,
-        }
-        let layers: Vec<LayerNoise> = self
-            .layers
-            .iter()
-            .map(|layer| LayerNoise {
-                idle: self.idle.twirl_probs(self.layer_duration(layer)),
-                checks: layer.clone(),
-            })
-            .collect();
+        let plan = self.layer_noise();
         let cycle_duration = self.cycle_duration();
-
-        let one_shot = |rng: &mut StdRng| -> bool {
-            let mut error = PauliString::identity(n);
-            let mut syndrome = 0u64;
-            for layer in &layers {
-                for q in 0..n {
-                    sample_pauli_into(&mut error, q, layer.idle, rng);
-                }
-                for &s in &layer.checks {
-                    // Per-qubit gate noise: the CX plus the routing chain
-                    // (2 extra CXs per lattice hop).
-                    for (&q, &swaps) in supports[s].iter().zip(&self.embedding.route_swaps[s]) {
-                        let p_cx = self.noise.p2q * 4.0 / 15.0;
-                        let n_gates = 1 + 2 * swaps;
-                        let p = 1.0 - (1.0 - 3.0 * p_cx).powi(n_gates as i32);
-                        let third = p / 3.0;
-                        sample_pauli_into(
-                            &mut error,
-                            q,
-                            PauliProbs {
-                                px: third,
-                                py: third,
-                                pz: third,
-                            },
-                            rng,
-                        );
-                    }
-                    // Ancilla flip: its CXs plus idle plus readout.
-                    let w = supports[s].len();
-                    let p_gate_anc = 1.0 - (1.0 - 8.0 / 15.0 * self.noise.p2q).powi(w as i32);
-                    let anc_idle = layer.idle;
-                    let p_flip = combine(
-                        combine(p_gate_anc, anc_idle.px + anc_idle.py),
-                        self.noise.meas_flip,
-                    );
-                    let mut bit = !stabs[s].commutes_with(&error);
-                    if rng.gen::<f64>() < p_flip {
-                        bit = !bit;
-                    }
-                    if bit {
-                        syndrome |= 1 << s;
-                    }
-                }
-            }
-            let correction = self
-                .fault_table
-                .get(&syndrome)
-                .cloned()
-                .unwrap_or_else(|| self.decoder.decode_bits(syndrome));
-            let residual = error.xor(&correction);
-            let true_syn = pack_syndrome(&self.code.syndrome_of(&residual));
-            let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
-            !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
-        };
         let span = obs::span!(HOM_RUN_NS);
         let failures = pool.fold_shards(
             shots,
@@ -308,7 +237,9 @@ impl HomModule {
             seed,
             |shard| {
                 let mut rng = StdRng::seed_from_u64(shard.seed);
-                (0..shard.len).filter(|_| one_shot(&mut rng)).count()
+                (0..shard.len)
+                    .filter(|_| self.run_shot(&plan, &mut RngFaults::new(&mut rng)))
+                    .count()
             },
             0usize,
             |acc, f| acc + f,
@@ -326,6 +257,130 @@ impl HomModule {
             swaps_per_cycle: self.embedding.total_swaps(),
         }
     }
+
+    /// Estimates the per-cycle logical error rate with the weight-stratified
+    /// rare-event estimator (see [`hetarch_exec::rare`]) on the global
+    /// [`WorkerPool`]; resolves deep-subthreshold rates the plain estimator
+    /// cannot, with an explicit sigma and truncation bound.
+    pub fn logical_error_rate_rare(&self, config: RareConfig, seed: u64) -> RareOutcome {
+        self.logical_error_rate_rare_on(WorkerPool::global(), config, seed)
+    }
+
+    /// As [`Self::logical_error_rate_rare`] with an explicit worker pool.
+    pub fn logical_error_rate_rare_on(
+        &self,
+        pool: &WorkerPool,
+        config: RareConfig,
+        seed: u64,
+    ) -> RareOutcome {
+        let plan = self.layer_noise();
+        let mut recorder = RecordFaults::new();
+        self.run_shot(&plan, &mut recorder);
+        let sites = recorder.into_sites();
+        let span = obs::span!(HOM_RUN_NS);
+        let outcome = stratified_rate(
+            pool,
+            &sites,
+            config,
+            seed,
+            crate::uec::sim::MC_SHARD_SHOTS,
+            |driver| self.run_shot(&plan, driver),
+        );
+        drop(span);
+        HOM_SHOTS.add(outcome.report().total_shots as u64);
+        outcome
+    }
+
+    /// Per-layer noise precomputation.
+    fn layer_noise(&self) -> ShotPlan {
+        ShotPlan {
+            layers: self
+                .layers
+                .iter()
+                .map(|layer| LayerNoise {
+                    idle: self.idle.twirl_probs(self.layer_duration(layer)),
+                    checks: layer.clone(),
+                })
+                .collect(),
+            supports: self
+                .code
+                .stabilizers()
+                .iter()
+                .map(|s| s.iter_support().map(|(q, _)| q).collect())
+                .collect(),
+        }
+    }
+
+    /// One QEC cycle against an arbitrary [`FaultDriver`]; the site-visit
+    /// order is static, exactly as in [`crate::uec::UecModule`].
+    fn run_shot<D: FaultDriver>(&self, plan: &ShotPlan, driver: &mut D) -> bool {
+        let n = self.code.num_qubits();
+        let stabs = self.code.stabilizers();
+        let mut error = PauliString::identity(n);
+        let mut syndrome = 0u64;
+        for layer in &plan.layers {
+            for q in 0..n {
+                driver.pauli_site(&mut error, q, layer.idle);
+            }
+            for &s in &layer.checks {
+                // Per-qubit gate noise: the CX plus the routing chain
+                // (2 extra CXs per lattice hop).
+                let support = &plan.supports[s];
+                for (&q, &swaps) in support.iter().zip(&self.embedding.route_swaps[s]) {
+                    let p_cx = self.noise.p2q * 4.0 / 15.0;
+                    let n_gates = 1 + 2 * swaps;
+                    let p = 1.0 - (1.0 - 3.0 * p_cx).powi(n_gates as i32);
+                    let third = p / 3.0;
+                    driver.pauli_site(
+                        &mut error,
+                        q,
+                        PauliProbs {
+                            px: third,
+                            py: third,
+                            pz: third,
+                        },
+                    );
+                }
+                // Ancilla flip: its CXs plus idle plus readout.
+                let w = support.len();
+                let p_gate_anc = 1.0 - (1.0 - 8.0 / 15.0 * self.noise.p2q).powi(w as i32);
+                let anc_idle = layer.idle;
+                let p_flip = combine(
+                    combine(p_gate_anc, anc_idle.px + anc_idle.py),
+                    self.noise.meas_flip,
+                );
+                let mut bit = !stabs[s].commutes_with(&error);
+                if driver.flip_site(p_flip) {
+                    bit = !bit;
+                }
+                if bit {
+                    syndrome |= 1 << s;
+                }
+            }
+        }
+        let correction = self
+            .fault_table
+            .get(&syndrome)
+            .cloned()
+            .unwrap_or_else(|| self.decoder.decode_bits(syndrome));
+        let residual = error.xor(&correction);
+        let true_syn = pack_syndrome(&self.code.syndrome_of(&residual));
+        let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
+        !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
+    }
+}
+
+/// Per-layer noise table of the homogeneous baseline.
+struct LayerNoise {
+    idle: PauliProbs,
+    checks: Vec<usize>,
+}
+
+/// Precomputed per-cycle tables shared by every shot.
+struct ShotPlan {
+    layers: Vec<LayerNoise>,
+    /// Support qubits of each stabilizer.
+    supports: Vec<Vec<usize>>,
 }
 
 /// The homogeneous baseline for surface codes: the known-optimal square
@@ -427,5 +482,27 @@ mod tests {
         let sc = HomModule::new(rotated_surface_code(3), 0.5e-3, noise);
         let rm = HomModule::new(reed_muller_15(), 0.5e-3, noise);
         assert!(rm.cycle_duration() > sc.cycle_duration());
+    }
+
+    #[test]
+    fn rare_estimator_tracks_plain_baseline() {
+        let m = HomModule::new(steane(), 0.5e-3, UecNoise::default());
+        let shots = 20_000;
+        let plain = m.logical_error_rate(shots, 29).logical_error_rate;
+        let plain_sigma = (plain * (1.0 - plain) / shots as f64).sqrt();
+        let config = RareConfig {
+            max_strata: 24,
+            rel_tol: 0.02,
+            shots_per_stratum: 4_000,
+            ..RareConfig::default()
+        };
+        let report = m.logical_error_rate_rare(config, 31).into_report();
+        assert!(report.p_l > 0.0);
+        let tolerance = 5.0 * (plain_sigma + report.sigma) + report.truncation_bound;
+        assert!(
+            (report.p_l - plain).abs() <= tolerance,
+            "stratified {} vs plain {plain} (tolerance {tolerance})",
+            report.p_l
+        );
     }
 }

@@ -13,6 +13,7 @@ pub mod ct;
 pub mod distill;
 pub mod epsource;
 pub mod event;
+pub mod faults;
 pub mod hierarchy;
 pub mod uec;
 

@@ -8,11 +8,14 @@
 //! miscorrections (the standard pseudothreshold methodology for small
 //! codes).
 
+use hetarch_exec::rare::{RareConfig, RareOutcome};
 use hetarch_exec::WorkerPool;
 use hetarch_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+use crate::faults::{stratified_rate, FaultDriver, RecordFaults, RngFaults};
 
 use hetarch_cells::UscChannel;
 use hetarch_qsim::channels::PauliProbs;
@@ -139,19 +142,73 @@ impl UecModule {
 
     /// As [`Self::logical_error_rate`] with an explicit worker pool.
     pub fn logical_error_rate_on(&self, pool: &WorkerPool, shots: usize, seed: u64) -> UecResult {
-        let n = self.code.num_qubits();
-        let stabs = self.code.stabilizers();
-
-        // Precompute per-slot noise tables.
-        struct SlotNoise {
-            storage_uninvolved: PauliProbs,
-            storage_involved: PauliProbs,
-            compute_exposure: PauliProbs,
-            anc_flip: f64,
-            support: Vec<usize>,
+        let slots = self.slot_noise();
+        let span = obs::span!(UEC_RUN_NS);
+        let failures = pool.fold_shards(
+            shots,
+            MC_SHARD_SHOTS,
+            seed,
+            |shard| {
+                let mut rng = StdRng::seed_from_u64(shard.seed);
+                (0..shard.len)
+                    .filter(|_| self.run_shot(&slots, &mut RngFaults::new(&mut rng)))
+                    .count()
+            },
+            0usize,
+            |acc, f| acc + f,
+        );
+        drop(span);
+        UEC_SHOTS.add(shots as u64);
+        UEC_FAILURES.add(failures as u64);
+        UecResult {
+            logical_error_rate: if shots == 0 {
+                0.0
+            } else {
+                failures as f64 / shots as f64
+            },
+            cycle_duration: self.schedule.cycle_duration,
+            shots,
         }
-        let slots: Vec<SlotNoise> = self
-            .schedule
+    }
+
+    /// Estimates the per-cycle logical error rate with the weight-stratified
+    /// rare-event estimator (see [`hetarch_exec::rare`]) on the global
+    /// [`WorkerPool`].
+    ///
+    /// Unlike [`Self::logical_error_rate`], this resolves deep-subthreshold
+    /// rates far below `1/shots`: low-weight strata are enumerated exactly,
+    /// higher ones conditionally sampled, and the report carries an explicit
+    /// statistical sigma and truncation bound. The outcome is bit-identical
+    /// for every worker count.
+    pub fn logical_error_rate_rare(&self, config: RareConfig, seed: u64) -> RareOutcome {
+        self.logical_error_rate_rare_on(WorkerPool::global(), config, seed)
+    }
+
+    /// As [`Self::logical_error_rate_rare`] with an explicit worker pool.
+    pub fn logical_error_rate_rare_on(
+        &self,
+        pool: &WorkerPool,
+        config: RareConfig,
+        seed: u64,
+    ) -> RareOutcome {
+        let slots = self.slot_noise();
+        // One dry shot records the static fault-site table.
+        let mut recorder = RecordFaults::new();
+        self.run_shot(&slots, &mut recorder);
+        let sites = recorder.into_sites();
+        let span = obs::span!(UEC_RUN_NS);
+        let outcome = stratified_rate(pool, &sites, config, seed, MC_SHARD_SHOTS, |driver| {
+            self.run_shot(&slots, driver)
+        });
+        drop(span);
+        UEC_SHOTS.add(outcome.report().total_shots as u64);
+        outcome
+    }
+
+    /// Precomputes the per-slot noise tables.
+    fn slot_noise(&self) -> Vec<SlotNoise> {
+        let stabs = self.code.stabilizers();
+        self.schedule
             .checks
             .iter()
             .map(|slot| {
@@ -176,103 +233,95 @@ impl UecModule {
                     support,
                 }
             })
-            .collect();
+            .collect()
+    }
 
-        let one_shot = |rng: &mut StdRng| -> bool {
-            let mut error = PauliString::identity(n);
-            let mut syndrome: u64 = 0;
-            for (slot, sn) in self.schedule.checks.iter().zip(&slots) {
-                // Idle noise on every data qubit for this slot.
-                for q in 0..n {
-                    let involved = sn.support.contains(&q);
-                    let probs = if involved {
-                        sn.storage_involved
-                    } else {
-                        sn.storage_uninvolved
-                    };
-                    sample_pauli_into(&mut error, q, probs, rng);
-                    if involved {
-                        sample_pauli_into(&mut error, q, sn.compute_exposure, rng);
-                    }
+    /// One QEC cycle against an arbitrary [`FaultDriver`].
+    ///
+    /// The site-visit order is static — it never depends on sampled
+    /// outcomes — which is what lets the same body serve the legacy
+    /// Monte-Carlo path ([`RngFaults`], preserving the historical variate
+    /// stream exactly), the site recorder, and the forced-fault replays of
+    /// the rare-event estimator.
+    fn run_shot<D: FaultDriver>(&self, slots: &[SlotNoise], driver: &mut D) -> bool {
+        let n = self.code.num_qubits();
+        let stabs = self.code.stabilizers();
+        let mut error = PauliString::identity(n);
+        let mut syndrome: u64 = 0;
+        for (slot, sn) in self.schedule.checks.iter().zip(slots) {
+            // Idle noise on every data qubit for this slot.
+            for q in 0..n {
+                let involved = sn.support.contains(&q);
+                let probs = if involved {
+                    sn.storage_involved
+                } else {
+                    sn.storage_uninvolved
+                };
+                driver.pauli_site(&mut error, q, probs);
+                if involved {
+                    driver.pauli_site(&mut error, q, sn.compute_exposure);
                 }
-                // Gate noise: two SWAPs and one CX per involved qubit (the
-                // data-side marginal of two-qubit depolarizing noise).
-                let p_sw = self.noise.p_swap * 4.0 / 15.0;
-                let p_cx = self.noise.p2q * 4.0 / 15.0;
-                for &q in &sn.support {
-                    for _ in 0..2 {
-                        sample_pauli_into(
-                            &mut error,
-                            q,
-                            PauliProbs {
-                                px: p_sw,
-                                py: p_sw,
-                                pz: p_sw,
-                            },
-                            rng,
-                        );
-                    }
-                    sample_pauli_into(
+            }
+            // Gate noise: two SWAPs and one CX per involved qubit (the
+            // data-side marginal of two-qubit depolarizing noise).
+            let p_sw = self.noise.p_swap * 4.0 / 15.0;
+            let p_cx = self.noise.p2q * 4.0 / 15.0;
+            for &q in &sn.support {
+                for _ in 0..2 {
+                    driver.pauli_site(
                         &mut error,
                         q,
                         PauliProbs {
-                            px: p_cx,
-                            py: p_cx,
-                            pz: p_cx,
+                            px: p_sw,
+                            py: p_sw,
+                            pz: p_sw,
                         },
-                        rng,
                     );
                 }
-                // Measured syndrome bit: the accumulated error so far, plus
-                // ancilla/readout faults.
-                let mut bit = !stabs[slot.stabilizer].commutes_with(&error);
-                if rng.gen::<f64>() < sn.anc_flip {
-                    bit = !bit;
-                }
-                if bit {
-                    syndrome |= 1 << slot.stabilizer;
-                }
+                driver.pauli_site(
+                    &mut error,
+                    q,
+                    PauliProbs {
+                        px: p_cx,
+                        py: p_cx,
+                        pz: p_cx,
+                    },
+                );
             }
-            // Decode with the (noisy) measured syndrome using the
-            // first-order circuit-fault table (partial syndromes from
-            // mid-cycle errors decode to their own fault, never to a
-            // spurious multi-qubit correction)...
-            let correction = self
-                .fault_table
-                .get(&syndrome)
-                .cloned()
-                .unwrap_or_else(|| self.decoder.decode_bits(syndrome));
-            let residual = error.xor(&correction);
-            // ...then a perfect round resolves any leftover syndrome.
-            let true_syn = pack_syndrome(&self.code.syndrome_of(&residual));
-            let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
-            !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
-        };
-        let span = obs::span!(UEC_RUN_NS);
-        let failures = pool.fold_shards(
-            shots,
-            MC_SHARD_SHOTS,
-            seed,
-            |shard| {
-                let mut rng = StdRng::seed_from_u64(shard.seed);
-                (0..shard.len).filter(|_| one_shot(&mut rng)).count()
-            },
-            0usize,
-            |acc, f| acc + f,
-        );
-        drop(span);
-        UEC_SHOTS.add(shots as u64);
-        UEC_FAILURES.add(failures as u64);
-        UecResult {
-            logical_error_rate: if shots == 0 {
-                0.0
-            } else {
-                failures as f64 / shots as f64
-            },
-            cycle_duration: self.schedule.cycle_duration,
-            shots,
+            // Measured syndrome bit: the accumulated error so far, plus
+            // ancilla/readout faults.
+            let mut bit = !stabs[slot.stabilizer].commutes_with(&error);
+            if driver.flip_site(sn.anc_flip) {
+                bit = !bit;
+            }
+            if bit {
+                syndrome |= 1 << slot.stabilizer;
+            }
         }
+        // Decode with the (noisy) measured syndrome using the
+        // first-order circuit-fault table (partial syndromes from
+        // mid-cycle errors decode to their own fault, never to a
+        // spurious multi-qubit correction)...
+        let correction = self
+            .fault_table
+            .get(&syndrome)
+            .cloned()
+            .unwrap_or_else(|| self.decoder.decode_bits(syndrome));
+        let residual = error.xor(&correction);
+        // ...then a perfect round resolves any leftover syndrome.
+        let true_syn = pack_syndrome(&self.code.syndrome_of(&residual));
+        let final_error = residual.xor(&self.decoder.decode_bits(true_syn));
+        !self.code.in_normalizer(&final_error) || self.code.is_logical_error(&final_error)
     }
+}
+
+/// Per-slot noise table of one serialized check.
+struct SlotNoise {
+    storage_uninvolved: PauliProbs,
+    storage_involved: PauliProbs,
+    compute_exposure: PauliProbs,
+    anc_flip: f64,
+    support: Vec<usize>,
 }
 
 /// Builds the first-order circuit-fault decoding table for a temporally
@@ -449,5 +498,53 @@ mod tests {
         let a = m.logical_error_rate(1000, 42);
         let b = m.logical_error_rate(1000, 42);
         assert_eq!(a.logical_error_rate, b.logical_error_rate);
+    }
+
+    #[test]
+    fn rare_estimator_tracks_plain_estimator() {
+        // At the default (high) noise the plain estimator is a trustworthy
+        // oracle; the stratified estimate must agree within combined error
+        // bars.
+        let m = UecModule::new(steane(), usc(1e-3), UecNoise::default());
+        let shots = 20_000;
+        let plain = m.logical_error_rate(shots, 17).logical_error_rate;
+        let plain_sigma = (plain * (1.0 - plain) / shots as f64).sqrt();
+        let config = RareConfig {
+            max_strata: 24,
+            rel_tol: 0.02,
+            shots_per_stratum: 4_000,
+            ..RareConfig::default()
+        };
+        let outcome = m.logical_error_rate_rare(config, 19);
+        let report = outcome.report();
+        assert!(report.p_l > 0.0, "default noise must fail sometimes");
+        let tolerance = 5.0 * (plain_sigma + report.sigma) + report.truncation_bound;
+        assert!(
+            (report.p_l - plain).abs() <= tolerance,
+            "stratified {} vs plain {plain} (tolerance {tolerance})",
+            report.p_l
+        );
+    }
+
+    #[test]
+    fn rare_estimator_is_worker_count_invariant() {
+        let m = UecModule::new(steane(), usc(1e-3), UecNoise::default());
+        let config = RareConfig {
+            max_strata: 4,
+            rel_tol: 0.5,
+            shots_per_stratum: 1_024,
+            enumerate_threshold: 64,
+            ..RareConfig::default()
+        };
+        let reports: Vec<_> = [1usize, 3, 8]
+            .iter()
+            .map(|&w| {
+                let pool = WorkerPool::new(w);
+                m.logical_error_rate_rare_on(&pool, config, 23)
+                    .into_report()
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
     }
 }

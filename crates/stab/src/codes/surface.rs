@@ -8,14 +8,16 @@
 
 use serde::{Deserialize, Serialize};
 
-use hetarch_exec::WorkerPool;
+use hetarch_exec::rare::{RareConfig, RareOutcome, StratifiedEstimator, StratumEval};
+use hetarch_exec::{shard_seed, WorkerPool};
 use hetarch_obs as obs;
 
 use crate::circuit::{Circuit, PauliErr};
 use crate::codes::code::{typed_string, StabilizerCode};
 use crate::decoder::graph::MatchingGraph;
 use crate::decoder::unionfind::UnionFindDecoder;
-use crate::detector::sample_detectors_on;
+use crate::detector::{assemble_detectors, sample_detectors_on, DetectorSamples};
+use crate::frame::{enumerate_at_weight, sample_at_weight, FaultModel};
 use crate::pauli::Pauli;
 
 /// Shots per decoding shard; fixed so shard boundaries never depend on the
@@ -577,18 +579,7 @@ impl SurfaceMemory {
         seed: u64,
     ) -> (f64, f64) {
         let circuit = self.circuit();
-        let graph = self.matching_graph();
-        debug_assert_eq!(graph.num_nodes(), circuit.num_detectors());
-        let decoder: DecodeFn = match which {
-            SurfaceDecoder::UnionFind => {
-                let d = UnionFindDecoder::new(&graph);
-                Box::new(move |syn| d.decode(syn))
-            }
-            SurfaceDecoder::GreedyMatching => {
-                let d = crate::decoder::greedy::GreedyMatchingDecoder::new(&graph);
-                Box::new(move |syn| d.decode(syn))
-            }
-        };
+        let decoder = self.build_decoder(&circuit, which);
         let span = obs::span!(SURFACE_RUN_NS);
         let samples = sample_detectors_on(pool, &circuit, shots, seed);
         let n_det = circuit.num_detectors();
@@ -626,6 +617,117 @@ impl SurfaceMemory {
             1.0 - (1.0 - per_shot).powf(1.0 / self.rounds as f64)
         };
         (per_shot, per_round)
+    }
+
+    /// Instantiates the decoder closure for this memory's matching graph.
+    fn build_decoder(&self, circuit: &Circuit, which: SurfaceDecoder) -> DecodeFn {
+        let graph = self.matching_graph();
+        debug_assert_eq!(graph.num_nodes(), circuit.num_detectors());
+        match which {
+            SurfaceDecoder::UnionFind => {
+                let d = UnionFindDecoder::new(&graph);
+                Box::new(move |syn| d.decode(syn))
+            }
+            SurfaceDecoder::GreedyMatching => {
+                let d = crate::decoder::greedy::GreedyMatchingDecoder::new(&graph);
+                Box::new(move |syn| d.decode(syn))
+            }
+        }
+    }
+
+    /// Rare-event logical error rate via weight-stratified importance
+    /// sampling, on the global [`WorkerPool`].
+    ///
+    /// Where the plain [`Self::logical_error_rate`] returns `0/N` for any
+    /// deep-subthreshold point, this estimator resolves per-shot rates far
+    /// below `1/shots` and reports an explicit error budget: the
+    /// [`hetarch_exec::rare::RareReport`] carries `(p_L, sigma,
+    /// truncation_bound)`. Strata with at most
+    /// [`RareConfig::enumerate_threshold`] fault configurations are
+    /// enumerated exactly (zero variance); larger strata draw
+    /// [`RareConfig::shots_per_stratum`] conditioned shots. The walk stops
+    /// once the exact prior tail is below `abs_tol.max(rel_tol · p̂_L)`, or
+    /// returns [`RareOutcome::Unconverged`] when `max_strata` runs out
+    /// first.
+    pub fn logical_error_rate_rare(
+        &self,
+        which: SurfaceDecoder,
+        config: RareConfig,
+        seed: u64,
+    ) -> RareOutcome {
+        self.logical_error_rate_rare_on(WorkerPool::global(), which, config, seed)
+    }
+
+    /// As [`Self::logical_error_rate_rare`] with an explicit worker pool.
+    ///
+    /// Stratum `w` derives its sampling seed as `shard_seed(seed, w)`, and
+    /// all conditioned sampling and decoding run through the sharded
+    /// engine, so the full report is **bit-identical for every worker
+    /// count**.
+    pub fn logical_error_rate_rare_on(
+        &self,
+        pool: &WorkerPool,
+        which: SurfaceDecoder,
+        config: RareConfig,
+        seed: u64,
+    ) -> RareOutcome {
+        let circuit = self.circuit();
+        let decoder = self.build_decoder(&circuit, which);
+        let model = FaultModel::from_circuit(&circuit);
+        let prior = model.prior();
+        let n_det = circuit.num_detectors();
+        let span = obs::span!(SURFACE_RUN_NS);
+
+        let decode_shot = |samples: &DetectorSamples, syndrome: &mut [bool], shot: usize| -> bool {
+            for (d, s) in syndrome.iter_mut().enumerate() {
+                *s = samples.detectors.get(d, shot);
+            }
+            let predicted = decoder(syndrome) & 1 == 1;
+            predicted != samples.observables.get(0, shot)
+        };
+
+        let outcome = StratifiedEstimator::new(&prior, config).run(|w| {
+            match enumerate_at_weight(&circuit, &model, w, config.enumerate_threshold) {
+                Some((configs, frames)) => {
+                    let samples = assemble_detectors(&circuit, &frames.meas_flips, configs.len());
+                    let mut syndrome = vec![false; n_det];
+                    let mut failure_probability = 0.0;
+                    for (shot, fault) in configs.iter().enumerate() {
+                        if decode_shot(&samples, &mut syndrome, shot) {
+                            failure_probability += fault.weight;
+                        }
+                    }
+                    StratumEval::Enumerated {
+                        failure_probability,
+                        configs: configs.len() as u64,
+                    }
+                }
+                None => {
+                    let shots = config.shots_per_stratum;
+                    let stratum_seed = shard_seed(seed, w as u64);
+                    let frames = sample_at_weight(&circuit, &model, w, shots, stratum_seed, pool);
+                    let samples = assemble_detectors(&circuit, &frames.meas_flips, shots);
+                    let failures: u64 = pool
+                        .run_shards(shots, DECODE_SHARD_SHOTS, stratum_seed, |shard| {
+                            let mut failures = 0u64;
+                            let mut syndrome = vec![false; n_det];
+                            for shot in shard.start..shard.start + shard.len {
+                                if decode_shot(&samples, &mut syndrome, shot) {
+                                    failures += 1;
+                                }
+                            }
+                            failures
+                        })
+                        .into_iter()
+                        .sum();
+                    StratumEval::Sampled { failures, shots }
+                }
+            }
+        });
+        drop(span);
+        let report = outcome.report();
+        SURFACE_SHOTS.add(report.total_shots as u64);
+        outcome
     }
 }
 
@@ -713,6 +815,57 @@ mod tests {
         let (p3, _) = SurfaceMemory::new(3, 3, noise).logical_error_rate(shots, 11);
         let (p5, _) = SurfaceMemory::new(5, 5, noise).logical_error_rate(shots, 13);
         assert!(p5 < p3, "below threshold d=5 ({p5}) should beat d=3 ({p3})");
+    }
+
+    #[test]
+    fn rare_estimator_tracks_plain_estimator_at_high_noise() {
+        // High enough noise for the plain estimator to be an oracle.
+        let noise = SurfaceNoise {
+            t_data: 2e-3,
+            t_anc: 2e-3,
+            p1: 2e-4,
+            p2: 4e-3,
+            p_meas: 2e-3,
+            ..SurfaceNoise::default()
+        };
+        let mem = SurfaceMemory::new(3, 2, noise);
+        let shots = 40_000;
+        let (plain, _) = mem.logical_error_rate(shots, 31);
+        let config = RareConfig {
+            max_strata: 40,
+            rel_tol: 0.02,
+            shots_per_stratum: 6_000,
+            ..RareConfig::default()
+        };
+        let outcome = mem.logical_error_rate_rare(SurfaceDecoder::UnionFind, config, 33);
+        assert!(outcome.is_converged(), "{:?}", outcome.report());
+        let report = outcome.report();
+        assert!(report.p_l > 0.0);
+        // Combined tolerance: plain sampling noise + stratified sigma +
+        // truncation, at 5 sigma.
+        let plain_sigma = (plain * (1.0 - plain) / shots as f64).sqrt();
+        let tol = 5.0 * (plain_sigma + report.sigma) + report.truncation_bound;
+        assert!(
+            (report.p_l - plain).abs() <= tol,
+            "stratified {} vs plain {plain} (tol {tol})",
+            report.p_l
+        );
+    }
+
+    #[test]
+    fn rare_estimator_report_is_reproducible() {
+        let mem = SurfaceMemory::new(3, 2, SurfaceNoise::default());
+        let config = RareConfig {
+            max_strata: 6,
+            rel_tol: 0.5,
+            shots_per_stratum: 1_500,
+            enumerate_threshold: 256,
+            ..RareConfig::default()
+        };
+        let pool = WorkerPool::new(2);
+        let a = mem.logical_error_rate_rare_on(&pool, SurfaceDecoder::UnionFind, config, 9);
+        let b = mem.logical_error_rate_rare_on(&pool, SurfaceDecoder::UnionFind, config, 9);
+        assert_eq!(a, b, "same pool, same seed must reproduce bit-identically");
     }
 
     #[test]

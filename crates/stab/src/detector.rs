@@ -127,6 +127,17 @@ pub fn sample_detectors_on(
     assemble(circuit, &result.meas_flips, shots)
 }
 
+/// Assembles detector firings and observable flips from a measurement-flip
+/// table (e.g. one produced by [`FrameSampler::run_with_faults`] or
+/// [`crate::frame::sample_at_weight`] on the rare-event path).
+pub fn assemble_detectors(
+    circuit: &Circuit,
+    meas_flips: &BitTable,
+    shots: usize,
+) -> DetectorSamples {
+    assemble(circuit, meas_flips, shots)
+}
+
 fn assemble(circuit: &Circuit, meas_flips: &BitTable, shots: usize) -> DetectorSamples {
     let mut detectors = BitTable::new(circuit.num_detectors(), shots);
     let mut observables = BitTable::new(circuit.num_observables() as usize, shots);

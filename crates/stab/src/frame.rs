@@ -11,7 +11,8 @@
 //! sample produced by the tableau simulator; detectors and observables are
 //! assembled from those flips by [`crate::detector`].
 
-use hetarch_exec::WorkerPool;
+use hetarch_exec::rare::{enumerate_configs, ConditionalSampler, FaultConfig, WeightPrior};
+use hetarch_exec::{shard_seed, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -347,6 +348,364 @@ impl FrameSampler {
     }
 }
 
+/// One fault mechanism of a circuit, in [`Circuit::num_noise_sites`] order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum SiteKind {
+    /// A stochastic Pauli site (also covers `Depolarize1` with uniform
+    /// thirds). Variants: 0 = X, 1 = Y, 2 = Z.
+    Pauli {
+        /// X/Y/Z probabilities (not normalized; their sum is the trigger
+        /// probability).
+        px: f64,
+        py: f64,
+        pz: f64,
+    },
+    /// A two-qubit depolarizing site. Variants `v ∈ 0..15` encode the
+    /// non-identity pair Pauli `k = v + 1` (`pa = k >> 2`, `pb = k & 3`,
+    /// with 0 = I, 1 = X, 2 = Z, 3 = Y per factor).
+    Dep2,
+    /// A classical measurement-record flip (single variant).
+    MeasFlip,
+}
+
+/// The fault-mechanism decomposition of a circuit's noise: one site per
+/// entry of [`Circuit::num_noise_sites`], each with its trigger probability
+/// and its conditional variant distribution.
+///
+/// This is the bridge between a [`Circuit`] and the weight-stratified
+/// estimator in [`hetarch_exec::rare`]: the model's [`FaultModel::prior`]
+/// is the exact Poisson-binomial weight distribution, and
+/// [`sample_at_weight`] / [`enumerate_at_weight`] generate frames
+/// conditioned on exactly `w` triggered sites.
+#[derive(Clone, Debug)]
+pub struct FaultModel {
+    kinds: Vec<SiteKind>,
+    trigger: Vec<f64>,
+}
+
+impl FaultModel {
+    /// Decomposes `circuit`'s noise annotations into fault sites, in the
+    /// exact order [`Circuit::num_noise_sites`] counts them.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut kinds = Vec::new();
+        let mut trigger = Vec::new();
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::PauliNoise(err, qs) => {
+                    for _ in qs {
+                        kinds.push(SiteKind::Pauli {
+                            px: err.px,
+                            py: err.py,
+                            pz: err.pz,
+                        });
+                        trigger.push(err.total());
+                    }
+                }
+                Instruction::Depolarize1(p, qs) => {
+                    let third = p / 3.0;
+                    for _ in qs {
+                        kinds.push(SiteKind::Pauli {
+                            px: third,
+                            py: third,
+                            pz: third,
+                        });
+                        trigger.push(*p);
+                    }
+                }
+                Instruction::Depolarize2(p, pairs) => {
+                    for _ in pairs {
+                        kinds.push(SiteKind::Dep2);
+                        trigger.push(*p);
+                    }
+                }
+                Instruction::Measure { targets, flip }
+                | Instruction::MeasureReset { targets, flip }
+                    if *flip > 0.0 =>
+                {
+                    for _ in targets {
+                        kinds.push(SiteKind::MeasFlip);
+                        trigger.push(*flip);
+                    }
+                }
+                _ => {}
+            }
+        }
+        debug_assert_eq!(kinds.len(), circuit.num_noise_sites());
+        FaultModel { kinds, trigger }
+    }
+
+    /// Number of fault sites.
+    pub fn num_sites(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Per-site trigger probabilities, in site order.
+    pub fn trigger_probs(&self) -> &[f64] {
+        &self.trigger
+    }
+
+    /// The exact Poisson-binomial prior over the total triggered-site
+    /// weight.
+    pub fn prior(&self) -> WeightPrior {
+        WeightPrior::poisson_binomial(&self.trigger)
+    }
+
+    /// Number of fault variants at site `i`.
+    pub fn variant_count(&self, i: usize) -> usize {
+        match self.kinds[i] {
+            SiteKind::Pauli { .. } => 3,
+            SiteKind::Dep2 => 15,
+            SiteKind::MeasFlip => 1,
+        }
+    }
+
+    /// Conditional probability of variant `v` at site `i`, given the site
+    /// triggered.
+    pub fn variant_weight(&self, i: usize, v: usize) -> f64 {
+        match self.kinds[i] {
+            SiteKind::Pauli { px, py, pz } => {
+                let total = px + py + pz;
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                [px, py, pz][v] / total
+            }
+            SiteKind::Dep2 => 1.0 / 15.0,
+            SiteKind::MeasFlip => 1.0,
+        }
+    }
+
+    /// Draws a variant for a triggered site (the same conditional
+    /// distribution [`FaultModel::variant_weight`] describes).
+    fn sample_variant(&self, i: usize, rng: &mut StdRng) -> u8 {
+        match self.kinds[i] {
+            SiteKind::Pauli { px, py, pz } => {
+                let r: f64 = rng.gen::<f64>() * (px + py + pz);
+                if r < px {
+                    0
+                } else if r < px + py {
+                    1
+                } else {
+                    2
+                }
+            }
+            SiteKind::Dep2 => rng.gen_range(0..15u8),
+            SiteKind::MeasFlip => 0,
+        }
+    }
+
+    /// Enumerates all weight-`weight` fault configurations, or `None` when
+    /// there are more than `max_configs` (fall back to
+    /// [`sample_at_weight`]).
+    pub fn enumerate(&self, weight: usize, max_configs: u64) -> Option<Vec<FaultConfig>> {
+        enumerate_configs(
+            &self.trigger,
+            weight,
+            max_configs,
+            &|i| self.variant_count(i),
+            &|i, v| self.variant_weight(i, v),
+        )
+    }
+}
+
+impl FrameSampler {
+    /// Runs `circuit` with its stochastic noise suppressed and the given
+    /// fault assignment applied instead: `site_hits[site]` lists the
+    /// `(shot, variant)` pairs where that fault site fires deterministically.
+    ///
+    /// Sites are indexed in [`FaultModel`] order (one per
+    /// [`Circuit::num_noise_sites`] entry).
+    pub fn run_with_faults(
+        &mut self,
+        circuit: &Circuit,
+        site_hits: &[Vec<(u32, u8)>],
+    ) -> FrameResult {
+        assert_eq!(
+            site_hits.len(),
+            circuit.num_noise_sites(),
+            "fault assignment does not match the circuit's noise sites"
+        );
+        assert!(
+            circuit.num_qubits() as usize <= self.num_qubits,
+            "circuit uses {} qubits, sampler has {}",
+            circuit.num_qubits(),
+            self.num_qubits
+        );
+        let mut meas_flips = BitTable::new(circuit.num_measurements(), self.shots);
+        let mut next_meas = 0usize;
+        let mut site = 0usize;
+        for inst in circuit.instructions() {
+            match inst {
+                Instruction::PauliNoise(_, qs) | Instruction::Depolarize1(_, qs) => {
+                    for &q in qs {
+                        for &(shot, v) in &site_hits[site] {
+                            self.apply_pauli_variant(q as usize, shot as usize, v);
+                        }
+                        site += 1;
+                    }
+                }
+                Instruction::Depolarize2(_, pairs) => {
+                    for &(a, b) in pairs {
+                        for &(shot, v) in &site_hits[site] {
+                            self.apply_dep2_variant(a as usize, b as usize, shot as usize, v);
+                        }
+                        site += 1;
+                    }
+                }
+                Instruction::Measure { targets, flip } => {
+                    for &q in targets {
+                        self.record_measurement(q as usize, 0.0, &mut meas_flips, &mut next_meas);
+                        if *flip > 0.0 {
+                            for &(shot, _) in &site_hits[site] {
+                                let row = next_meas - 1;
+                                let v = meas_flips.get(row, shot as usize);
+                                meas_flips.set(row, shot as usize, !v);
+                            }
+                            site += 1;
+                        }
+                        self.randomize_z(q as usize);
+                    }
+                }
+                Instruction::MeasureReset { targets, flip } => {
+                    for &q in targets {
+                        self.record_measurement(q as usize, 0.0, &mut meas_flips, &mut next_meas);
+                        if *flip > 0.0 {
+                            for &(shot, _) in &site_hits[site] {
+                                let row = next_meas - 1;
+                                let v = meas_flips.get(row, shot as usize);
+                                meas_flips.set(row, shot as usize, !v);
+                            }
+                            site += 1;
+                        }
+                        self.clear_frames(q as usize);
+                    }
+                }
+                other => self.apply_instruction(other, &mut meas_flips, &mut next_meas),
+            }
+        }
+        debug_assert_eq!(site, site_hits.len());
+        debug_assert_eq!(next_meas, circuit.num_measurements());
+        FrameResult { meas_flips }
+    }
+
+    #[inline]
+    fn apply_pauli_variant(&mut self, q: usize, shot: usize, v: u8) {
+        let (w, b) = (shot / 64, 1u64 << (shot % 64));
+        // 0 = X, 1 = Y, 2 = Z.
+        if v == 0 || v == 1 {
+            self.x[q * self.words + w] ^= b;
+        }
+        if v == 1 || v == 2 {
+            self.z[q * self.words + w] ^= b;
+        }
+    }
+
+    #[inline]
+    fn apply_dep2_variant(&mut self, a: usize, b: usize, shot: usize, v: u8) {
+        let k = v + 1;
+        let (pa, pb) = (k >> 2, k & 3);
+        let (w, bit) = (shot / 64, 1u64 << (shot % 64));
+        // Per-factor encoding matches `depolarize2`: 0 = I, 1 = X, 2 = Z,
+        // 3 = Y.
+        if pa == 1 || pa == 3 {
+            self.x[a * self.words + w] ^= bit;
+        }
+        if pa == 2 || pa == 3 {
+            self.z[a * self.words + w] ^= bit;
+        }
+        if pb == 1 || pb == 3 {
+            self.x[b * self.words + w] ^= bit;
+        }
+        if pb == 2 || pb == 3 {
+            self.z[b * self.words + w] ^= bit;
+        }
+    }
+}
+
+/// Samples `shots` executions of `circuit` conditioned on **exactly
+/// `weight` triggered fault sites** per shot, sharded across `pool`.
+///
+/// Each shard derives two private SplitMix64 streams from its
+/// [`hetarch_exec::Shard::seed`] — one for drawing the conditioned fault
+/// configurations (exact conditional subset sampling via
+/// [`ConditionalSampler`], then per-site variants), one for the frame
+/// run — so the result is **bit-identical for every worker count**, the
+/// same contract as [`FrameSampler::sample`].
+///
+/// # Panics
+///
+/// Panics if no weight-`weight` configuration has positive probability
+/// (the prior mass `P(W = weight)` is zero; callers should consult
+/// [`FaultModel::prior`] first).
+pub fn sample_at_weight(
+    circuit: &Circuit,
+    model: &FaultModel,
+    weight: usize,
+    shots: usize,
+    seed: u64,
+    pool: &WorkerPool,
+) -> FrameResult {
+    let sampler = ConditionalSampler::new(model.trigger_probs(), weight);
+    assert!(
+        sampler.is_feasible(),
+        "no weight-{weight} fault configuration has positive probability \
+         ({} sites)",
+        model.num_sites()
+    );
+    let num_qubits = circuit.num_qubits() as usize;
+    let mut meas_flips = BitTable::new(circuit.num_measurements(), shots);
+    let parts = pool.run_shards(shots, SHARD_SHOTS, seed, |shard| {
+        let mut rng = StdRng::seed_from_u64(shard_seed(shard.seed, 0));
+        let mut site_hits: Vec<Vec<(u32, u8)>> = vec![Vec::new(); model.num_sites()];
+        let mut subset = Vec::with_capacity(weight);
+        for shot in 0..shard.len {
+            sampler.sample_into(&mut || rng.gen::<f64>(), &mut subset);
+            for &site in &subset {
+                let v = model.sample_variant(site, &mut rng);
+                site_hits[site].push((shot as u32, v));
+            }
+        }
+        let mut fs = FrameSampler::new(num_qubits.max(1), shard.len, shard_seed(shard.seed, 1));
+        fs.run_with_faults(circuit, &site_hits).meas_flips
+    });
+    for (shard, part) in parts.iter().enumerate() {
+        meas_flips.splice_shots(part, shard * SHARD_SHOTS);
+    }
+    FrameResult { meas_flips }
+}
+
+/// Enumerates every weight-`weight` fault configuration of `circuit` and
+/// runs them all in one deterministic batched frame pass (configuration
+/// `i` occupies shot `i`). Returns `None` when the stratum has more than
+/// `max_configs` configurations — fall back to [`sample_at_weight`].
+///
+/// The returned configuration weights are normalized conditional
+/// probabilities (they sum to 1 within the stratum), so the stratum's
+/// exact conditional failure probability is `Σ_i weight_i · fails_i`.
+pub fn enumerate_at_weight(
+    circuit: &Circuit,
+    model: &FaultModel,
+    weight: usize,
+    max_configs: u64,
+) -> Option<(Vec<FaultConfig>, FrameResult)> {
+    let configs = model.enumerate(weight, max_configs)?;
+    let shots = configs.len();
+    if shots == 0 {
+        let meas_flips = BitTable::new(circuit.num_measurements(), 0);
+        return Some((configs, FrameResult { meas_flips }));
+    }
+    let mut site_hits: Vec<Vec<(u32, u8)>> = vec![Vec::new(); model.num_sites()];
+    for (shot, config) in configs.iter().enumerate() {
+        for &(site, v) in &config.sites {
+            site_hits[site].push((shot as u32, v as u8));
+        }
+    }
+    let num_qubits = circuit.num_qubits() as usize;
+    let mut fs = FrameSampler::new(num_qubits.max(1), shots, 0);
+    let result = fs.run_with_faults(circuit, &site_hits);
+    Some((configs, result))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -560,5 +919,124 @@ mod tests {
                 "qubit {m}: {rate} vs {expect}"
             );
         }
+    }
+
+    fn noisy_test_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.pauli_noise(
+            crate::circuit::PauliErr {
+                px: 0.01,
+                py: 0.002,
+                pz: 0.005,
+            },
+            &[0, 1],
+        );
+        c.depolarize1(0.02, &[2]);
+        c.cx(&[(0, 1)]);
+        c.depolarize2(0.03, &[(1, 2)]);
+        c.measure(&[0, 1, 2], 0.04);
+        c
+    }
+
+    #[test]
+    fn fault_model_matches_noise_site_accounting() {
+        let c = noisy_test_circuit();
+        let model = FaultModel::from_circuit(&c);
+        assert_eq!(model.num_sites(), c.num_noise_sites());
+        assert_eq!(model.num_sites(), 2 + 1 + 1 + 3);
+        let probs = model.trigger_probs();
+        assert!((probs[0] - 0.017).abs() < 1e-15);
+        assert!((probs[2] - 0.02).abs() < 1e-15);
+        assert!((probs[3] - 0.03).abs() < 1e-15);
+        assert!((probs[4] - 0.04).abs() < 1e-15);
+        // Variant distributions are normalized.
+        for i in 0..model.num_sites() {
+            let total: f64 = (0..model.variant_count(i))
+                .map(|v| model.variant_weight(i, v))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "site {i} weights sum {total}");
+        }
+        // The prior matches the Poisson binomial over the trigger probs.
+        let prior = model.prior();
+        assert_eq!(prior.num_sites(), model.num_sites());
+        let p0: f64 = probs.iter().map(|p| 1.0 - p).product();
+        assert!((prior.pmf(0) - p0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn weight_one_sampling_always_applies_exactly_one_fault() {
+        // A circuit where every fault flips a measurement: X-only noise on
+        // measured qubits plus a record flip. Exactly one site fires per
+        // shot, so exactly one measurement bit flips per shot.
+        let mut c = Circuit::new(2);
+        c.pauli_noise(
+            crate::circuit::PauliErr {
+                px: 0.001,
+                py: 0.0,
+                pz: 0.0,
+            },
+            &[0, 1],
+        );
+        c.measure(&[0, 1], 0.002);
+        let model = FaultModel::from_circuit(&c);
+        let shots = 2_000;
+        let r = sample_at_weight(&c, &model, 1, shots, 17, &WorkerPool::new(2));
+        let total_flips = r.meas_flips.count_ones(0) + r.meas_flips.count_ones(1);
+        assert_eq!(total_flips, shots, "each shot must carry exactly one flip");
+    }
+
+    #[test]
+    fn sample_at_weight_is_worker_count_invariant() {
+        let c = noisy_test_circuit();
+        let model = FaultModel::from_circuit(&c);
+        let shots = SHARD_SHOTS + 333;
+        let reference = sample_at_weight(&c, &model, 2, shots, 5, &WorkerPool::new(1));
+        for workers in [2, 8] {
+            let r = sample_at_weight(&c, &model, 2, shots, 5, &WorkerPool::new(workers));
+            assert_eq!(r.meas_flips, reference.meas_flips, "workers {workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive probability")]
+    fn sample_at_weight_rejects_infeasible_weight() {
+        let mut c = Circuit::new(1);
+        c.depolarize1(0.01, &[0]);
+        c.measure(&[0], 0.0);
+        let model = FaultModel::from_circuit(&c);
+        sample_at_weight(&c, &model, 2, 16, 1, &WorkerPool::new(1));
+    }
+
+    #[test]
+    fn enumerate_at_weight_covers_every_configuration() {
+        let c = noisy_test_circuit();
+        let model = FaultModel::from_circuit(&c);
+        // Weight 1: 3 Pauli sites × 3 + 15 (dep2) + 3 (meas flips)... the
+        // py=0-free sites keep all three variants here, so count directly.
+        let (configs, frames) = enumerate_at_weight(&c, &model, 1, 10_000).unwrap();
+        let expect: usize = (0..model.num_sites())
+            .map(|i| {
+                (0..model.variant_count(i))
+                    .filter(|&v| model.variant_weight(i, v) > 0.0)
+                    .count()
+            })
+            .sum();
+        assert_eq!(configs.len(), expect);
+        assert_eq!(frames.meas_flips.shots(), configs.len());
+        let total: f64 = configs.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Over-budget strata fall back to sampling.
+        assert!(enumerate_at_weight(&c, &model, 2, 3).is_none());
+    }
+
+    #[test]
+    fn forced_measurement_flip_toggles_record_bit() {
+        let mut c = Circuit::new(1);
+        c.measure(&[0], 0.5);
+        let model = FaultModel::from_circuit(&c);
+        let (configs, frames) = enumerate_at_weight(&c, &model, 1, 100).unwrap();
+        assert_eq!(configs.len(), 1);
+        assert!((configs[0].weight - 1.0).abs() < 1e-15);
+        assert_eq!(frames.meas_flips.count_ones(0), 1);
     }
 }

@@ -69,6 +69,6 @@ pub mod prelude {
     pub use crate::oracle::{DiffOracle, OracleComparison, OracleFailure};
     pub use crate::stats::{
         assert_rate_below, assert_rates_compatible, chi2_goodness_of_fit, two_proportion_z,
-        BinomialTest, Chi2Result,
+        BinomialTest, Chi2Result, CrossValidation,
     };
 }

@@ -185,11 +185,36 @@ pub fn two_proportion_z(a: BinomialTest, b: BinomialTest) -> f64 {
 /// Asserts that `low`'s underlying rate is below `high`'s at `sigma`
 /// significance (a one-sided two-proportion z-test).
 ///
+/// A zero-failure `low` sample must additionally clear a minimum-power
+/// check: the probability that `low.trials` shots would have produced at
+/// least one failure *if* the true rate equalled `high`'s observed rate —
+/// `1 − (1 − p̂_high)^n` — must be at least 0.5. Without it, a tiny budget
+/// passes vacuously: observing `0/N` for small `N` is likely under both
+/// hypotheses and carries no evidence of separation.
+///
 /// # Panics
 ///
-/// Panics when the separation is not significant at `sigma`.
+/// Panics when the separation is not significant at `sigma`, or when a
+/// zero-failure sample is underpowered.
 #[track_caller]
 pub fn assert_rate_below(low: BinomialTest, high: BinomialTest, sigma: f64, context: &str) {
+    if low.successes == 0 {
+        let p_high = high.rate();
+        let power = 1.0 - (1.0 - p_high).powf(low.trials as f64);
+        if power < 0.5 {
+            let needed = if p_high > 0.0 && p_high < 1.0 {
+                (0.5f64.ln() / (1.0 - p_high).ln()).ceil() as u64
+            } else {
+                u64::MAX
+            };
+            panic!(
+                "{context}: zero-failure sample is underpowered — {} trials would catch a \
+                 true rate of {:.6} with probability {power:.3} (< 0.5); \
+                 need at least {needed} trials for the pass to mean anything",
+                low.trials, p_high,
+            );
+        }
+    }
     let z = two_proportion_z(low, high);
     assert!(
         z >= sigma,
@@ -201,6 +226,94 @@ pub fn assert_rate_below(low: BinomialTest, high: BinomialTest, sigma: f64, cont
         high.successes,
         high.trials,
     );
+}
+
+/// Cross-validation of a stratified rare-event estimate against a plain
+/// frequency observation of the same quantity.
+///
+/// The stratified estimator reports `(p̂_L, σ, truncation_bound)`; the plain
+/// estimator reports `failures / shots`. The two agree when the observed
+/// difference, less the deterministic truncation allowance, is explained by
+/// the combined statistical error: primarily a z-test against
+/// `√(σ_plain² + σ_strat²)` (the two-proportion contract adapted to a
+/// mixed pair), with the distribution-free Hoeffding tolerance on the plain
+/// side as a fallback so heavy-tailed small-sample cases don't go flaky.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossValidation {
+    /// The plain estimator's observation.
+    pub plain: BinomialTest,
+    /// The stratified point estimate.
+    pub stratified_p: f64,
+    /// The stratified estimate's statistical standard deviation.
+    pub stratified_sigma: f64,
+    /// The stratified estimate's rigorous truncation bound.
+    pub truncation_bound: f64,
+}
+
+impl CrossValidation {
+    /// Pairs a plain observation with a stratified report.
+    pub fn new(
+        plain: BinomialTest,
+        stratified_p: f64,
+        stratified_sigma: f64,
+        truncation_bound: f64,
+    ) -> Self {
+        assert!(stratified_p >= 0.0, "negative stratified estimate");
+        assert!(stratified_sigma >= 0.0 && truncation_bound >= 0.0);
+        CrossValidation {
+            plain,
+            stratified_p,
+            stratified_sigma,
+            truncation_bound,
+        }
+    }
+
+    /// The part of the observed difference not covered by the truncation
+    /// allowance.
+    fn excess(&self) -> f64 {
+        ((self.plain.rate() - self.stratified_p).abs() - self.truncation_bound).max(0.0)
+    }
+
+    /// The discrepancy in combined standard deviations: `excess / √(σ_p² +
+    /// σ_s²)`, with the plain standard error floored at one count.
+    pub fn z(&self) -> f64 {
+        let n = self.plain.trials as f64;
+        let p = self.plain.rate();
+        let var_plain = (p * (1.0 - p) / n).max(1.0 / (n * n));
+        let se = (var_plain + self.stratified_sigma * self.stratified_sigma).sqrt();
+        self.excess() / se
+    }
+
+    /// Whether the two estimates agree at `sigma` under the z-test, or
+    /// failing that under the Hoeffding fallback
+    /// `excess ≤ hoeffding_tol(sigma) + sigma·σ_strat`.
+    pub fn agrees(&self, sigma: f64) -> bool {
+        assert!(sigma > 0.0, "sigma must be positive");
+        self.z() <= sigma
+            || self.excess()
+                <= self.plain.hoeffding_tolerance(sigma) + sigma * self.stratified_sigma
+    }
+
+    /// Asserts agreement at `sigma` with a full evidence trail.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the estimates disagree.
+    #[track_caller]
+    pub fn assert_agrees(&self, sigma: f64, context: &str) {
+        assert!(
+            self.agrees(sigma),
+            "{context}: stratified {:.3e} (σ {:.2e}, truncation {:.2e}) vs plain {:.3e} \
+             ({}/{}): z = {:.2} exceeds {sigma}σ and the Hoeffding fallback",
+            self.stratified_p,
+            self.stratified_sigma,
+            self.truncation_bound,
+            self.plain.rate(),
+            self.plain.successes,
+            self.plain.trials,
+            self.z(),
+        );
+    }
 }
 
 /// Result of a chi-squared goodness-of-fit test.
@@ -518,6 +631,83 @@ mod tests {
             5.0,
             "demo",
         );
+    }
+
+    #[test]
+    fn zero_failures_with_adequate_power_pass() {
+        // 1 − (1 − 0.05)^2000 ≈ 1: the budget could not have missed a 5%
+        // rate, so 0 failures is real evidence.
+        assert_rate_below(
+            BinomialTest::new(0, 2_000),
+            BinomialTest::new(500, 10_000),
+            5.0,
+            "powered",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underpowered")]
+    fn zero_failures_at_tiny_budget_are_rejected() {
+        // 10 trials catch a 3% rate with probability 1 − 0.97^10 ≈ 0.26:
+        // the vacuous-pass footgun this guard exists for.
+        assert_rate_below(
+            BinomialTest::new(0, 10),
+            BinomialTest::new(300, 10_000),
+            0.5,
+            "vacuous",
+        );
+    }
+
+    #[test]
+    fn underpowered_message_reports_required_trials() {
+        let result = std::panic::catch_unwind(|| {
+            assert_rate_below(
+                BinomialTest::new(0, 5),
+                BinomialTest::new(100, 1_000),
+                1.0,
+                "budget",
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        // ln(0.5)/ln(0.9) ≈ 6.58 → 7 trials for 50% power at a 10% rate.
+        assert!(msg.contains("at least 7 trials"), "{msg}");
+    }
+
+    #[test]
+    fn cross_validation_accepts_consistent_estimates() {
+        // Plain: 100/10_000 = 1%; stratified: 0.98% ± 0.05%.
+        let cv = CrossValidation::new(BinomialTest::new(100, 10_000), 0.0098, 5e-4, 1e-6);
+        assert!(cv.agrees(5.0));
+        cv.assert_agrees(5.0, "consistent");
+        // A zero-sigma (fully enumerated) stratified estimate inside the
+        // plain error bars also agrees.
+        let enumerated = CrossValidation::new(BinomialTest::new(100, 10_000), 0.0101, 0.0, 0.0);
+        assert!(enumerated.agrees(5.0));
+    }
+
+    #[test]
+    fn cross_validation_truncation_bound_absorbs_deficit() {
+        // The stratified estimate is a lower bound; a deficit fully covered
+        // by the truncation bound is not a disagreement.
+        let cv = CrossValidation::new(BinomialTest::new(200, 10_000), 0.012, 1e-9, 0.01);
+        assert_eq!(cv.z(), 0.0);
+        assert!(cv.agrees(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn cross_validation_rejects_gross_disagreement() {
+        CrossValidation::new(BinomialTest::new(500, 10_000), 0.001, 1e-5, 1e-8)
+            .assert_agrees(5.0, "gross");
+    }
+
+    #[test]
+    fn cross_validation_hoeffding_fallback_covers_small_samples() {
+        // 3/100 vs a stratified 0.5%: z on the floored SE is large, but at
+        // 100 trials the Hoeffding tolerance at 5σ is ~0.27 — small-sample
+        // noise, not disagreement.
+        let cv = CrossValidation::new(BinomialTest::new(3, 100), 0.005, 0.0, 0.0);
+        assert!(cv.agrees(5.0));
     }
 
     #[test]

@@ -126,6 +126,69 @@ fn surface_memory_rate_is_worker_count_invariant() {
 }
 
 #[test]
+fn stratified_rare_report_is_worker_count_invariant() {
+    let mem = SurfaceMemory::new(3, 2, SurfaceNoise::default());
+    // Force the sampling path on several strata (tiny enumerate threshold)
+    // so the invariance claim covers the conditioned per-shard RNG streams,
+    // not just the serial enumeration walk.
+    let config = RareConfig {
+        max_strata: 6,
+        rel_tol: 0.5,
+        shots_per_stratum: 700, // non-divisible by the shard size: ragged tail
+        enumerate_threshold: 8,
+        ..RareConfig::default()
+    };
+    let which = hetarch::stab::codes::SurfaceDecoder::UnionFind;
+    let baseline = mem
+        .logical_error_rate_rare_on(&WorkerPool::new(1), which, config, 43)
+        .into_report();
+    for workers in WORKER_COUNTS {
+        let pool = WorkerPool::new(workers);
+        let a = mem
+            .logical_error_rate_rare_on(&pool, which, config, 43)
+            .into_report();
+        let b = mem
+            .logical_error_rate_rare_on(&pool, which, config, 43)
+            .into_report();
+        // Full per-stratum tallies, not just the headline estimate.
+        assert_eq!(
+            a, baseline,
+            "stratified report differs at {workers} workers"
+        );
+        assert_eq!(a, b, "stratified report differs across runs");
+    }
+}
+
+#[test]
+fn stratified_rare_report_is_dm_backend_invariant() {
+    use hetarch::qsim::backend::{force_active, BackendChoice};
+    // The UEC module characterizes its cells through the density-matrix
+    // backend before any stabilizer sampling happens; both backends are
+    // bit-identical by contract, so the stratified stratum tallies must not
+    // move when `HETARCH_DM_BACKEND` (here: the runtime override) flips.
+    let config = RareConfig {
+        max_strata: 4,
+        rel_tol: 0.5,
+        shots_per_stratum: 512,
+        enumerate_threshold: 64,
+        ..RareConfig::default()
+    };
+    let pool = WorkerPool::new(4);
+    let batched = UecModule::new(steane(), usc(50e-3), UecNoise::default())
+        .logical_error_rate_rare_on(&pool, config, 29)
+        .into_report();
+    force_active(Some(BackendChoice::Scalar));
+    let scalar = UecModule::new(steane(), usc(50e-3), UecNoise::default())
+        .logical_error_rate_rare_on(&pool, config, 29)
+        .into_report();
+    force_active(None);
+    assert_eq!(
+        batched, scalar,
+        "stratum tallies must not depend on the DM backend"
+    );
+}
+
+#[test]
 fn dse_sweep_is_worker_count_invariant() {
     let space = DesignSpace::new(vec![
         Axis::new("ts", vec![1e-3, 5e-3, 25e-3]),

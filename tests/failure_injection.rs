@@ -239,6 +239,159 @@ fn panicking_shard_does_not_poison_the_pool() {
 }
 
 #[test]
+fn rare_estimator_with_zero_strata_is_explicitly_unconverged() {
+    // max_strata = 0 evaluates nothing: the only honest answer is an
+    // Unconverged lower bound of 0 with the full probability mass charged
+    // to the truncation bound — never a silently wrong converged number.
+    let mem = SurfaceMemory::new(3, 2, SurfaceNoise::default());
+    let config = RareConfig {
+        max_strata: 0,
+        ..RareConfig::default()
+    };
+    let outcome =
+        mem.logical_error_rate_rare(hetarch::stab::codes::SurfaceDecoder::UnionFind, config, 3);
+    assert!(!outcome.is_converged());
+    let report = outcome.into_report();
+    assert_eq!(report.p_l, 0.0);
+    assert_eq!(report.truncation_bound, 1.0);
+    assert!(report.strata.is_empty());
+    assert_eq!(report.total_shots, 0);
+}
+
+#[test]
+fn rare_prior_handles_weights_beyond_the_site_count() {
+    use hetarch::exec::rare::WeightPrior;
+    let prior = WeightPrior::binomial(4, 0.2);
+    assert_eq!(prior.num_sites(), 4);
+    assert_eq!(prior.pmf(5), 0.0);
+    assert_eq!(prior.pmf(100), 0.0);
+    assert_eq!(prior.tail_above(4), 0.0);
+    assert_eq!(prior.tail_above(100), 0.0);
+
+    // Asking the estimator for far more strata than sites must converge
+    // after the real ones and never fabricate weight > n entries.
+    use hetarch::exec::rare::{StratifiedEstimator, StratumEval};
+    let outcome =
+        StratifiedEstimator::new(&prior, RareConfig::default()).run(|_w| StratumEval::Enumerated {
+            failure_probability: 0.0,
+            configs: 1,
+        });
+    assert!(outcome.is_converged());
+    let report = outcome.into_report();
+    assert!(report.strata.iter().all(|s| s.weight <= 4));
+}
+
+#[test]
+fn rare_estimator_with_degenerate_site_probabilities() {
+    use hetarch::exec::WorkerPool;
+    use hetarch::modules::faults::{stratified_rate, FaultDriver, ForcedFaults, SiteProbs};
+    let pool = WorkerPool::new(2);
+    let parity_shot = |probs: &'static [f64]| {
+        move |driver: &mut ForcedFaults| {
+            let mut parity = false;
+            for &p in probs {
+                parity ^= driver.flip_site(p);
+            }
+            parity
+        }
+    };
+
+    // p = 0 everywhere: all mass in the w = 0 stratum, exact zero rate.
+    static ZEROS: [f64; 3] = [0.0; 3];
+    let outcome = stratified_rate(
+        &pool,
+        &[
+            SiteProbs::Flip(0.0),
+            SiteProbs::Flip(0.0),
+            SiteProbs::Flip(0.0),
+        ],
+        RareConfig::default(),
+        1,
+        64,
+        parity_shot(&ZEROS),
+    );
+    assert!(outcome.is_converged());
+    let report = outcome.into_report();
+    assert_eq!(report.p_l, 0.0);
+    assert_eq!(report.truncation_bound, 0.0);
+
+    // p = 1 everywhere: the prior is a point mass at w = n; the lower
+    // strata are infeasible and must be skipped, not sampled into a panic.
+    static ONES: [f64; 3] = [1.0; 3];
+    let outcome = stratified_rate(
+        &pool,
+        &[
+            SiteProbs::Flip(1.0),
+            SiteProbs::Flip(1.0),
+            SiteProbs::Flip(1.0),
+        ],
+        RareConfig::default(),
+        1,
+        64,
+        parity_shot(&ONES),
+    );
+    assert!(outcome.is_converged());
+    let report = outcome.into_report();
+    // Three certain flips: odd parity, deterministic failure.
+    assert_eq!(report.p_l, 1.0);
+    assert_eq!(report.sigma, 0.0);
+}
+
+#[test]
+fn rare_estimator_reports_unconverged_when_tolerance_is_unreachable() {
+    // Two strata cannot push the tail of a high-noise d=3 memory below an
+    // absurdly tight tolerance: the estimator must say so explicitly and
+    // still report an honest (lower-bound) estimate and tail.
+    let mem = SurfaceMemory::new(3, 2, SurfaceNoise::default());
+    let config = RareConfig {
+        max_strata: 2,
+        rel_tol: 1e-9,
+        abs_tol: 1e-30,
+        shots_per_stratum: 256,
+        ..RareConfig::default()
+    };
+    let outcome =
+        mem.logical_error_rate_rare(hetarch::stab::codes::SurfaceDecoder::UnionFind, config, 5);
+    assert!(
+        !outcome.is_converged(),
+        "2 strata cannot reach rel_tol 1e-9"
+    );
+    let report = outcome.into_report();
+    assert!(report.truncation_bound > 0.0);
+    assert!(report.p_l >= 0.0 && report.p_l <= 1.0);
+    assert_eq!(report.strata.len(), 2);
+}
+
+#[test]
+fn panicking_shard_inside_a_stratum_does_not_poison_the_pool() {
+    use hetarch::exec::WorkerPool;
+    use hetarch::modules::faults::{stratified_rate, FaultDriver, ForcedFaults, SiteProbs};
+    let pool = WorkerPool::new(4);
+    let sites = [SiteProbs::Flip(0.01), SiteProbs::Flip(0.02)];
+    let config = RareConfig {
+        enumerate_threshold: 0, // force every stratum through the pool
+        ..RareConfig::default()
+    };
+    let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stratified_rate(&pool, &sites, config, 9, 16, |driver: &mut ForcedFaults| {
+            // The w = 0 stratum replays no faults; any forced flip (w ≥ 1)
+            // detonates inside a pool worker.
+            if driver.flip_site(0.01) || driver.flip_site(0.02) {
+                panic!("injected stratum failure");
+            }
+            false
+        })
+    }));
+    assert!(boom.is_err(), "the stratum panic must reach the caller");
+    // The pool is stateless: the same pool keeps working afterwards.
+    let total: usize = pool
+        .run_shards(10_000, 256, 0, |shard| shard.len)
+        .iter()
+        .sum();
+    assert_eq!(total, 10_000);
+}
+
+#[test]
 fn density_matrix_rejects_unphysical_inputs() {
     use hetarch::qsim::error::QsimError;
     assert!(matches!(

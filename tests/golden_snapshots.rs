@@ -129,6 +129,69 @@ fn distill_snapshot() -> Snapshot {
     s
 }
 
+/// Weight-stratified rare-event report for a d=5 surface memory at a
+/// pinned seed: headline estimate, error budget and the full per-stratum
+/// tallies (prior, conditional failure rate, shots, enumeration flag).
+fn rare_report_snapshot(pool: &WorkerPool) -> Snapshot {
+    let memory = SurfaceMemory::new(
+        5,
+        2,
+        SurfaceNoise {
+            t_data: 1.0,
+            t_anc: 1.0,
+            p1: 5e-5,
+            p2: 5e-4,
+            p_meas: 2e-4,
+            ..SurfaceNoise::default()
+        },
+    );
+    let config = RareConfig {
+        max_strata: 6,
+        rel_tol: 0.5,
+        shots_per_stratum: 512,
+        enumerate_threshold: 256,
+        ..RareConfig::default()
+    };
+    let outcome = memory.logical_error_rate_rare_on(
+        pool,
+        hetarch::stab::codes::SurfaceDecoder::UnionFind,
+        config,
+        41,
+    );
+    let converged = outcome.is_converged();
+    let report = outcome.into_report();
+
+    let mut s = Snapshot::new("d=5 rare-event report: stratified estimator, seed 41");
+    s.section("report");
+    s.f64("p_l", report.p_l)
+        .f64("sigma", report.sigma)
+        .f64("truncation_bound", report.truncation_bound)
+        .field("total_shots", report.total_shots)
+        .field("num_sites", report.num_sites)
+        .field("converged", converged);
+    for stratum in &report.strata {
+        s.section(&format!("stratum w={}", stratum.weight));
+        s.f64("prior", stratum.prior)
+            .f64("failure_rate", stratum.failure_rate)
+            .field("shots", stratum.shots)
+            .field("failures", stratum.failures)
+            .field("enumerated", stratum.enumerated);
+    }
+    s
+}
+
+#[test]
+fn rare_report_golden_is_worker_count_invariant() {
+    let single = rare_report_snapshot(&WorkerPool::new(1));
+    let eight = rare_report_snapshot(&WorkerPool::new(8));
+    assert_eq!(
+        single.render(),
+        eight.render(),
+        "rare-event report must not depend on the worker count"
+    );
+    assert_golden(&golden_dir(), "rare_report_d5", &single);
+}
+
 #[test]
 fn cell_channel_goldens_are_bit_stable() {
     let first = cell_channel_snapshot();
