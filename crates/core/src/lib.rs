@@ -21,6 +21,10 @@
 //! * [`exec`] — the sharded Monte-Carlo execution engine: a reusable
 //!   [`exec::WorkerPool`] with worker-count-invariant `(seed, shard)`
 //!   RNG-stream derivation shared by every shot loop in the workspace,
+//! * [`serve`] — a length-prefixed JSON-over-TCP design-space query server:
+//!   single-flight coalescing of identical in-flight queries, bounded-queue
+//!   backpressure, cooperative cancellation on client disconnect, and
+//!   graceful drain-on-shutdown over one shared persistent cell library,
 //! * [`obs`] — the observability layer: lock-free counters, wall-time
 //!   histograms and deterministic run reports, compiled in only with the
 //!   `obs` cargo feature and armed only when `HETARCH_OBS=1`,
@@ -57,6 +61,7 @@ pub use hetarch_exec as exec;
 pub use hetarch_modules as modules;
 pub use hetarch_obs as obs;
 pub use hetarch_qsim as qsim;
+pub use hetarch_serve as serve;
 pub use hetarch_stab as stab;
 pub use hetarch_testkit as testkit;
 

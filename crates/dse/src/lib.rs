@@ -33,4 +33,4 @@ pub mod sweep;
 pub use cost::CostLedger;
 pub use pareto::{knee_point, pareto_front};
 pub use space::{Axis, DesignSpace, Point};
-pub use sweep::sweep;
+pub use sweep::{sweep, sweep_on, try_sweep_on};

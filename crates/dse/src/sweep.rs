@@ -1,7 +1,7 @@
 //! Parallel sweep execution over a design space, on the workspace-wide
 //! [`hetarch_exec::WorkerPool`] substrate.
 
-use hetarch_exec::WorkerPool;
+use hetarch_exec::{CancelToken, Cancelled, WorkerPool};
 use hetarch_obs as obs;
 
 use crate::space::{DesignSpace, Point};
@@ -60,6 +60,33 @@ where
         value
     });
     points.into_iter().zip(values).collect()
+}
+
+/// As [`sweep_on`] with a cooperative [`CancelToken`] checked before each
+/// point is dispatched: a fired token stops the sweep after at most one
+/// in-flight point per worker and returns [`Cancelled`]. This is the
+/// re-entrant entry point the serving layer drives — `f` itself may also
+/// observe the token (e.g. via the cancellable module paths) to stop inside
+/// a long per-point Monte-Carlo run.
+pub fn try_sweep_on<T, F>(
+    pool: &WorkerPool,
+    points: Vec<Point>,
+    token: &CancelToken,
+    f: F,
+) -> Result<Vec<(Point, T)>, Cancelled>
+where
+    T: Send,
+    F: Fn(&Point) -> T + Sync,
+{
+    SWEEPS.inc();
+    let values = pool.try_map_indexed(points.len(), token, |i| {
+        let span = obs::span!(POINT_LATENCY_NS);
+        let value = f(&points[i]);
+        drop(span);
+        POINTS_EVALUATED.inc();
+        value
+    })?;
+    Ok(points.into_iter().zip(values).collect())
 }
 
 #[cfg(test)]

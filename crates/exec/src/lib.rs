@@ -37,9 +37,10 @@
 
 pub mod rare;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use hetarch_obs as obs;
 
@@ -53,6 +54,54 @@ static GLOBAL_WORKERS: obs::Gauge = obs::Gauge::new("exec.global_workers");
 static QUEUE_WAIT_NS: obs::Histogram = obs::Histogram::new("exec.queue_wait_ns");
 static COMPUTE_NS: obs::Histogram = obs::Histogram::new("exec.compute_ns");
 static JOBS_PER_WORKER: obs::Histogram = obs::Histogram::new("exec.jobs_per_worker");
+static CANCELLATIONS: obs::Counter = obs::Counter::new("exec.cancellations");
+
+/// A cooperative cancellation token shared between a job's requester and the
+/// engine loops executing it.
+///
+/// The token is a cheap clonable handle over one shared flag. Cancellation
+/// is **cooperative**: the engine checks the flag at its checkpoints (before
+/// dispatching each work item in [`WorkerPool::try_map_indexed`], i.e.
+/// between shards in [`WorkerPool::try_run_shards`] /
+/// [`WorkerPool::try_fold_shards`]), finishes the items already in flight,
+/// and returns [`Cancelled`]. A shard body is never interrupted mid-shot, so
+/// cancellation can never corrupt a result that *is* delivered — a
+/// cancelled run delivers nothing at all.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once any clone of this token was cancelled.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Error returned by the `try_*` engine entry points when their
+/// [`CancelToken`] fired before the run completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("run cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// Derives the RNG seed of shard `shard` from the master `seed`.
 ///
@@ -188,9 +237,60 @@ impl WorkerPool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        match self.map_indexed_inner(n, None, f) {
+            Ok(out) => out,
+            Err(Cancelled) => unreachable!("no token, no cancellation"),
+        }
+    }
+
+    /// As [`WorkerPool::map_indexed`] with a cooperative [`CancelToken`]:
+    /// the token is checked before each index is dispatched (and between
+    /// iterations on the serial path), so a long run stops — and its worker
+    /// threads are released — within one job body of the cancel request.
+    ///
+    /// Returns [`Cancelled`] if the token fired before every index was
+    /// evaluated; results computed up to that point are discarded. A token
+    /// that fires only after the last job completed still returns `Ok`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f`, exactly like
+    /// [`WorkerPool::map_indexed`].
+    pub fn try_map_indexed<R, F>(
+        &self,
+        n: usize,
+        token: &CancelToken,
+        f: F,
+    ) -> Result<Vec<R>, Cancelled>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.map_indexed_inner(n, Some(token), f)
+    }
+
+    fn map_indexed_inner<R, F>(
+        &self,
+        n: usize,
+        token: Option<&CancelToken>,
+        f: F,
+    ) -> Result<Vec<R>, Cancelled>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
         MAP_CALLS.inc();
+        let cancelled = || token.is_some_and(CancelToken::is_cancelled);
         if self.workers == 1 || n <= 1 {
-            return (0..n).map(|i| observe_job(|| f(i))).collect();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if cancelled() {
+                    CANCELLATIONS.inc();
+                    return Err(Cancelled);
+                }
+                out.push(observe_job(|| f(i)));
+            }
+            return Ok(out);
         }
         let threads = self.workers.min(n);
         let next = &AtomicUsize::new(0);
@@ -198,12 +298,18 @@ impl WorkerPool {
         let f = &f;
         let call_start = obs::enabled().then(std::time::Instant::now);
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut filled = 0usize;
         std::thread::scope(|s| {
             for _ in 0..threads {
                 let tx = tx.clone();
                 s.spawn(move || {
                     let mut mine = 0u64;
                     loop {
+                        // Cancellation checkpoint: stop pulling new work;
+                        // items already claimed by other workers finish.
+                        if cancelled() {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
@@ -231,12 +337,19 @@ impl WorkerPool {
             // panicked, the scope re-raises that panic right after.
             for (i, value) in rx.iter() {
                 slots[i] = Some(value);
+                filled += 1;
             }
         });
-        slots
+        if filled < n {
+            // Only a fired token can leave indices unevaluated (a panic
+            // would have propagated out of the scope above).
+            CANCELLATIONS.inc();
+            return Err(Cancelled);
+        }
+        Ok(slots
             .into_iter()
             .map(|s| s.expect("all indices evaluated"))
-            .collect()
+            .collect())
     }
 
     /// Runs `f` once per shard of `total` trials (shards of at most
@@ -253,6 +366,27 @@ impl WorkerPool {
         let plan = shards(total, shard_size, seed);
         SHARDS_EXECUTED.add(plan.len() as u64);
         self.map_indexed(plan.len(), |i| f(&plan[i]))
+    }
+
+    /// As [`WorkerPool::run_shards`] with a cooperative [`CancelToken`]
+    /// checked between shards: a fired token stops the run after at most
+    /// one in-flight shard per worker and returns [`Cancelled`]. A shard
+    /// body is never interrupted mid-shot.
+    pub fn try_run_shards<R, F>(
+        &self,
+        total: usize,
+        shard_size: usize,
+        seed: u64,
+        token: &CancelToken,
+        f: F,
+    ) -> Result<Vec<R>, Cancelled>
+    where
+        R: Send,
+        F: Fn(&Shard) -> R + Sync,
+    {
+        let plan = shards(total, shard_size, seed);
+        SHARDS_EXECUTED.add(plan.len() as u64);
+        self.try_map_indexed(plan.len(), token, |i| f(&plan[i]))
     }
 
     /// [`WorkerPool::run_shards`] followed by an in-order fold: starts from
@@ -275,6 +409,33 @@ impl WorkerPool {
         self.run_shards(total, shard_size, seed, f)
             .into_iter()
             .fold(init, reduce)
+    }
+
+    /// As [`WorkerPool::fold_shards`] with a cooperative [`CancelToken`]:
+    /// the token is checked between shards (the `should_stop` checkpoint a
+    /// long fold previously lacked), so cancelling releases the pool's
+    /// workers after at most one in-flight shard each instead of after the
+    /// whole fold.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_fold_shards<T, R, F, G>(
+        &self,
+        total: usize,
+        shard_size: usize,
+        seed: u64,
+        token: &CancelToken,
+        f: F,
+        init: T,
+        reduce: G,
+    ) -> Result<T, Cancelled>
+    where
+        R: Send,
+        F: Fn(&Shard) -> R + Sync,
+        G: FnMut(T, R) -> T,
+    {
+        Ok(self
+            .try_run_shards(total, shard_size, seed, token, f)?
+            .into_iter()
+            .fold(init, reduce))
     }
 }
 
@@ -427,6 +588,86 @@ mod tests {
     #[should_panic(expected = "HETARCH_WORKERS must be a positive integer, got `-2`")]
     fn from_env_str_rejects_negative() {
         WorkerPool::from_env_str(Some("-2"));
+    }
+
+    #[test]
+    fn uncancelled_try_paths_match_plain_paths() {
+        for workers in [1, 2, 8] {
+            let pool = WorkerPool::new(workers);
+            let token = CancelToken::new();
+            let plain = pool.map_indexed(37, |i| i * i);
+            let tried = pool.try_map_indexed(37, &token, |i| i * i).unwrap();
+            assert_eq!(plain, tried);
+            let plain = pool.fold_shards(1000, 64, 7, |s| s.seed, 0u64, |a, b| a ^ b);
+            let tried = pool
+                .try_fold_shards(1000, 64, 7, &token, |s| s.seed, 0u64, |a, b| a ^ b)
+                .unwrap();
+            assert_eq!(plain, tried);
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_runs_nothing() {
+        for workers in [1, 4] {
+            let pool = WorkerPool::new(workers);
+            let token = CancelToken::new();
+            token.cancel();
+            let ran = AtomicUsize::new(0);
+            let out = pool.try_map_indexed(64, &token, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i
+            });
+            assert_eq!(out, Err(Cancelled));
+            // Parallel workers may each have claimed at most one job before
+            // observing the flag; the serial path claims none.
+            assert!(ran.load(Ordering::Relaxed) <= workers);
+        }
+    }
+
+    #[test]
+    fn cancel_token_fires_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_fold_releases_workers_promptly() {
+        // The regression the serving layer exposed: a long fold_shards had
+        // no checkpoint between shards, so a dead request kept its workers
+        // until the whole fold finished. With the token checked per shard,
+        // cancelling mid-run must return within roughly one shard body per
+        // worker — far below the full runtime (~10k shards x 500µs = 5s).
+        let pool = WorkerPool::new(2);
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                canceller.cancel();
+            });
+            let out = pool.try_fold_shards(
+                10_000,
+                1,
+                3,
+                &token,
+                |_| {
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                    1usize
+                },
+                0usize,
+                |a, b| a + b,
+            );
+            assert_eq!(out, Err(Cancelled));
+        });
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_millis(1500),
+            "cancelled fold held its workers for {elapsed:?}"
+        );
     }
 
     #[test]

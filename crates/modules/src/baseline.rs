@@ -10,7 +10,7 @@
 //! circuits.
 
 use hetarch_exec::rare::{RareConfig, RareOutcome};
-use hetarch_exec::WorkerPool;
+use hetarch_exec::{CancelToken, Cancelled, WorkerPool};
 use hetarch_obs as obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -256,6 +256,48 @@ impl HomModule {
             cycle_duration,
             swaps_per_cycle: self.embedding.total_swaps(),
         }
+    }
+
+    /// As [`Self::logical_error_rate_on`] with a cooperative
+    /// [`CancelToken`] checked between shards; a fired token returns
+    /// [`Cancelled`] instead of finishing the run. An uncancelled call is
+    /// bit-identical to [`Self::logical_error_rate_on`].
+    pub fn try_logical_error_rate_on(
+        &self,
+        pool: &WorkerPool,
+        shots: usize,
+        seed: u64,
+        token: &CancelToken,
+    ) -> Result<HomResult, Cancelled> {
+        let plan = self.layer_noise();
+        let cycle_duration = self.cycle_duration();
+        let span = obs::span!(HOM_RUN_NS);
+        let failures = pool.try_fold_shards(
+            shots,
+            crate::uec::sim::MC_SHARD_SHOTS,
+            seed,
+            token,
+            |shard| {
+                let mut rng = StdRng::seed_from_u64(shard.seed);
+                (0..shard.len)
+                    .filter(|_| self.run_shot(&plan, &mut RngFaults::new(&mut rng)))
+                    .count()
+            },
+            0usize,
+            |acc, f| acc + f,
+        )?;
+        drop(span);
+        HOM_SHOTS.add(shots as u64);
+        HOM_FAILURES.add(failures as u64);
+        Ok(HomResult {
+            logical_error_rate: if shots == 0 {
+                0.0
+            } else {
+                failures as f64 / shots as f64
+            },
+            cycle_duration,
+            swaps_per_cycle: self.embedding.total_swaps(),
+        })
     }
 
     /// Estimates the per-cycle logical error rate with the weight-stratified

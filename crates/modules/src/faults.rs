@@ -24,7 +24,7 @@ use hetarch_exec::rare::{
     enumerate_configs, ConditionalSampler, RareConfig, RareOutcome, StratifiedEstimator,
     StratumEval, WeightPrior,
 };
-use hetarch_exec::{shard_seed, WorkerPool};
+use hetarch_exec::{shard_seed, CancelToken, Cancelled, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -246,9 +246,65 @@ pub fn stratified_rate<F>(
 where
     F: Fn(&mut ForcedFaults) -> bool + Sync,
 {
+    match stratified_rate_inner(pool, sites, config, seed, shard_shots, None, run_shot) {
+        Ok(outcome) => outcome,
+        Err(Cancelled) => unreachable!("no token, no cancellation"),
+    }
+}
+
+/// As [`stratified_rate`] with a cooperative [`CancelToken`]: the token is
+/// checked between shards of each sampled stratum and periodically inside
+/// enumerated strata, so cancelling a deep-subthreshold estimate releases
+/// the pool promptly instead of finishing every stratum.
+pub fn try_stratified_rate<F>(
+    pool: &WorkerPool,
+    sites: &[SiteProbs],
+    config: RareConfig,
+    seed: u64,
+    shard_shots: usize,
+    token: &CancelToken,
+    run_shot: F,
+) -> Result<RareOutcome, Cancelled>
+where
+    F: Fn(&mut ForcedFaults) -> bool + Sync,
+{
+    stratified_rate_inner(
+        pool,
+        sites,
+        config,
+        seed,
+        shard_shots,
+        Some(token),
+        run_shot,
+    )
+}
+
+fn stratified_rate_inner<F>(
+    pool: &WorkerPool,
+    sites: &[SiteProbs],
+    config: RareConfig,
+    seed: u64,
+    shard_shots: usize,
+    token: Option<&CancelToken>,
+    run_shot: F,
+) -> Result<RareOutcome, Cancelled>
+where
+    F: Fn(&mut ForcedFaults) -> bool + Sync,
+{
+    let cancelled = || token.is_some_and(CancelToken::is_cancelled);
     let trigger: Vec<f64> = sites.iter().map(|s| s.trigger()).collect();
     let prior = WeightPrior::poisson_binomial(&trigger);
-    StratifiedEstimator::new(&prior, config).run(|w| {
+    let outcome = StratifiedEstimator::new(&prior, config).run(|w| {
+        // After cancellation every remaining stratum reports zero shots: the
+        // estimator charges its prior mass to the truncation bound and its
+        // convergence loop terminates quickly. The partial outcome is
+        // discarded below.
+        if cancelled() {
+            return StratumEval::Sampled {
+                failures: 0,
+                shots: 0,
+            };
+        }
         let enumerated = enumerate_configs(
             &trigger,
             w,
@@ -261,7 +317,13 @@ where
                 let count = configs.len() as u64;
                 let mut driver = ForcedFaults::new(sites.len(), &[]);
                 let mut failure_probability = 0.0;
-                for cfg in &configs {
+                for (k, cfg) in configs.iter().enumerate() {
+                    if k % 64 == 0 && cancelled() {
+                        return StratumEval::Sampled {
+                            failures: 0,
+                            shots: 0,
+                        };
+                    }
                     driver.reset(&cfg.sites);
                     if run_shot(&mut driver) {
                         failure_probability += cfg.weight;
@@ -275,37 +337,63 @@ where
             None => {
                 let sampler = ConditionalSampler::new(&trigger, w);
                 let stratum_seed = shard_seed(seed, w as u64);
-                let failures = pool.fold_shards(
-                    config.shots_per_stratum,
-                    shard_shots,
-                    stratum_seed,
-                    |shard| {
-                        let mut rng = StdRng::seed_from_u64(shard.seed);
-                        let mut subset = Vec::new();
-                        let mut hits: Vec<(usize, usize)> = Vec::new();
-                        let mut driver = ForcedFaults::new(sites.len(), &[]);
-                        (0..shard.len)
-                            .filter(|_| {
-                                sampler.sample_into(&mut || rng.gen::<f64>(), &mut subset);
-                                hits.clear();
-                                for &i in &subset {
-                                    hits.push((i, sites[i].sample_variant(&mut rng)));
-                                }
-                                driver.reset(&hits);
-                                run_shot(&mut driver)
-                            })
-                            .count() as u64
+                let shard_body = |shard: &hetarch_exec::Shard| {
+                    let mut rng = StdRng::seed_from_u64(shard.seed);
+                    let mut subset = Vec::new();
+                    let mut hits: Vec<(usize, usize)> = Vec::new();
+                    let mut driver = ForcedFaults::new(sites.len(), &[]);
+                    (0..shard.len)
+                        .filter(|_| {
+                            sampler.sample_into(&mut || rng.gen::<f64>(), &mut subset);
+                            hits.clear();
+                            for &i in &subset {
+                                hits.push((i, sites[i].sample_variant(&mut rng)));
+                            }
+                            driver.reset(&hits);
+                            run_shot(&mut driver)
+                        })
+                        .count() as u64
+                };
+                let failures = match token {
+                    None => Some(pool.fold_shards(
+                        config.shots_per_stratum,
+                        shard_shots,
+                        stratum_seed,
+                        shard_body,
+                        0u64,
+                        |acc, f| acc + f,
+                    )),
+                    Some(t) => pool
+                        .try_fold_shards(
+                            config.shots_per_stratum,
+                            shard_shots,
+                            stratum_seed,
+                            t,
+                            shard_body,
+                            0u64,
+                            |acc, f| acc + f,
+                        )
+                        .ok(),
+                };
+                match failures {
+                    Some(failures) => StratumEval::Sampled {
+                        failures,
+                        shots: config.shots_per_stratum,
                     },
-                    0u64,
-                    |acc, f| acc + f,
-                );
-                StratumEval::Sampled {
-                    failures,
-                    shots: config.shots_per_stratum,
+                    // Cancelled mid-stratum: report zero shots (prior mass
+                    // goes to truncation) and let the loop wind down.
+                    None => StratumEval::Sampled {
+                        failures: 0,
+                        shots: 0,
+                    },
                 }
             }
         }
-    })
+    });
+    if cancelled() {
+        return Err(Cancelled);
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -440,5 +528,50 @@ mod tests {
             .collect();
         assert_eq!(runs[0], runs[1]);
         assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn uncancelled_try_stratified_rate_is_bit_identical() {
+        let sites = [
+            SiteProbs::Pauli(probs(0.01, 0.0, 0.0)),
+            SiteProbs::Pauli(probs(0.02, 0.0, 0.005)),
+            SiteProbs::Pauli(probs(0.0, 0.0, 0.0)),
+            SiteProbs::Flip(0.03),
+        ];
+        let config = RareConfig {
+            max_strata: 3,
+            rel_tol: 0.5,
+            shots_per_stratum: 500,
+            enumerate_threshold: 0,
+            ..RareConfig::default()
+        };
+        let pool = WorkerPool::new(2);
+        let plain = stratified_rate(&pool, &sites, config, 13, 64, toy_shot).into_report();
+        let token = CancelToken::new();
+        let tried = try_stratified_rate(&pool, &sites, config, 13, 64, &token, toy_shot)
+            .unwrap()
+            .into_report();
+        assert_eq!(plain, tried);
+    }
+
+    #[test]
+    fn cancelled_stratified_rate_returns_err() {
+        let sites = [
+            SiteProbs::Pauli(probs(0.01, 0.0, 0.0)),
+            SiteProbs::Flip(0.03),
+        ];
+        let pool = WorkerPool::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = try_stratified_rate(
+            &pool,
+            &sites,
+            RareConfig::default(),
+            13,
+            64,
+            &token,
+            toy_shot,
+        );
+        assert_eq!(out.unwrap_err(), Cancelled);
     }
 }

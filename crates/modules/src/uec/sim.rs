@@ -9,13 +9,13 @@
 //! codes).
 
 use hetarch_exec::rare::{RareConfig, RareOutcome};
-use hetarch_exec::WorkerPool;
+use hetarch_exec::{CancelToken, Cancelled, WorkerPool};
 use hetarch_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::faults::{stratified_rate, FaultDriver, RecordFaults, RngFaults};
+use crate::faults::{stratified_rate, try_stratified_rate, FaultDriver, RecordFaults, RngFaults};
 
 use hetarch_cells::UscChannel;
 use hetarch_qsim::channels::PauliProbs;
@@ -171,6 +171,47 @@ impl UecModule {
         }
     }
 
+    /// As [`Self::logical_error_rate_on`] with a cooperative
+    /// [`CancelToken`] checked between shards; a fired token returns
+    /// [`Cancelled`] instead of finishing the run. An uncancelled call is
+    /// bit-identical to [`Self::logical_error_rate_on`].
+    pub fn try_logical_error_rate_on(
+        &self,
+        pool: &WorkerPool,
+        shots: usize,
+        seed: u64,
+        token: &CancelToken,
+    ) -> Result<UecResult, Cancelled> {
+        let slots = self.slot_noise();
+        let span = obs::span!(UEC_RUN_NS);
+        let failures = pool.try_fold_shards(
+            shots,
+            MC_SHARD_SHOTS,
+            seed,
+            token,
+            |shard| {
+                let mut rng = StdRng::seed_from_u64(shard.seed);
+                (0..shard.len)
+                    .filter(|_| self.run_shot(&slots, &mut RngFaults::new(&mut rng)))
+                    .count()
+            },
+            0usize,
+            |acc, f| acc + f,
+        )?;
+        drop(span);
+        UEC_SHOTS.add(shots as u64);
+        UEC_FAILURES.add(failures as u64);
+        Ok(UecResult {
+            logical_error_rate: if shots == 0 {
+                0.0
+            } else {
+                failures as f64 / shots as f64
+            },
+            cycle_duration: self.schedule.cycle_duration,
+            shots,
+        })
+    }
+
     /// Estimates the per-cycle logical error rate with the weight-stratified
     /// rare-event estimator (see [`hetarch_exec::rare`]) on the global
     /// [`WorkerPool`].
@@ -203,6 +244,35 @@ impl UecModule {
         drop(span);
         UEC_SHOTS.add(outcome.report().total_shots as u64);
         outcome
+    }
+
+    /// As [`Self::logical_error_rate_rare_on`] with a cooperative
+    /// [`CancelToken`] threaded into the stratified estimator (see
+    /// [`try_stratified_rate`]).
+    pub fn try_logical_error_rate_rare_on(
+        &self,
+        pool: &WorkerPool,
+        config: RareConfig,
+        seed: u64,
+        token: &CancelToken,
+    ) -> Result<RareOutcome, Cancelled> {
+        let slots = self.slot_noise();
+        let mut recorder = RecordFaults::new();
+        self.run_shot(&slots, &mut recorder);
+        let sites = recorder.into_sites();
+        let span = obs::span!(UEC_RUN_NS);
+        let outcome = try_stratified_rate(
+            pool,
+            &sites,
+            config,
+            seed,
+            MC_SHARD_SHOTS,
+            token,
+            |driver| self.run_shot(&slots, driver),
+        )?;
+        drop(span);
+        UEC_SHOTS.add(outcome.report().total_shots as u64);
+        Ok(outcome)
     }
 
     /// Precomputes the per-slot noise tables.

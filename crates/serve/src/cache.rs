@@ -1,0 +1,393 @@
+//! Single-flight admission plus a bounded LRU result cache, keyed by
+//! [`QueryKey`].
+//!
+//! This mirrors the cell library's characterization admission (PR 1) one
+//! level up: the first requester of a key becomes the **leader** and owns
+//! enqueueing the job; everyone else arriving while it is in flight
+//! **joins** the same [`JobSlot`] and shares the one rendered response
+//! buffer. Completed responses stay in an LRU of at most `capacity` ready
+//! entries; in-flight slots are never evicted.
+//!
+//! Cancellation is reference-counted through the slot's waiter count: when
+//! the last waiting connection disconnects, the slot's [`CancelToken`] fires
+//! and the in-flight entry is removed so a later identical request starts
+//! fresh instead of joining a dying job.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use hetarch_exec::CancelToken;
+
+use crate::query::{Query, QueryKey};
+
+/// Terminal states a waiter can observe on a [`JobSlot`].
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The rendered response frame, shared by every coalesced waiter.
+    Done(Arc<Vec<u8>>),
+    /// The job failed (panic or internal error); the message is safe to
+    /// send to clients.
+    Failed(String),
+    /// The job was cancelled before completing.
+    Cancelled,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Pending,
+    Done(Arc<Vec<u8>>),
+    Failed(String),
+    Cancelled,
+}
+
+/// One in-flight execution, shared between its coalesced waiters and the
+/// executor that runs it.
+#[derive(Debug)]
+pub struct JobSlot {
+    key: QueryKey,
+    query: OnceLock<Query>,
+    state: Mutex<SlotState>,
+    cond: Condvar,
+    token: CancelToken,
+    waiters: AtomicUsize,
+    enqueued_at: Instant,
+}
+
+impl JobSlot {
+    fn new(key: QueryKey) -> Arc<JobSlot> {
+        Arc::new(JobSlot {
+            key,
+            query: OnceLock::new(),
+            state: Mutex::new(SlotState::Pending),
+            cond: Condvar::new(),
+            token: CancelToken::new(),
+            waiters: AtomicUsize::new(1),
+            enqueued_at: Instant::now(),
+        })
+    }
+
+    /// The query key this slot executes.
+    pub fn key(&self) -> &QueryKey {
+        &self.key
+    }
+
+    /// The cancellation token the executor threads into the sweep.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Attaches the parsed query the executor should run. The leader calls
+    /// this exactly once, before enqueueing the slot.
+    pub fn set_query(&self, query: Query) {
+        self.query
+            .set(query)
+            .expect("set_query is called once, by the leader");
+    }
+
+    /// The query attached by the leader, if any.
+    pub fn query(&self) -> Option<&Query> {
+        self.query.get()
+    }
+
+    /// How long the slot has existed (queue wait, until execution starts).
+    pub fn queued_for(&self) -> Duration {
+        self.enqueued_at.elapsed()
+    }
+
+    /// Blocks up to `timeout` for a terminal state; `None` on timeout.
+    pub fn wait_outcome(&self, timeout: Duration) -> Option<Outcome> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("slot lock");
+        loop {
+            match &*state {
+                SlotState::Done(bytes) => return Some(Outcome::Done(bytes.clone())),
+                SlotState::Failed(msg) => return Some(Outcome::Failed(msg.clone())),
+                SlotState::Cancelled => return Some(Outcome::Cancelled),
+                SlotState::Pending => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _) = self
+                .cond
+                .wait_timeout(state, deadline - now)
+                .expect("slot lock");
+            state = next;
+        }
+    }
+
+    /// True once a terminal state is set.
+    pub fn is_settled(&self) -> bool {
+        !matches!(*self.state.lock().expect("slot lock"), SlotState::Pending)
+    }
+
+    /// Registers one more coalesced waiter.
+    fn add_waiter(&self) {
+        self.waiters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deregisters a waiter; returns how many remain.
+    pub fn drop_waiter(&self) -> usize {
+        let before = self.waiters.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(before >= 1, "waiter count underflow");
+        before - 1
+    }
+
+    fn settle(&self, new: SlotState) {
+        let mut state = self.state.lock().expect("slot lock");
+        if matches!(*state, SlotState::Pending) {
+            *state = new;
+            self.cond.notify_all();
+        }
+    }
+}
+
+/// Result of admitting a key.
+pub enum Admit {
+    /// The response was cached: hand these bytes straight back.
+    Hit(Arc<Vec<u8>>),
+    /// An identical query is already in flight: wait on its slot.
+    Join(Arc<JobSlot>),
+    /// This caller leads: it must enqueue the slot (or abort it on
+    /// queue-full).
+    Lead(Arc<JobSlot>),
+}
+
+enum Entry {
+    Ready { bytes: Arc<Vec<u8>>, last_used: u64 },
+    InFlight(Arc<JobSlot>),
+}
+
+struct Inner {
+    entries: HashMap<QueryKey, Entry>,
+    ready: usize,
+    tick: u64,
+}
+
+/// The single-flight LRU cache.
+pub struct QueryCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` completed responses (at least 1).
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                ready: 0,
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits a request for `key`: cache hit, coalesced join, or lead.
+    pub fn admit(&self, key: &QueryKey) -> Admit {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some(Entry::Ready { bytes, last_used }) => {
+                *last_used = tick;
+                Admit::Hit(bytes.clone())
+            }
+            Some(Entry::InFlight(slot)) => {
+                slot.add_waiter();
+                Admit::Join(slot.clone())
+            }
+            None => {
+                let slot = JobSlot::new(key.clone());
+                inner
+                    .entries
+                    .insert(key.clone(), Entry::InFlight(slot.clone()));
+                Admit::Lead(slot)
+            }
+        }
+    }
+
+    /// Publishes `bytes` for the slot's key and settles every waiter.
+    ///
+    /// The entry is only replaced if it still belongs to `slot` — a slot
+    /// that was aborted (and possibly superseded by a retry) never
+    /// overwrites its successor.
+    pub fn fulfill(&self, slot: &Arc<JobSlot>, bytes: Arc<Vec<u8>>) {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(Entry::InFlight(current)) = inner.entries.get(&slot.key) {
+                if Arc::ptr_eq(current, slot) {
+                    inner.entries.insert(
+                        slot.key.clone(),
+                        Entry::Ready {
+                            bytes: bytes.clone(),
+                            last_used: tick,
+                        },
+                    );
+                    inner.ready += 1;
+                    self.evict_locked(&mut inner);
+                }
+            }
+        }
+        slot.settle(SlotState::Done(bytes));
+    }
+
+    /// Fails the slot (executor panic): waiters get [`Outcome::Failed`] and
+    /// the in-flight entry is removed so the key can be retried.
+    pub fn fail(&self, slot: &Arc<JobSlot>, message: String) {
+        self.remove_in_flight(slot);
+        slot.settle(SlotState::Failed(message));
+    }
+
+    /// Cancels the slot (last waiter gone, or queue-full abort): fires its
+    /// token, removes the in-flight entry, and settles any racing waiter
+    /// with [`Outcome::Cancelled`].
+    pub fn cancel(&self, slot: &Arc<JobSlot>) {
+        slot.token.cancel();
+        self.remove_in_flight(slot);
+        slot.settle(SlotState::Cancelled);
+    }
+
+    /// Number of completed responses currently cached.
+    pub fn ready_len(&self) -> usize {
+        self.inner.lock().expect("cache lock").ready
+    }
+
+    fn remove_in_flight(&self, slot: &Arc<JobSlot>) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(Entry::InFlight(current)) = inner.entries.get(&slot.key) {
+            if Arc::ptr_eq(current, slot) {
+                inner.entries.remove(&slot.key);
+            }
+        }
+    }
+
+    fn evict_locked(&self, inner: &mut Inner) {
+        while inner.ready > self.capacity {
+            let victim = inner
+                .entries
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { last_used, .. } => Some((*last_used, k.clone())),
+                    Entry::InFlight(_) => None,
+                })
+                .min_by_key(|(last_used, _)| *last_used)
+                .map(|(_, k)| k);
+            match victim {
+                Some(k) => {
+                    inner.entries.remove(&k);
+                    inner.ready -= 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> QueryKey {
+        Query::TestBlock { millis: seed }.key()
+    }
+
+    #[test]
+    fn leader_then_hit() {
+        let cache = QueryCache::new(4);
+        let k = key(1);
+        let slot = match cache.admit(&k) {
+            Admit::Lead(slot) => slot,
+            _ => panic!("first admit must lead"),
+        };
+        cache.fulfill(&slot, Arc::new(b"r1".to_vec()));
+        match cache.admit(&k) {
+            Admit::Hit(bytes) => assert_eq!(&**bytes, b"r1"),
+            _ => panic!("second admit must hit"),
+        }
+    }
+
+    #[test]
+    fn joiners_share_the_leaders_buffer() {
+        let cache = QueryCache::new(4);
+        let k = key(2);
+        let lead = match cache.admit(&k) {
+            Admit::Lead(slot) => slot,
+            _ => panic!("lead"),
+        };
+        let join = match cache.admit(&k) {
+            Admit::Join(slot) => slot,
+            _ => panic!("join"),
+        };
+        assert!(Arc::ptr_eq(&lead, &join));
+        let bytes = Arc::new(b"shared".to_vec());
+        cache.fulfill(&lead, bytes.clone());
+        match join.wait_outcome(Duration::from_secs(1)) {
+            Some(Outcome::Done(got)) => assert!(Arc::ptr_eq(&got, &bytes)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = QueryCache::new(2);
+        for i in 0..3 {
+            let k = key(i);
+            if let Admit::Lead(slot) = cache.admit(&k) {
+                cache.fulfill(&slot, Arc::new(vec![i as u8]));
+            }
+        }
+        assert_eq!(cache.ready_len(), 2);
+        // key(0) was used least recently: it must be the one evicted.
+        assert!(matches!(cache.admit(&key(0)), Admit::Lead(_)));
+        assert!(matches!(cache.admit(&key(2)), Admit::Hit(_)));
+    }
+
+    #[test]
+    fn cancelled_slot_frees_the_key() {
+        let cache = QueryCache::new(4);
+        let k = key(3);
+        let slot = match cache.admit(&k) {
+            Admit::Lead(slot) => slot,
+            _ => panic!("lead"),
+        };
+        assert_eq!(slot.drop_waiter(), 0);
+        cache.cancel(&slot);
+        assert!(slot.token().is_cancelled());
+        assert!(matches!(
+            slot.wait_outcome(Duration::from_millis(10)),
+            Some(Outcome::Cancelled)
+        ));
+        // A fresh request leads again instead of joining the dead slot.
+        assert!(matches!(cache.admit(&k), Admit::Lead(_)));
+    }
+
+    #[test]
+    fn stale_slot_cannot_clobber_successor() {
+        let cache = QueryCache::new(4);
+        let k = key(4);
+        let stale = match cache.admit(&k) {
+            Admit::Lead(slot) => slot,
+            _ => panic!("lead"),
+        };
+        cache.cancel(&stale);
+        let fresh = match cache.admit(&k) {
+            Admit::Lead(slot) => slot,
+            _ => panic!("lead"),
+        };
+        // The cancelled leader completing late must not overwrite or settle
+        // the fresh slot's entry.
+        cache.fulfill(&stale, Arc::new(b"stale".to_vec()));
+        assert!(matches!(cache.admit(&k), Admit::Join(_)));
+        cache.fulfill(&fresh, Arc::new(b"fresh".to_vec()));
+        match cache.admit(&k) {
+            Admit::Hit(bytes) => assert_eq!(&**bytes, b"fresh"),
+            _ => panic!("hit"),
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! A bounded job queue with explicit backpressure.
+//!
+//! [`JobQueue::push`] never blocks and never buffers beyond `capacity`: a
+//! full queue is reported back to the caller (who replies `busy` with the
+//! depth) instead of growing without bound. [`JobQueue::pop`] blocks the
+//! executor threads until work arrives or the queue is closed; a closed
+//! queue still **drains** — queued jobs are handed out until empty, which
+//! is what makes shutdown graceful.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::cache::JobSlot;
+
+struct Inner {
+    jobs: VecDeque<Arc<JobSlot>>,
+    closed: bool,
+}
+
+/// The bounded queue between connection handlers and executor threads.
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` pending jobs (at least 1).
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job, or reports the current depth if the queue is full or
+    /// closed (both are backpressure: the caller replies `busy`).
+    pub fn push(&self, slot: Arc<JobSlot>) -> Result<(), usize> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed || inner.jobs.len() >= self.capacity {
+            return Err(inner.jobs.len());
+        }
+        inner.jobs.push_back(slot);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (FIFO) or the queue is closed and
+    /// fully drained (`None`).
+    pub fn pop(&self) -> Option<Arc<JobSlot>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cond.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").jobs.len()
+    }
+
+    /// Closes the queue: no new pushes, existing jobs drain, poppers wake.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{Admit, QueryCache};
+    use crate::query::Query;
+
+    fn slot(cache: &QueryCache, millis: u64) -> Arc<JobSlot> {
+        match cache.admit(&Query::TestBlock { millis }.key()) {
+            Admit::Lead(slot) => slot,
+            _ => panic!("lead"),
+        }
+    }
+
+    #[test]
+    fn full_queue_reports_depth() {
+        let cache = QueryCache::new(8);
+        let q = JobQueue::new(2);
+        assert!(q.push(slot(&cache, 0)).is_ok());
+        assert!(q.push(slot(&cache, 1)).is_ok());
+        assert_eq!(q.push(slot(&cache, 2)), Err(2));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn closed_queue_drains_in_fifo_order() {
+        let cache = QueryCache::new(8);
+        let q = JobQueue::new(4);
+        let first = slot(&cache, 10);
+        let second = slot(&cache, 11);
+        q.push(first.clone()).unwrap();
+        q.push(second.clone()).unwrap();
+        q.close();
+        assert!(q.push(slot(&cache, 12)).is_err(), "closed rejects pushes");
+        assert!(Arc::ptr_eq(&q.pop().unwrap(), &first));
+        assert!(Arc::ptr_eq(&q.pop().unwrap(), &second));
+        assert!(q.pop().is_none(), "drained + closed ends the executors");
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let cache = QueryCache::new(8);
+        let q = JobQueue::new(4);
+        let expected = slot(&cache, 20);
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| q.pop());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.push(expected.clone()).unwrap();
+            let got = handle.join().unwrap().unwrap();
+            assert!(Arc::ptr_eq(&got, &expected));
+        });
+    }
+}

@@ -180,6 +180,72 @@ fn rare_report_snapshot(pool: &WorkerPool) -> Snapshot {
     s
 }
 
+/// Serve-layer snapshot: the always-on [`ServerStats`] counters after a
+/// deterministic scripted session, plus the byte-exact sweep response.
+///
+/// Deliberately built from feature-independent pieces only (no `obs`
+/// counters): the golden CI job runs without the `obs` feature. The script
+/// is fully sequential on one connection, so every counter is exact, and
+/// the caller asserts worker-count invariance across server pools.
+fn serve_stats_snapshot(workers: usize) -> Snapshot {
+    use hetarch::serve::json::Json;
+    use hetarch::serve::{Client, Server, ServerConfig};
+
+    let server = Server::start(ServerConfig {
+        workers,
+        executors: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let sweep = Json::obj([
+        ("query", Json::Str("sweep_uec".to_string())),
+        ("distances", Json::Arr(vec![Json::Int(3)])),
+        (
+            "ts_values",
+            Json::Arr(vec![Json::Num(0.5e-3), Json::Num(5e-3)]),
+        ),
+        ("shots", Json::Int(500)),
+        ("seed", Json::Int(61)),
+    ]);
+    // 1: computed; 2: identical query → cache hit, same bytes.
+    let cold = client.request_raw(sweep.render().as_bytes()).expect("cold");
+    let warm = client.request_raw(sweep.render().as_bytes()).expect("warm");
+    assert_eq!(cold, warm, "cache hit must reuse the exact bytes");
+    // 3: malformed body → error reply, connection stays up.
+    let bad = client.request_raw(b"not json").expect("malformed reply");
+    assert!(String::from_utf8_lossy(&bad).contains("\"status\":\"error\""));
+    // 4: contained executor panic.
+    let panic_reply = client
+        .request_raw(br#"{"query":"test_panic"}"#)
+        .expect("panic reply");
+    assert!(String::from_utf8_lossy(&panic_reply).contains("panicked"));
+
+    let mut s = Snapshot::new(
+        "serve counters + sweep response after a scripted session: \
+         sweep, cache hit, malformed body, contained panic",
+    );
+    s.section("stats");
+    s.field("counters", server.stats().to_json().render());
+    s.section("sweep_response");
+    s.field("bytes", String::from_utf8(cold).expect("UTF-8 response"));
+    server.shutdown();
+    s
+}
+
+#[test]
+fn serve_stats_golden_is_worker_count_invariant() {
+    let single = serve_stats_snapshot(1);
+    let four = serve_stats_snapshot(4);
+    assert_eq!(
+        single.render(),
+        four.render(),
+        "serve counters and response bytes must not depend on the worker count"
+    );
+    assert_golden(&golden_dir(), "serve_stats", &single);
+}
+
 #[test]
 fn rare_report_golden_is_worker_count_invariant() {
     let single = rare_report_snapshot(&WorkerPool::new(1));
