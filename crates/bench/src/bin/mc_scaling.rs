@@ -44,7 +44,14 @@ fn worker_counts() -> Vec<usize> {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--report") {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--calib") {
+        let path = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--calib needs a snapshot file path");
+            std::process::exit(2);
+        });
+        calib_mode(path);
+    } else if args.iter().any(|a| a == "--report") {
         report_mode();
     } else {
         scaling_mode();
@@ -59,6 +66,97 @@ fn uec_module() -> UecModule {
     .unwrap()
     .characterize();
     UecModule::new(rotated_surface_code(5), usc, UecNoise::default())
+}
+
+/// `--calib FILE`: evaluates the UEC design grid against a fleet
+/// calibration snapshot and against the nominal catalog, side by side,
+/// writing both sweeps to `BENCH_calib.json`. The snapshot is parsed
+/// strictly (any malformed field aborts with its schema path), and the run
+/// asserts the overrides actually reached characterization: a snapshot
+/// with at least one effective override must move at least one p_L.
+fn calib_mode(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read calibration snapshot {path}: {e}");
+        std::process::exit(2);
+    });
+    let calib = hetarch::devices::calib::CalibSnapshot::parse(&text).unwrap_or_else(|e| {
+        eprintln!("invalid calibration snapshot {path}: {e}");
+        std::process::exit(2);
+    });
+    let shots = hetarch_bench::shots(4096);
+    let seed = 2023;
+    hetarch_bench::header(
+        "BENCH_calib",
+        "UEC design grid: fleet calibration snapshot vs nominal catalog",
+    );
+    println!(
+        "snapshot: device \"{}\"{}, {} labelled slot(s)",
+        calib.device,
+        if calib.taken_at.is_empty() {
+            String::new()
+        } else {
+            format!(" taken at {}", calib.taken_at)
+        },
+        calib.qubits.len()
+    );
+
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = WorkerPool::new(hw);
+    let lib = CellLibrary::new();
+    let compute = catalog::coherence_limited_compute(0.5e-3);
+    let distances = [3usize, 5];
+    let ts_values = [5e-3, 50e-3];
+
+    let mut rows = Vec::new();
+    let mut moved = false;
+    for &d in &distances {
+        for &ts in &ts_values {
+            let storage = catalog::coherence_limited_storage(ts);
+            let nominal = lib.get::<UscCell>(&compute, &storage);
+            let fleet = lib.get_with_calib::<UscCell>(&compute, &storage, &calib);
+            let p_nominal = UecModule::new(
+                rotated_surface_code(d),
+                (*nominal).clone(),
+                UecNoise::default(),
+            )
+            .logical_error_rate_on(&pool, shots, seed)
+            .logical_error_rate;
+            let p_fleet = UecModule::new(
+                rotated_surface_code(d),
+                (*fleet).clone(),
+                UecNoise::default(),
+            )
+            .logical_error_rate_on(&pool, shots, seed)
+            .logical_error_rate;
+            moved |= p_fleet.to_bits() != p_nominal.to_bits();
+            println!("d={d} ts={ts:>7.0e}: nominal p_L = {p_nominal:.6}, fleet p_L = {p_fleet:.6}");
+            rows.push((d, ts, p_nominal, p_fleet));
+        }
+    }
+    if !calib.is_empty() {
+        assert!(
+            moved,
+            "the snapshot carries overrides but no design point moved — \
+             calibration did not reach characterization"
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"mc_scaling_calib\",\n");
+    json.push_str(&format!("  \"snapshot\": {},\n", calib.to_json().render()));
+    json.push_str(&format!("  \"shots\": {shots},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, (d, ts, p_nominal, p_fleet)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"d\": {d}, \"ts\": {ts:e}, \"p_l_nominal\": {p_nominal:e}, \
+             \"p_l_fleet\": {p_fleet:e}}}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_calib.json", &json).expect("write BENCH_calib.json");
+    println!("\nwrote BENCH_calib.json ({} design points)", rows.len());
 }
 
 /// `--report`: one pass per workload with the observability layer armed,

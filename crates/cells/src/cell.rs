@@ -13,6 +13,7 @@ use std::fmt;
 
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
 
+use hetarch_devices::calib::CalibSnapshot;
 use hetarch_devices::device::DeviceSpec;
 use hetarch_devices::rules::Violation;
 use hetarch_devices::topology::DeviceGraph;
@@ -94,6 +95,21 @@ pub trait Cell: Sized {
     /// Returns the design-rule violations of the resulting layout.
     fn build(a: DeviceSpec, b: DeviceSpec) -> Result<Self, Vec<Violation>>;
 
+    /// Builds the cell with a fleet calibration snapshot applied: each
+    /// layout slot is calibrated by the snapshot entry matching its node
+    /// label (e.g. `"usc/ancilla"`) before design-rule checking and
+    /// characterization. An empty snapshot builds the identical cell
+    /// [`Cell::build`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns the design-rule violations of the resulting layout.
+    fn build_with_calib(
+        a: DeviceSpec,
+        b: DeviceSpec,
+        calib: &CalibSnapshot,
+    ) -> Result<Self, Vec<Violation>>;
+
     /// The symbolic device layout.
     fn layout(&self) -> &DeviceGraph;
 
@@ -120,6 +136,14 @@ impl Cell for RegisterCell {
         RegisterCell::new(a, b)
     }
 
+    fn build_with_calib(
+        a: DeviceSpec,
+        b: DeviceSpec,
+        calib: &CalibSnapshot,
+    ) -> Result<Self, Vec<Violation>> {
+        RegisterCell::new_with_calib(a, b, calib)
+    }
+
     fn layout(&self) -> &DeviceGraph {
         RegisterCell::layout(self)
     }
@@ -135,6 +159,14 @@ impl Cell for ParCheckCell {
 
     fn build(a: DeviceSpec, b: DeviceSpec) -> Result<Self, Vec<Violation>> {
         ParCheckCell::new(a, b)
+    }
+
+    fn build_with_calib(
+        a: DeviceSpec,
+        b: DeviceSpec,
+        calib: &CalibSnapshot,
+    ) -> Result<Self, Vec<Violation>> {
+        ParCheckCell::new_with_calib(a, b, calib)
     }
 
     fn layout(&self) -> &DeviceGraph {
@@ -154,6 +186,14 @@ impl Cell for SeqOpCell {
         SeqOpCell::new(a, b)
     }
 
+    fn build_with_calib(
+        a: DeviceSpec,
+        b: DeviceSpec,
+        calib: &CalibSnapshot,
+    ) -> Result<Self, Vec<Violation>> {
+        SeqOpCell::new_with_calib(a, b, calib)
+    }
+
     fn layout(&self) -> &DeviceGraph {
         SeqOpCell::layout(self)
     }
@@ -169,6 +209,14 @@ impl Cell for UscCell {
 
     fn build(a: DeviceSpec, b: DeviceSpec) -> Result<Self, Vec<Violation>> {
         UscCell::new(a, b)
+    }
+
+    fn build_with_calib(
+        a: DeviceSpec,
+        b: DeviceSpec,
+        calib: &CalibSnapshot,
+    ) -> Result<Self, Vec<Violation>> {
+        UscCell::new_with_calib(a, b, calib)
     }
 
     fn layout(&self) -> &DeviceGraph {

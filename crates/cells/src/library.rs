@@ -31,6 +31,7 @@ use hetarch_obs as obs;
 use parking_lot::Mutex;
 use serde::Serialize;
 
+use hetarch_devices::calib::CalibSnapshot;
 use hetarch_devices::device::DeviceSpec;
 
 use crate::cell::{Cell, CellKind};
@@ -83,6 +84,34 @@ impl CharKey {
         s.write_u8(kind.tag());
         a.serialize(&mut s);
         b.serialize(&mut s);
+        CharKey(s.into_bytes())
+    }
+
+    /// Builds the key for characterizing a `kind` cell on `(a, b)` under a
+    /// calibration snapshot.
+    ///
+    /// An empty snapshot produces exactly [`CharKey::new`]'s key, so
+    /// calibration-free callers keep hitting (and warm-starting from) the
+    /// entries they always produced. A non-empty snapshot sets the high bit
+    /// of the leading kind tag (plain tags are ≤ 3) and appends the
+    /// per-label override map, so calibrated keys can never collide with
+    /// uncalibrated ones and stay injective over the override set. Snapshot
+    /// metadata (`device`, `taken_at`) is deliberately excluded: two
+    /// snapshots with identical physics are the same design point.
+    pub fn with_calib(
+        kind: CellKind,
+        a: &DeviceSpec,
+        b: &DeviceSpec,
+        calib: &CalibSnapshot,
+    ) -> Self {
+        if calib.is_empty() {
+            return CharKey::new(kind, a, b);
+        }
+        let mut s = serde::Serializer::new();
+        s.write_u8(0x80 | kind.tag());
+        a.serialize(&mut s);
+        b.serialize(&mut s);
+        calib.qubits.serialize(&mut s);
         CharKey(s.into_bytes())
     }
 
@@ -251,6 +280,36 @@ impl CellLibrary {
     /// catalog devices never do).
     pub fn get<C: Cell>(&self, a: &DeviceSpec, b: &DeviceSpec) -> Arc<C::Channel> {
         let key = CharKey::new(C::KIND, a, b);
+        self.get_inner::<C>(key, || C::build(a.clone(), b.clone()))
+    }
+
+    /// [`CellLibrary::get`] with per-slot calibration overrides applied via
+    /// [`Cell::build_with_calib`]. An empty snapshot shares the same cache
+    /// key (and hence entries) as [`CellLibrary::get`]; a non-empty snapshot
+    /// gets its own injective key, so the same `(a, b)` under different
+    /// fleet calibrations never alias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibrated pair violates the cell's design rules.
+    pub fn get_with_calib<C: Cell>(
+        &self,
+        a: &DeviceSpec,
+        b: &DeviceSpec,
+        calib: &CalibSnapshot,
+    ) -> Arc<C::Channel> {
+        let key = CharKey::with_calib(C::KIND, a, b, calib);
+        self.get_inner::<C>(key, || C::build_with_calib(a.clone(), b.clone(), calib))
+    }
+
+    /// The admission loop shared by [`CellLibrary::get`] and
+    /// [`CellLibrary::get_with_calib`]. `build` may run more than once if a
+    /// previous leader for the same key panicked and admission is retried.
+    fn get_inner<C: Cell>(
+        &self,
+        key: CharKey,
+        build: impl Fn() -> Result<C, Vec<hetarch_devices::rules::Violation>>,
+    ) -> Arc<C::Channel> {
         loop {
             let claim = {
                 let mut map = self.entries.lock();
@@ -287,7 +346,7 @@ impl CellLibrary {
                     };
                     let started = Instant::now();
                     let span = obs::span!(OBS_CHARACTERIZE_NS);
-                    let cell = C::build(a.clone(), b.clone()).unwrap_or_else(|violations| {
+                    let cell = build().unwrap_or_else(|violations| {
                         panic!("{} design rules violated: {violations:?}", C::KIND)
                     });
                     let channel = Arc::new(cell.characterize());
@@ -315,6 +374,12 @@ impl CellLibrary {
     /// workspace binary format. In-flight entries are skipped and counters
     /// are not saved; a loaded library starts with fresh statistics.
     ///
+    /// The write is atomic: bytes go to a temporary file in the same
+    /// directory which is then renamed over `path`, so a concurrent or
+    /// later [`CellLibrary::load`] observes either the previous complete
+    /// file or the new one — never a torn half-write (e.g. when a serve
+    /// process is killed mid-drain).
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
@@ -340,7 +405,22 @@ impl CellLibrary {
             s.write_f64(entry.sim_seconds);
             s.write_bytes(&encode_payload(entry));
         }
-        std::fs::write(path, s.into_bytes())
+        let path = path.as_ref();
+        // The temp file must live in the target's directory: rename is only
+        // atomic within one filesystem, and std::env::temp_dir may be on
+        // another one.
+        let tmp = path.with_file_name(format!(
+            ".{}.tmp-{}",
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "cell-library".to_string()),
+            std::process::id()
+        ));
+        std::fs::write(&tmp, s.into_bytes())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .inspect_err(|_| {
+                std::fs::remove_file(&tmp).ok();
+            })
     }
 
     /// Loads a library persisted by [`CellLibrary::save`]. Loaded entries
@@ -447,6 +527,7 @@ mod tests {
     use crate::register::RegisterCell;
     use crate::seqop::SeqOpCell;
     use crate::usc::UscCell;
+    use hetarch_devices::calib::CalibParams;
     use hetarch_devices::catalog::{
         fixed_frequency_qubit, multimode_resonator_3d, on_chip_multimode_resonator,
     };
@@ -588,6 +669,111 @@ mod tests {
         assert_eq!(stats.misses, 0, "warm start re-simulates nothing");
         assert_eq!(stats.hits, 4);
         assert!(stats.sim_seconds_saved > 0.0);
+    }
+
+    #[test]
+    fn calibrated_requests_get_their_own_entries() {
+        let lib = CellLibrary::new();
+        let c = fixed_frequency_qubit();
+        let s = on_chip_multimode_resonator();
+        let baseline = lib.get::<RegisterCell>(&c, &s);
+
+        // An empty snapshot is the same design point: it shares the
+        // uncalibrated entry instead of re-simulating.
+        let same = lib.get_with_calib::<RegisterCell>(&c, &s, &CalibSnapshot::default());
+        assert_eq!(*baseline, *same);
+        assert_eq!(lib.stats().misses, 1);
+        assert_eq!(lib.stats().hits, 1);
+
+        // Degraded storage coherence must reach the characterization: a new
+        // entry with a measurably worse channel.
+        let mut degraded = CalibSnapshot::default();
+        degraded.qubits.insert(
+            "register/storage".to_string(),
+            CalibParams {
+                t1: Some(20e-6),
+                t2: Some(20e-6),
+                ..CalibParams::default()
+            },
+        );
+        let worse = lib.get_with_calib::<RegisterCell>(&c, &s, &degraded);
+        assert_eq!(lib.stats().misses, 2);
+        assert_eq!(worse.storage_idle.t1, 20e-6);
+        assert!(
+            worse.load.fidelity < baseline.load.fidelity,
+            "degraded {} vs baseline {}",
+            worse.load.fidelity,
+            baseline.load.fidelity
+        );
+
+        // The same snapshot is the same design point (cache hit); a
+        // different one is not (fresh miss).
+        lib.get_with_calib::<RegisterCell>(&c, &s, &degraded);
+        assert_eq!(lib.stats().hits, 2);
+        let mut other = degraded.clone();
+        let params = other.qubits.get_mut("register/storage").unwrap();
+        params.t1 = Some(40e-6);
+        params.t2 = Some(40e-6);
+        lib.get_with_calib::<RegisterCell>(&c, &s, &other);
+        assert_eq!(lib.stats().misses, 3);
+    }
+
+    #[test]
+    fn calibrated_entries_survive_save_load() {
+        let lib = CellLibrary::new();
+        let c = fixed_frequency_qubit();
+        let s = on_chip_multimode_resonator();
+        let mut snap = CalibSnapshot::default();
+        snap.qubits.insert(
+            "usc/s1".to_string(),
+            CalibParams {
+                swap_error: Some(0.05),
+                ..CalibParams::default()
+            },
+        );
+        let fresh = lib.get_with_calib::<UscCell>(&c, &s, &snap);
+        let path = temp_path("library-calib-roundtrip");
+        lib.save(&path).expect("save cache");
+        let warm = CellLibrary::load(&path).expect("load cache");
+        std::fs::remove_file(&path).ok();
+        let loaded = warm.get_with_calib::<UscCell>(&c, &s, &snap);
+        assert_eq!(*fresh, *loaded);
+        assert_eq!(warm.stats().misses, 0, "warm start re-simulates nothing");
+        assert_eq!(warm.stats().hits, 1);
+    }
+
+    /// Regression: `save` used to `fs::write` the target path directly, so
+    /// a reader racing the writer (or a crash mid-write) could observe a
+    /// truncated file. With write-to-temp + rename, every `load` observes a
+    /// complete file.
+    #[test]
+    fn save_never_exposes_a_partial_file() {
+        let lib = CellLibrary::new();
+        lib.get::<RegisterCell>(&fixed_frequency_qubit(), &on_chip_multimode_resonator());
+        let path = temp_path("library-atomic");
+        lib.save(&path).expect("initial save");
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for _ in 0..200 {
+                    lib.save(&path).expect("concurrent save");
+                }
+            });
+            while !writer.is_finished() {
+                let loaded = CellLibrary::load(&path).expect("load must never see a torn file");
+                assert_eq!(loaded.len(), 1);
+            }
+        });
+        // The temp file is transient: nothing but the target remains.
+        let dir = path.parent().unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&name) && *n != name)
+            .collect();
+        std::fs::remove_file(&path).ok();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use hetarch_qsim::measure::project_z;
 use hetarch_qsim::state::DensityMatrix;
 use serde::{Deserialize, Serialize};
 
+use hetarch_devices::calib::CalibSnapshot;
 use hetarch_devices::device::{DeviceRole, DeviceSpec, GateSpec};
 use hetarch_devices::rules::{validate, Violation};
 use hetarch_devices::topology::{DeviceGraph, DeviceId};
@@ -100,6 +101,26 @@ impl ParCheckCell {
             id_a,
             id_b,
         })
+    }
+
+    /// Builds the cell with a fleet calibration snapshot applied: the
+    /// snapshot entries labelled `"parcheck/a"` and `"parcheck/b"`
+    /// override the corresponding catalog specs before design-rule
+    /// checking. An empty snapshot yields the identical cell
+    /// [`ParCheckCell::new`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns design-rule violations of the calibrated layout.
+    pub fn new_with_calib(
+        qubit_a: DeviceSpec,
+        qubit_b: DeviceSpec,
+        calib: &CalibSnapshot,
+    ) -> Result<Self, Vec<Violation>> {
+        ParCheckCell::new(
+            calib.apply("parcheck/a", &qubit_a),
+            calib.apply("parcheck/b", &qubit_b),
+        )
     }
 
     /// The symbolic layout.

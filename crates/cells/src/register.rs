@@ -10,6 +10,7 @@ use hetarch_qsim::matrix::Mat;
 use hetarch_qsim::state::DensityMatrix;
 use serde::{Deserialize, Serialize};
 
+use hetarch_devices::calib::CalibSnapshot;
 use hetarch_devices::device::{DeviceRole, DeviceSpec};
 use hetarch_devices::rules::{validate, Violation};
 use hetarch_devices::topology::{DeviceGraph, DeviceId};
@@ -84,6 +85,26 @@ impl RegisterCell {
             compute_id,
             storage_id,
         })
+    }
+
+    /// Builds the cell with a fleet calibration snapshot applied: the
+    /// snapshot entries labelled `"register/compute"` and
+    /// `"register/storage"` override the corresponding catalog specs
+    /// before design-rule checking. An empty snapshot yields the identical
+    /// cell [`RegisterCell::new`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns design-rule violations of the calibrated layout.
+    pub fn new_with_calib(
+        compute: DeviceSpec,
+        storage: DeviceSpec,
+        calib: &CalibSnapshot,
+    ) -> Result<Self, Vec<Violation>> {
+        RegisterCell::new(
+            calib.apply("register/compute", &compute),
+            calib.apply("register/storage", &storage),
+        )
     }
 
     /// The symbolic layout.

@@ -14,6 +14,7 @@ use hetarch_qsim::measure::project_z;
 use hetarch_qsim::state::DensityMatrix;
 use serde::{Deserialize, Serialize};
 
+use hetarch_devices::calib::CalibSnapshot;
 use hetarch_devices::device::{DeviceRole, DeviceSpec};
 use hetarch_devices::rules::{validate, Violation};
 use hetarch_devices::topology::{DeviceGraph, DeviceId};
@@ -50,8 +51,6 @@ pub struct SeqOpChannel {
 /// ```
 #[derive(Clone, Debug)]
 pub struct SeqOpCell {
-    compute: DeviceSpec,
-    storage: DeviceSpec,
     layout: DeviceGraph,
     ids: SeqOpIds,
 }
@@ -79,14 +78,33 @@ impl SeqOpCell {
     ///
     /// Returns design-rule violations.
     pub fn new(compute: DeviceSpec, storage: DeviceSpec) -> Result<Self, Vec<Violation>> {
+        Self::new_with_calib(compute, storage, &CalibSnapshot::default())
+    }
+
+    /// Builds the cell with a fleet calibration snapshot applied: each of
+    /// the five layout slots (`"seqop/s1"`, `"seqop/c1"`, `"seqop/s2"`,
+    /// `"seqop/c2"`, `"seqop/cp"`) is individually overridden by the
+    /// snapshot entry matching its label before design-rule checking, so a
+    /// snapshot can describe a fleet where nominally-identical devices
+    /// measured differently today. An empty snapshot yields the identical
+    /// cell [`SeqOpCell::new`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns design-rule violations of the calibrated layout.
+    pub fn new_with_calib(
+        compute: DeviceSpec,
+        storage: DeviceSpec,
+        calib: &CalibSnapshot,
+    ) -> Result<Self, Vec<Violation>> {
         assert_eq!(compute.role, DeviceRole::Compute);
         assert_eq!(storage.role, DeviceRole::Storage);
         let mut layout = DeviceGraph::new();
-        let s1 = layout.add_device("seqop/s1", storage.clone(), false);
-        let c1 = layout.add_device("seqop/c1", compute.clone(), false);
-        let s2 = layout.add_device("seqop/s2", storage.clone(), false);
-        let c2 = layout.add_device("seqop/c2", compute.clone(), false);
-        let cp = layout.add_device("seqop/cp", compute.clone(), true);
+        let s1 = layout.add_device("seqop/s1", calib.apply("seqop/s1", &storage), false);
+        let c1 = layout.add_device("seqop/c1", calib.apply("seqop/c1", &compute), false);
+        let s2 = layout.add_device("seqop/s2", calib.apply("seqop/s2", &storage), false);
+        let c2 = layout.add_device("seqop/c2", calib.apply("seqop/c2", &compute), false);
+        let cp = layout.add_device("seqop/cp", calib.apply("seqop/cp", &compute), true);
         layout.connect(s1, c1);
         layout.connect(s2, c2);
         layout.connect(c1, c2);
@@ -94,8 +112,6 @@ impl SeqOpCell {
         layout.connect(c2, cp);
         validate(&layout, 1)?;
         Ok(SeqOpCell {
-            compute,
-            storage,
             layout,
             ids: SeqOpIds { s1, c1, s2, c2, cp },
         })
@@ -118,44 +134,59 @@ impl SeqOpCell {
     /// store back, with gate depolarizing and idle decay at every step. The
     /// fidelity averages nine product probes against the ideal CNOT output.
     pub fn characterize(&self) -> SeqOpChannel {
-        let g2 = self
-            .compute
-            .gate_2q
-            .expect("compute devices define 2q gates");
-        let swap = self.storage.swap;
-        let t_read = self.compute.readout_time.expect("compute has readout");
-        let storage_idle =
-            IdleParams::new(self.storage.t1, self.storage.t2).expect("physical coherence");
-        let compute_idle =
-            IdleParams::new(self.compute.t1, self.compute.t2).expect("physical coherence");
+        // Per-slot specs: a calibration snapshot may have overridden each
+        // layout slot individually, so every parameter is read from the node
+        // it belongs to rather than from one shared compute/storage spec.
+        let s1 = &self.layout.node(self.ids.s1).spec;
+        let c1 = &self.layout.node(self.ids.c1).spec;
+        let s2 = &self.layout.node(self.ids.s2).spec;
+        let c2 = &self.layout.node(self.ids.c2).spec;
+        let cp = &self.layout.node(self.ids.cp).spec;
+        let g2_c1 = c1.gate_2q.expect("compute devices define 2q gates");
+        let g2_c2 = c2.gate_2q.expect("compute devices define 2q gates");
+        let t_read = cp.readout_time.expect("compute has readout");
+        let storage_idle = IdleParams::new(s1.t1, s1.t2).expect("physical coherence");
+        let compute_idle = IdleParams::new(c1.t1, c1.t2).expect("physical coherence");
+        let idle_s2 = IdleParams::new(s2.t1, s2.t2).expect("physical coherence");
+        let idle_c2 = IdleParams::new(c2.t1, c2.t2).expect("physical coherence");
+        let idle_cp = IdleParams::new(cp.t1, cp.t2).expect("physical coherence");
 
-        let depol_swap = Kraus2::depolarizing(swap.error).expect("validated");
-        let depol_g2 = Kraus2::depolarizing(g2.error).expect("validated");
+        let depol_swap1 = Kraus2::depolarizing(s1.swap.error).expect("validated");
+        let depol_swap2 = Kraus2::depolarizing(s2.swap.error).expect("validated");
+        let depol_g2_c1 = Kraus2::depolarizing(g2_c1.error).expect("validated");
+        let depol_g2_c2 = Kraus2::depolarizing(g2_c2.error).expect("validated");
 
-        // Idle channels are built once per distinct phase duration and reused
-        // across probes and qubits, so each compiles its superoperator kernel
-        // exactly once.
-        let idle_pair = |t: f64| {
-            (
-                storage_idle.channel(t).expect("valid"),
-                compute_idle.channel(t).expect("valid"),
-            )
+        // Both registers' swaps run in parallel, so the load/store phase
+        // lasts as long as the slower of the two (equal when uncalibrated).
+        let swap_phase = s1.swap.time.max(s2.swap.time);
+
+        // Idle channels are built once per (slot, phase duration) and reused
+        // across probes, so each compiles its superoperator kernel exactly
+        // once. Application order (storage slots 0, 3 then compute slots
+        // 1, 2) matches the pre-calibration code path bit for bit.
+        let slot_idles: [(usize, &IdleParams); 4] = [
+            (0, &storage_idle),
+            (3, &idle_s2),
+            (1, &compute_idle),
+            (2, &idle_c2),
+        ];
+        let channels_for = |t: f64| -> Vec<(usize, Kraus1)> {
+            slot_idles
+                .iter()
+                .map(|&(q, p)| (q, p.channel(t).expect("valid")))
+                .collect()
         };
-        let idle_swap = idle_pair(swap.time);
-        let idle_g2 = idle_pair(g2.time);
+        let idle_swap = channels_for(swap_phase);
+        let idle_g2 = channels_for(g2_c1.time);
 
         // Qubits: 0 = s1 mode, 1 = c1, 2 = c2, 3 = s2 mode. All nine product
         // probes run the same circuit, so they are materialized up front and
         // every gate/channel step sweeps the whole batch — channel steps as
         // one batched backend apply each.
         let backend = backend::active();
-        let idle_all = |states: &mut [DensityMatrix],
-                        (storage_ch, compute_ch): &(Kraus1, Kraus1)| {
-            for q in [0usize, 3] {
-                backend.apply_1q(storage_ch, states, q);
-            }
-            for q in [1usize, 2] {
-                backend.apply_1q(compute_ch, states, q);
+        let idle_all = |states: &mut [DensityMatrix], chs: &[(usize, Kraus1)]| {
+            for (q, ch) in chs {
+                backend.apply_1q(ch, states, *q);
             }
         };
         let probes = [0usize, 1, 2]; // 0 -> |0>, 1 -> |1>, 2 -> |+>
@@ -177,22 +208,22 @@ impl SeqOpCell {
             gates::swap(rho, 0, 1);
             gates::swap(rho, 3, 2);
         }
-        backend.apply_2q(&depol_swap, &mut states, 0, 1);
-        backend.apply_2q(&depol_swap, &mut states, 3, 2);
+        backend.apply_2q(&depol_swap1, &mut states, 0, 1);
+        backend.apply_2q(&depol_swap2, &mut states, 3, 2);
         idle_all(&mut states, &idle_swap);
-        // Entangle.
+        // Entangle (c1 drives the CNOT, so its gate quality applies).
         for rho in states.iter_mut() {
             gates::cnot(rho, 1, 2);
         }
-        backend.apply_2q(&depol_g2, &mut states, 1, 2);
+        backend.apply_2q(&depol_g2_c1, &mut states, 1, 2);
         idle_all(&mut states, &idle_g2);
         // Store back.
         for rho in states.iter_mut() {
             gates::swap(rho, 0, 1);
             gates::swap(rho, 3, 2);
         }
-        backend.apply_2q(&depol_swap, &mut states, 0, 1);
-        backend.apply_2q(&depol_swap, &mut states, 3, 2);
+        backend.apply_2q(&depol_swap1, &mut states, 0, 1);
+        backend.apply_2q(&depol_swap2, &mut states, 3, 2);
         idle_all(&mut states, &idle_swap);
 
         let mut total = 0.0;
@@ -201,13 +232,19 @@ impl SeqOpCell {
             total += fidelity_with_pure(&out, &ideal_cnot_output(a, b));
         }
         let cnot_fid = (total / inputs.len() as f64).clamp(0.0, 1.0);
-        let cnot_time = 2.0 * swap.time + g2.time;
+        let cnot_time = 2.0 * swap_phase + g2_c1.time;
 
         // Parity check on the two in-compute qubits via the cp ancilla:
         // CX(c1 -> cp), CX(c2 -> cp), measure cp. Characterized over the
         // four classical inputs on three qubits (0 = c1, 1 = c2, 2 = cp),
         // batched the same way.
-        let idle_parity = compute_idle.channel(2.0 * g2.time + t_read).expect("valid");
+        // The parity window spans both serial CXs plus readout; `x + x`
+        // equals `2.0 * x` bit for bit, so the uncalibrated duration is
+        // unchanged. Each compute slot decoheres with its own parameters.
+        let parity_window = g2_c1.time + g2_c2.time + t_read;
+        let idle_par_c1 = compute_idle.channel(parity_window).expect("valid");
+        let idle_par_c2 = idle_c2.channel(parity_window).expect("valid");
+        let idle_par_cp = idle_cp.channel(parity_window).expect("valid");
         let mut pstates: Vec<DensityMatrix> = (0..4usize)
             .map(|input| {
                 let mut rho = DensityMatrix::zero_state(3);
@@ -223,14 +260,14 @@ impl SeqOpCell {
         for rho in pstates.iter_mut() {
             gates::cnot(rho, 0, 2);
         }
-        backend.apply_2q(&depol_g2, &mut pstates, 0, 2);
+        backend.apply_2q(&depol_g2_c1, &mut pstates, 0, 2);
         for rho in pstates.iter_mut() {
             gates::cnot(rho, 1, 2);
         }
-        backend.apply_2q(&depol_g2, &mut pstates, 1, 2);
-        for q in 0..3 {
-            backend.apply_1q(&idle_parity, &mut pstates, q);
-        }
+        backend.apply_2q(&depol_g2_c2, &mut pstates, 1, 2);
+        backend.apply_1q(&idle_par_c1, &mut pstates, 0);
+        backend.apply_1q(&idle_par_c2, &mut pstates, 1);
+        backend.apply_1q(&idle_par_cp, &mut pstates, 2);
         let mut ptotal = 0.0;
         for (input, rho) in pstates.iter().enumerate() {
             let parity = ((input & 1) ^ ((input >> 1) & 1)) == 1;
@@ -239,12 +276,14 @@ impl SeqOpCell {
         }
         let parity_fid = (ptotal / 4.0).clamp(0.0, 1.0);
 
+        // Summary fields describe the first register's slots (the channels
+        // above already account for per-slot differences).
         SeqOpChannel {
             seq_cnot: OpChannel::new("seq_cnot", cnot_time, cnot_fid, 1),
-            parity: OpChannel::new("parity_check", 2.0 * g2.time + t_read, parity_fid, 1),
+            parity: OpChannel::new("parity_check", parity_window, parity_fid, 1),
             storage_idle,
             compute_idle,
-            modes: self.storage.capacity,
+            modes: s1.capacity,
         }
     }
 }

@@ -14,6 +14,7 @@ use hetarch_qsim::measure::project_z;
 use hetarch_qsim::state::DensityMatrix;
 use serde::{Deserialize, Serialize};
 
+use hetarch_devices::calib::CalibSnapshot;
 use hetarch_devices::device::{DeviceRole, DeviceSpec, GateSpec};
 use hetarch_devices::rules::{validate, Violation};
 use hetarch_devices::topology::{DeviceGraph, DeviceId};
@@ -69,8 +70,6 @@ impl UscChannel {
 /// ```
 #[derive(Clone, Debug)]
 pub struct UscCell {
-    compute: DeviceSpec,
-    storage: DeviceSpec,
     layout: DeviceGraph,
     ancilla: DeviceId,
     registers: Vec<(DeviceId, DeviceId)>, // (storage, compute) pairs
@@ -86,6 +85,24 @@ impl UscCell {
         Self::with_registers(compute, storage, 3)
     }
 
+    /// Builds the USC with a fleet calibration snapshot applied: each layout
+    /// slot (`"usc/ancilla"`, `"usc/s0"`, `"usc/c0"`, …) is individually
+    /// overridden by the snapshot entry matching its label before
+    /// design-rule checking, so a snapshot can describe a fleet where
+    /// nominally-identical devices measured differently today. An empty
+    /// snapshot yields the identical cell [`UscCell::new`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns design-rule violations of the calibrated layout.
+    pub fn new_with_calib(
+        compute: DeviceSpec,
+        storage: DeviceSpec,
+        calib: &CalibSnapshot,
+    ) -> Result<Self, Vec<Violation>> {
+        Self::with_registers_calib(compute, storage, 3, calib)
+    }
+
     /// Builds a USC variant with `n_registers ∈ 1..=3` Register subcells
     /// (the paper notes four would exhaust the ancilla's connectivity, DR1).
     ///
@@ -97,6 +114,21 @@ impl UscCell {
         storage: DeviceSpec,
         n_registers: usize,
     ) -> Result<Self, Vec<Violation>> {
+        Self::with_registers_calib(compute, storage, n_registers, &CalibSnapshot::default())
+    }
+
+    /// [`UscCell::with_registers`] with per-slot calibration overrides
+    /// (see [`UscCell::new_with_calib`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns design-rule violations of the calibrated layout.
+    pub fn with_registers_calib(
+        compute: DeviceSpec,
+        storage: DeviceSpec,
+        n_registers: usize,
+        calib: &CalibSnapshot,
+    ) -> Result<Self, Vec<Violation>> {
         assert_eq!(compute.role, DeviceRole::Compute);
         assert_eq!(storage.role, DeviceRole::Storage);
         assert!(
@@ -104,19 +136,19 @@ impl UscCell {
             "USC supports 1–3 registers (4 would exhaust DR1)"
         );
         let mut layout = DeviceGraph::new();
-        let ancilla = layout.add_device("usc/ancilla", compute.clone(), true);
+        let ancilla = layout.add_device("usc/ancilla", calib.apply("usc/ancilla", &compute), true);
         let mut registers = Vec::new();
         for i in 0..n_registers {
-            let s = layout.add_device(format!("usc/s{i}"), storage.clone(), false);
-            let c = layout.add_device(format!("usc/c{i}"), compute.clone(), false);
+            let label_s = format!("usc/s{i}");
+            let label_c = format!("usc/c{i}");
+            let s = layout.add_device(label_s.clone(), calib.apply(&label_s, &storage), false);
+            let c = layout.add_device(label_c.clone(), calib.apply(&label_c, &compute), false);
             layout.connect(s, c);
             layout.connect(c, ancilla);
             registers.push((s, c));
         }
         validate(&layout, 1)?;
         Ok(UscCell {
-            compute,
-            storage,
             layout,
             ancilla,
             registers,
@@ -145,43 +177,67 @@ impl UscCell {
     /// probability of a correct syndrome bit with all data preserved,
     /// averaged over the four classical inputs.
     pub fn characterize(&self) -> UscChannel {
-        let g1 = self.compute.gate_1q.expect("compute defines 1q gates");
-        let g2 = self.compute.gate_2q.expect("compute defines 2q gates");
-        let swap = self.storage.swap;
-        let t_read = self.compute.readout_time.expect("compute has readout");
-        let storage_idle =
-            IdleParams::new(self.storage.t1, self.storage.t2).expect("physical coherence");
-        let compute_idle =
-            IdleParams::new(self.compute.t1, self.compute.t2).expect("physical coherence");
+        // Per-slot specs: a calibration snapshot may have overridden each
+        // layout slot individually, so every parameter is read from the node
+        // it belongs to rather than from one shared compute/storage spec.
+        // The weight-2 check probes the first two registers (a 1-register
+        // variant reuses register 0 for both roles).
+        let anc = &self.layout.node(self.ancilla).spec;
+        let (s0_id, c0_id) = self.registers[0];
+        let &(s1_id, c1_id) = self.registers.get(1).unwrap_or(&self.registers[0]);
+        let s0 = &self.layout.node(s0_id).spec;
+        let c0 = &self.layout.node(c0_id).spec;
+        let s1 = &self.layout.node(s1_id).spec;
+        let c1 = &self.layout.node(c1_id).spec;
+        let g1 = c0.gate_1q.expect("compute defines 1q gates");
+        let g2_c0 = c0.gate_2q.expect("compute defines 2q gates");
+        let g2_c1 = c1.gate_2q.expect("compute defines 2q gates");
+        let t_read = anc.readout_time.expect("compute has readout");
+        let storage_idle = IdleParams::new(s0.t1, s0.t2).expect("physical coherence");
+        let compute_idle = IdleParams::new(anc.t1, anc.t2).expect("physical coherence");
+        let idle_s1 = IdleParams::new(s1.t1, s1.t2).expect("physical coherence");
+        let idle_c0 = IdleParams::new(c0.t1, c0.t2).expect("physical coherence");
+        let idle_c1 = IdleParams::new(c1.t1, c1.t2).expect("physical coherence");
 
-        let depol_swap = Kraus2::depolarizing(swap.error).expect("validated");
-        let depol_g2 = Kraus2::depolarizing(g2.error).expect("validated");
+        let depol_swap0 = Kraus2::depolarizing(s0.swap.error).expect("validated");
+        let depol_swap1 = Kraus2::depolarizing(s1.swap.error).expect("validated");
+        let depol_g2_c0 = Kraus2::depolarizing(g2_c0.error).expect("validated");
+        let depol_g2_c1 = Kraus2::depolarizing(g2_c1.error).expect("validated");
 
-        // Idle channels are built once per distinct phase duration and reused
-        // across inputs and qubits, so each compiles its superoperator kernel
-        // exactly once.
-        let idle_pair = |t: f64| {
-            (
-                storage_idle.channel(t).expect("valid"),
-                compute_idle.channel(t).expect("valid"),
-            )
+        // Both registers' swaps run in parallel, so the swap phase lasts as
+        // long as the slower of the two (equal when uncalibrated).
+        let swap_phase = s0.swap.time.max(s1.swap.time);
+
+        // Idle channels are built once per (slot, phase duration) and reused
+        // across inputs, so each compiles its superoperator kernel exactly
+        // once. Application order (storage slots 0, 2 then compute slots
+        // 1, 3, 4) matches the pre-calibration code path bit for bit.
+        let slot_idles: [(usize, &IdleParams); 5] = [
+            (0, &storage_idle),
+            (2, &idle_s1),
+            (1, &idle_c0),
+            (3, &idle_c1),
+            (4, &compute_idle),
+        ];
+        let channels_for = |t: f64| -> Vec<(usize, Kraus1)> {
+            slot_idles
+                .iter()
+                .map(|&(q, p)| (q, p.channel(t).expect("valid")))
+                .collect()
         };
-        let idle_swap = idle_pair(swap.time);
-        let idle_g2 = idle_pair(g2.time);
-        let idle_read = idle_pair(t_read);
+        let idle_swap = channels_for(swap_phase);
+        let idle_g2_first = channels_for(g2_c0.time);
+        let idle_g2_second = channels_for(g2_c1.time);
+        let idle_read = channels_for(t_read);
 
         // Qubits: 0 = s0 mode, 1 = c0, 2 = s1 mode, 3 = c1, 4 = ancilla.
         // All four classical inputs run the same circuit, so they are
         // materialized up front and every channel step is one batched
         // backend apply over the whole probe set.
         let backend = backend::active();
-        let idle_all = |states: &mut [DensityMatrix],
-                        (storage_ch, compute_ch): &(Kraus1, Kraus1)| {
-            for q in [0usize, 2] {
-                backend.apply_1q(storage_ch, states, q);
-            }
-            for q in [1usize, 3, 4] {
-                backend.apply_1q(compute_ch, states, q);
+        let idle_all = |states: &mut [DensityMatrix], chs: &[(usize, Kraus1)]| {
+            for (q, ch) in chs {
+                backend.apply_1q(ch, states, *q);
             }
         };
         let mut states: Vec<DensityMatrix> = (0..4usize)
@@ -201,27 +257,28 @@ impl UscCell {
             gates::swap(rho, 0, 1);
             gates::swap(rho, 2, 3);
         }
-        backend.apply_2q(&depol_swap, &mut states, 0, 1);
-        backend.apply_2q(&depol_swap, &mut states, 2, 3);
+        backend.apply_2q(&depol_swap0, &mut states, 0, 1);
+        backend.apply_2q(&depol_swap1, &mut states, 2, 3);
         idle_all(&mut states, &idle_swap);
-        // Serial CXs to ancilla.
+        // Serial CXs to ancilla; each is driven by its register's compute
+        // device, so its gate quality and duration apply.
         for rho in states.iter_mut() {
             gates::cnot(rho, 1, 4);
         }
-        backend.apply_2q(&depol_g2, &mut states, 1, 4);
-        idle_all(&mut states, &idle_g2);
+        backend.apply_2q(&depol_g2_c0, &mut states, 1, 4);
+        idle_all(&mut states, &idle_g2_first);
         for rho in states.iter_mut() {
             gates::cnot(rho, 3, 4);
         }
-        backend.apply_2q(&depol_g2, &mut states, 3, 4);
-        idle_all(&mut states, &idle_g2);
+        backend.apply_2q(&depol_g2_c1, &mut states, 3, 4);
+        idle_all(&mut states, &idle_g2_second);
         // Swap back.
         for rho in states.iter_mut() {
             gates::swap(rho, 0, 1);
             gates::swap(rho, 2, 3);
         }
-        backend.apply_2q(&depol_swap, &mut states, 0, 1);
-        backend.apply_2q(&depol_swap, &mut states, 2, 3);
+        backend.apply_2q(&depol_swap0, &mut states, 0, 1);
+        backend.apply_2q(&depol_swap1, &mut states, 2, 3);
         idle_all(&mut states, &idle_swap);
         // Readout window.
         idle_all(&mut states, &idle_read);
@@ -244,16 +301,21 @@ impl UscCell {
             total += p_syndrome * p_data0 * p_data1;
         }
         let fidelity = (total / 4.0).clamp(0.0, 1.0);
-        let duration = 2.0 * swap.time + 2.0 * g2.time + t_read;
+        // `x + x` equals `2.0 * x` bit for bit, so the uncalibrated duration
+        // is unchanged by summing the two serial CX times.
+        let duration = 2.0 * swap_phase + (g2_c0.time + g2_c1.time) + t_read;
 
+        // Summary fields describe the first register's slots and the
+        // ancilla (the check2 channel above already accounts for per-slot
+        // differences).
         UscChannel {
-            swap,
-            cx: g2,
+            swap: s0.swap,
+            cx: g2_c0,
             gate_1q: g1,
             readout_time: t_read,
             storage_idle,
             compute_idle,
-            capacity: self.storage.capacity * self.registers.len() as u32,
+            capacity: self.registers.len() as u32 * s0.capacity,
             registers: self.registers.len() as u32,
             check2: OpChannel::new("z_check_w2", duration, fidelity, 1),
         }
@@ -281,16 +343,37 @@ impl UscChain {
         storage: DeviceSpec,
         n_ext: usize,
     ) -> Result<Self, Vec<Violation>> {
-        let usc = UscCell::new(compute.clone(), storage.clone())?;
+        Self::new_with_calib(compute, storage, n_ext, &CalibSnapshot::default())
+    }
+
+    /// Builds the chain with a fleet calibration snapshot applied: the base
+    /// USC slots and each extension slot (`"ext{e}/ancilla"`, `"ext{e}/s{i}"`,
+    /// `"ext{e}/c{i}"`) are individually overridden by the snapshot entry
+    /// matching their label. An empty snapshot yields the identical chain
+    /// [`UscChain::new`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns design-rule violations.
+    pub fn new_with_calib(
+        compute: DeviceSpec,
+        storage: DeviceSpec,
+        n_ext: usize,
+        calib: &CalibSnapshot,
+    ) -> Result<Self, Vec<Violation>> {
+        let usc = UscCell::new_with_calib(compute.clone(), storage.clone(), calib)?;
         let mut layout = usc.layout().clone();
         let mut prev_ancilla = usc.ancilla();
         let mut capacity = storage.capacity * 3;
         for e in 0..n_ext {
             // USC-EXT: two registers + ancilla.
-            let ancilla = layout.add_device(format!("ext{e}/ancilla"), compute.clone(), true);
+            let label_a = format!("ext{e}/ancilla");
+            let ancilla = layout.add_device(label_a.clone(), calib.apply(&label_a, &compute), true);
             for i in 0..2 {
-                let s = layout.add_device(format!("ext{e}/s{i}"), storage.clone(), false);
-                let c = layout.add_device(format!("ext{e}/c{i}"), compute.clone(), false);
+                let label_s = format!("ext{e}/s{i}");
+                let label_c = format!("ext{e}/c{i}");
+                let s = layout.add_device(label_s.clone(), calib.apply(&label_s, &storage), false);
+                let c = layout.add_device(label_c.clone(), calib.apply(&label_c, &compute), false);
                 layout.connect(s, c);
                 layout.connect(c, ancilla);
             }

@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 
 use hetarch_cells::{Cell, CellKind, CellLibrary, CharKey, ParCheckCell, RegisterCell};
+use hetarch_devices::calib::{CalibParams, CalibSnapshot};
 use hetarch_devices::catalog::{fixed_frequency_qubit, on_chip_multimode_resonator};
 use hetarch_devices::device::{DeviceSpec, GateSpec};
 
@@ -76,6 +77,112 @@ proptest! {
             );
         }
     }
+}
+
+/// A calibration-override label drawn from the real cell layout label set
+/// (plus one stranger, which keys like any other label).
+fn calib_label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("register/compute".to_string()),
+        Just("register/storage".to_string()),
+        Just("parcheck/a".to_string()),
+        Just("seqop/c1".to_string()),
+        Just("usc/ancilla".to_string()),
+        Just("usc/s2".to_string()),
+        Just("somewhere/else".to_string()),
+    ]
+}
+
+fn opt<S: Strategy>(s: S) -> impl Strategy<Value = Option<S::Value>> {
+    (0u32..2, s).prop_map(|(tag, v)| (tag == 1).then_some(v))
+}
+
+fn calib_params() -> impl Strategy<Value = CalibParams> {
+    (
+        opt(1e-6f64..1e-3),
+        opt(1e-6f64..1e-3),
+        opt(0.0f64..0.1),
+        opt(0.0f64..0.1),
+        opt(0.0f64..0.1),
+        opt(1e-7f64..1e-5),
+    )
+        .prop_map(
+            |(t1, t2, gate_1q_error, gate_2q_error, swap_error, readout_time)| CalibParams {
+                t1,
+                t2,
+                gate_1q_error,
+                gate_2q_error,
+                swap_error,
+                readout_time,
+            },
+        )
+}
+
+fn snapshot() -> impl Strategy<Value = CalibSnapshot> {
+    proptest::collection::vec((calib_label(), calib_params()), 0..4).prop_map(|entries| {
+        CalibSnapshot {
+            device: "fleet-under-test".to_string(),
+            taken_at: String::new(),
+            qubits: entries.into_iter().collect(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// Calibrated keys are injective over the override set and never alias
+    /// the uncalibrated key family: an effectively-empty snapshot keys
+    /// exactly like no snapshot at all, equal override maps key equally,
+    /// and distinct override maps (with at least one side non-empty) key
+    /// distinctly.
+    fn charkey_is_injective_over_calib_override_sets(
+        snap_a in snapshot(),
+        snap_b in snapshot(),
+    ) {
+        let c = fixed_frequency_qubit();
+        let s = on_chip_multimode_resonator();
+        let legacy = CharKey::new(CellKind::Usc, &c, &s);
+        let key_a = CharKey::with_calib(CellKind::Usc, &c, &s, &snap_a);
+        let key_b = CharKey::with_calib(CellKind::Usc, &c, &s, &snap_b);
+
+        for (snap, key) in [(&snap_a, &key_a), (&snap_b, &key_b)] {
+            if snap.is_empty() {
+                prop_assert_eq!(key.clone(), legacy.clone());
+            } else {
+                prop_assert_ne!(key.clone(), legacy.clone());
+                prop_assert_eq!(key.as_bytes()[0] & 0x80, 0x80);
+            }
+        }
+
+        if (snap_a.is_empty() && snap_b.is_empty()) || snap_a.qubits == snap_b.qubits {
+            prop_assert_eq!(key_a, key_b);
+        } else {
+            prop_assert_ne!(key_a, key_b);
+        }
+    }
+}
+
+#[test]
+fn calib_key_ignores_snapshot_metadata() {
+    // Two snapshots with identical physics but different provenance are the
+    // same design point: `device`/`taken_at` must not reach the key.
+    let c = fixed_frequency_qubit();
+    let s = on_chip_multimode_resonator();
+    let mut snap_a = CalibSnapshot::default();
+    snap_a.qubits.insert(
+        "usc/s0".to_string(),
+        CalibParams {
+            swap_error: Some(0.02),
+            ..CalibParams::default()
+        },
+    );
+    let mut snap_b = snap_a.clone();
+    snap_b.device = "another-fridge".to_string();
+    snap_b.taken_at = "2026-08-08T00:00:00Z".to_string();
+    assert_eq!(
+        CharKey::with_calib(CellKind::Usc, &c, &s, &snap_a),
+        CharKey::with_calib(CellKind::Usc, &c, &s, &snap_b),
+    );
 }
 
 #[test]

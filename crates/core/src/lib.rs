@@ -71,6 +71,7 @@ pub mod prelude {
         CacheStats, Cell, CellKind, CellLibrary, CharKey, OpChannel, ParCheckCell, ParCheckChannel,
         RegisterCell, RegisterChannel, SeqOpCell, SeqOpChannel, UscCell, UscChain, UscChannel,
     };
+    pub use hetarch_devices::calib::{CalibParams, CalibSnapshot};
     pub use hetarch_devices::catalog;
     pub use hetarch_devices::rules::validate;
     pub use hetarch_devices::{DeviceGraph, DeviceId, DeviceRole, DeviceSpec};

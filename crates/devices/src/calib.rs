@@ -1,0 +1,635 @@
+//! Fleet calibration snapshots: measured per-qubit parameters as data.
+//!
+//! Every characterization in the workspace historically ran from one global
+//! noise point (a catalog [`DeviceSpec`] per role). A real fleet is not that
+//! uniform: each physical qubit has its own measured T1/T2, gate errors and
+//! readout duration, refreshed by daily calibration. This module defines the
+//! versioned JSON schema for such a snapshot and the mapper that folds the
+//! measured values onto catalog specs as *per-device overrides*.
+//!
+//! Contract (DESIGN.md §5j):
+//!
+//! * **Strict parsing.** Unknown fields (at either nesting level), missing
+//!   `version`, non-finite or out-of-range numbers, and unphysical `t1`/`t2`
+//!   pairs are rejected at parse time with a path-qualified error. A
+//!   snapshot that parses is safe to apply: [`CalibSnapshot::apply`] cannot
+//!   produce an unphysical spec from a physical one.
+//! * **Defaults by omission.** Every per-qubit field is optional; an omitted
+//!   field means "keep the catalog value". `t1`/`t2` must be given together
+//!   so the physicality check (`0 < t2 ≤ 2·t1`) is closed under override.
+//! * **Deterministic round trip.** [`CalibSnapshot::to_json`] renders via
+//!   the deterministic writer in [`crate::json`] (sorted keys, shortest
+//!   round-trip floats), so parse → render → parse is the identity.
+//! * **Override precedence.** A calibration override beats the sweep-axis
+//!   value, which beats the catalog default. Overrides are keyed by the
+//!   cell-layout node label (e.g. `"usc/ancilla"`, `"register/storage"`);
+//!   labels that match no slot in a given cell are simply unused there.
+//!
+//! Units are SI throughout (seconds for times); the optional `"units"`
+//! field must spell `"si"` when present.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceSpec;
+use crate::json::{self, Json};
+
+/// The only schema version this build reads and writes.
+pub const CALIB_VERSION: i64 = 1;
+
+/// Measured overrides for one physical qubit / device slot.
+///
+/// Every field is optional: `None` keeps the catalog value. Times are in
+/// seconds; errors are average error probabilities in `[0, 1]`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CalibParams {
+    /// Amplitude-damping time constant (seconds). Must come with [`t2`].
+    ///
+    /// [`t2`]: CalibParams::t2
+    pub t1: Option<f64>,
+    /// Dephasing time constant (seconds). Must come with [`t1`].
+    ///
+    /// [`t1`]: CalibParams::t1
+    pub t2: Option<f64>,
+    /// Average single-qubit gate error; applied only when the device
+    /// offers a single-qubit gate.
+    pub gate_1q_error: Option<f64>,
+    /// Average two-qubit gate error; applied only when the device offers
+    /// a two-qubit gate.
+    pub gate_2q_error: Option<f64>,
+    /// Average SWAP / load-store error.
+    pub swap_error: Option<f64>,
+    /// Measured readout duration (seconds); applied only when the device
+    /// is readout-capable (an override never *grants* readout, which
+    /// would change design-rule outcomes).
+    pub readout_time: Option<f64>,
+}
+
+/// Field names accepted inside a per-qubit object, in schema order.
+const PARAM_FIELDS: [&str; 6] = [
+    "t1",
+    "t2",
+    "gate_1q_error",
+    "gate_2q_error",
+    "swap_error",
+    "readout_time",
+];
+
+impl CalibParams {
+    /// True when no field is overridden.
+    pub fn is_empty(&self) -> bool {
+        self.t1.is_none()
+            && self.t2.is_none()
+            && self.gate_1q_error.is_none()
+            && self.gate_2q_error.is_none()
+            && self.swap_error.is_none()
+            && self.readout_time.is_none()
+    }
+
+    /// Folds the overrides onto `spec`, returning the calibrated copy.
+    ///
+    /// Untouched fields keep their catalog values bit for bit, so applying
+    /// an empty override set is the identity.
+    pub fn apply_to(&self, spec: &DeviceSpec) -> DeviceSpec {
+        let mut out = spec.clone();
+        if let (Some(t1), Some(t2)) = (self.t1, self.t2) {
+            out.t1 = t1;
+            out.t2 = t2;
+        }
+        if let (Some(error), Some(gate)) = (self.gate_1q_error, out.gate_1q.as_mut()) {
+            gate.error = error;
+        }
+        if let (Some(error), Some(gate)) = (self.gate_2q_error, out.gate_2q.as_mut()) {
+            gate.error = error;
+        }
+        if let Some(error) = self.swap_error {
+            out.swap.error = error;
+        }
+        if let (Some(time), Some(readout)) = (self.readout_time, out.readout_time.as_mut()) {
+            *readout = time;
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        let mut map = BTreeMap::new();
+        for (name, value) in [
+            ("t1", self.t1),
+            ("t2", self.t2),
+            ("gate_1q_error", self.gate_1q_error),
+            ("gate_2q_error", self.gate_2q_error),
+            ("swap_error", self.swap_error),
+            ("readout_time", self.readout_time),
+        ] {
+            if let Some(value) = value {
+                map.insert(name.to_string(), Json::Num(value));
+            }
+        }
+        Json::Obj(map)
+    }
+
+    fn from_json(label: &str, v: &Json) -> Result<CalibParams, CalibError> {
+        let Json::Obj(map) = v else {
+            return Err(schema(format!("$.qubits.{label}"), "expected an object"));
+        };
+        for key in map.keys() {
+            if !PARAM_FIELDS.contains(&key.as_str()) {
+                return Err(schema(
+                    format!("$.qubits.{label}"),
+                    format!("unknown field `{key}`"),
+                ));
+            }
+        }
+        let field = |name: &str| -> Result<Option<f64>, CalibError> {
+            let Some(v) = map.get(name) else {
+                return Ok(None);
+            };
+            let path = || format!("$.qubits.{label}.{name}");
+            let n = v
+                .as_f64()
+                .ok_or_else(|| schema(path(), "expected a finite number"))?;
+            if !n.is_finite() {
+                return Err(schema(path(), "expected a finite number"));
+            }
+            Ok(Some(n))
+        };
+        let positive = |name: &str| -> Result<Option<f64>, CalibError> {
+            match field(name)? {
+                Some(n) if n <= 0.0 => Err(schema(
+                    format!("$.qubits.{label}.{name}"),
+                    format!("must be > 0, got {n:?}"),
+                )),
+                other => Ok(other),
+            }
+        };
+        let error_rate = |name: &str| -> Result<Option<f64>, CalibError> {
+            match field(name)? {
+                Some(n) if !(0.0..=1.0).contains(&n) => Err(schema(
+                    format!("$.qubits.{label}.{name}"),
+                    format!("must be in [0, 1], got {n:?}"),
+                )),
+                other => Ok(other),
+            }
+        };
+        let params = CalibParams {
+            t1: positive("t1")?,
+            t2: positive("t2")?,
+            gate_1q_error: error_rate("gate_1q_error")?,
+            gate_2q_error: error_rate("gate_2q_error")?,
+            swap_error: error_rate("swap_error")?,
+            readout_time: positive("readout_time")?,
+        };
+        match (params.t1, params.t2) {
+            (Some(t1), Some(t2)) => {
+                // Same tolerance as `DeviceSpec::coherence_is_physical`.
+                if t2 > 2.0 * t1 * (1.0 + 1e-12) {
+                    return Err(schema(
+                        format!("$.qubits.{label}"),
+                        format!("unphysical coherence: t2 {t2:?} exceeds 2·t1 ({t1:?})"),
+                    ));
+                }
+            }
+            (None, None) => {}
+            _ => {
+                return Err(schema(
+                    format!("$.qubits.{label}"),
+                    "t1 and t2 must be provided together",
+                ));
+            }
+        }
+        Ok(params)
+    }
+}
+
+/// One dated calibration snapshot for a named fleet device.
+///
+/// `qubits` maps cell-layout node labels (e.g. `"usc/ancilla"`) to measured
+/// overrides. The map is a [`BTreeMap`], so serialization — both the JSON
+/// form and the binary serde form used in cache keys — is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CalibSnapshot {
+    /// Fleet device this snapshot was measured on (free-form identifier).
+    pub device: String,
+    /// When the calibration was taken (free-form timestamp; metadata only,
+    /// never part of cache keys).
+    pub taken_at: String,
+    /// Per-slot measured overrides, keyed by cell-layout node label.
+    pub qubits: BTreeMap<String, CalibParams>,
+}
+
+impl CalibSnapshot {
+    /// Parses a snapshot from JSON text, strictly.
+    pub fn parse(text: &str) -> Result<CalibSnapshot, CalibError> {
+        CalibSnapshot::from_json(&json::parse(text).map_err(CalibError::Json)?)
+    }
+
+    /// Builds a snapshot from a parsed JSON value, strictly: unknown
+    /// fields, a missing or unsupported `version`, wrong units, and any
+    /// non-finite / out-of-range number are errors.
+    pub fn from_json(v: &Json) -> Result<CalibSnapshot, CalibError> {
+        let Json::Obj(map) = v else {
+            return Err(schema("$", "expected an object"));
+        };
+        for key in map.keys() {
+            if !matches!(
+                key.as_str(),
+                "version" | "device" | "taken_at" | "units" | "qubits"
+            ) {
+                return Err(schema("$", format!("unknown field `{key}`")));
+            }
+        }
+        match map.get("version") {
+            Some(Json::Int(v)) if *v == CALIB_VERSION => {}
+            Some(other) => {
+                return Err(schema(
+                    "$.version",
+                    format!("unsupported version {other}, expected {CALIB_VERSION}"),
+                ));
+            }
+            None => return Err(schema("$.version", "missing required field")),
+        }
+        if let Some(units) = map.get("units") {
+            match units.as_str() {
+                Some("si") => {}
+                _ => return Err(schema("$.units", "expected \"si\"")),
+            }
+        }
+        let device = match map.get("device") {
+            Some(Json::Str(s)) => s.clone(),
+            Some(_) => return Err(schema("$.device", "expected a string")),
+            None => return Err(schema("$.device", "missing required field")),
+        };
+        let taken_at = match map.get("taken_at") {
+            Some(Json::Str(s)) => s.clone(),
+            Some(_) => return Err(schema("$.taken_at", "expected a string")),
+            None => String::new(),
+        };
+        let mut qubits = BTreeMap::new();
+        match map.get("qubits") {
+            Some(Json::Obj(entries)) => {
+                for (label, params) in entries {
+                    qubits.insert(label.clone(), CalibParams::from_json(label, params)?);
+                }
+            }
+            Some(_) => return Err(schema("$.qubits", "expected an object")),
+            None => return Err(schema("$.qubits", "missing required field")),
+        }
+        Ok(CalibSnapshot {
+            device,
+            taken_at,
+            qubits,
+        })
+    }
+
+    /// Renders the canonical JSON form; `parse(to_json().render())` is the
+    /// identity.
+    pub fn to_json(&self) -> Json {
+        let qubits = self
+            .qubits
+            .iter()
+            .map(|(label, params)| (label.clone(), params.to_json()))
+            .collect();
+        Json::obj([
+            ("version", Json::Int(CALIB_VERSION)),
+            ("device", Json::Str(self.device.clone())),
+            ("taken_at", Json::Str(self.taken_at.clone())),
+            ("units", Json::Str("si".to_string())),
+            ("qubits", Json::Obj(qubits)),
+        ])
+    }
+
+    /// The overrides recorded for a layout label, if any.
+    pub fn overrides_for(&self, label: &str) -> Option<&CalibParams> {
+        self.qubits.get(label)
+    }
+
+    /// Calibrates `spec` for the slot labelled `label`: folds that label's
+    /// overrides onto it, or returns it unchanged (bit for bit) when the
+    /// snapshot records nothing for the label.
+    pub fn apply(&self, label: &str, spec: &DeviceSpec) -> DeviceSpec {
+        match self.qubits.get(label) {
+            Some(params) => params.apply_to(spec),
+            None => spec.clone(),
+        }
+    }
+
+    /// True when no label carries any override: applying the snapshot is
+    /// the identity on every spec.
+    pub fn is_empty(&self) -> bool {
+        self.qubits.values().all(CalibParams::is_empty)
+    }
+}
+
+fn schema(path: impl Into<String>, message: impl Into<String>) -> CalibError {
+    CalibError::Schema {
+        path: path.into(),
+        message: message.into(),
+    }
+}
+
+/// Why a calibration snapshot was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CalibError {
+    /// The text was not valid JSON.
+    Json(json::ParseError),
+    /// The JSON was well-formed but violated the schema.
+    Schema {
+        /// JSONPath-style location of the offending value.
+        path: String,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for CalibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibError::Json(e) => write!(f, "invalid JSON: {e}"),
+            CalibError::Schema { path, message } => {
+                write!(f, "invalid calibration snapshot at {path}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn fixture_text() -> String {
+        r#"{
+            "version": 1,
+            "device": "fleet-east-7",
+            "taken_at": "2026-08-08T06:00:00Z",
+            "units": "si",
+            "qubits": {
+                "usc/ancilla": {"t1": 2.1e-4, "t2": 1.6e-4, "gate_2q_error": 0.004},
+                "register/storage": {"t1": 0.012, "t2": 0.009, "swap_error": 0.002},
+                "parcheck/b": {"readout_time": 8.4e-7}
+            }
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn parses_and_round_trips_the_fixture() {
+        let snap = CalibSnapshot::parse(&fixture_text()).unwrap();
+        assert_eq!(snap.device, "fleet-east-7");
+        assert_eq!(snap.qubits.len(), 3);
+        let rendered = snap.to_json().render();
+        let again = CalibSnapshot::parse(&rendered).unwrap();
+        assert_eq!(snap, again);
+        assert_eq!(again.to_json().render(), rendered);
+    }
+
+    #[test]
+    fn apply_overrides_only_what_is_measured() {
+        let snap = CalibSnapshot::parse(&fixture_text()).unwrap();
+        let base = catalog::fixed_frequency_qubit();
+        let calibrated = snap.apply("usc/ancilla", &base);
+        assert_eq!(calibrated.t1, 2.1e-4);
+        assert_eq!(calibrated.t2, 1.6e-4);
+        assert_eq!(calibrated.gate_2q.unwrap().error, 0.004);
+        // Untouched fields keep catalog values bit for bit.
+        assert_eq!(calibrated.gate_1q, base.gate_1q);
+        assert_eq!(calibrated.swap, base.swap);
+        assert_eq!(calibrated.readout_time, base.readout_time);
+        // Unknown label: identity.
+        assert_eq!(snap.apply("no/such/slot", &base), base);
+        assert!(calibrated.coherence_is_physical());
+    }
+
+    #[test]
+    fn readout_override_never_grants_readout() {
+        let mut snap = CalibSnapshot::default();
+        snap.qubits.insert(
+            "register/storage".to_string(),
+            CalibParams {
+                readout_time: Some(1e-6),
+                ..CalibParams::default()
+            },
+        );
+        let storage = catalog::multimode_resonator_3d();
+        assert!(storage.readout_time.is_none());
+        let calibrated = snap.apply("register/storage", &storage);
+        assert!(calibrated.readout_time.is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_fields_at_both_levels() {
+        let top = r#"{"version":1,"device":"d","qubits":{},"surprise":true}"#;
+        assert!(matches!(
+            CalibSnapshot::parse(top),
+            Err(CalibError::Schema { path, .. }) if path == "$"
+        ));
+        let nested = r#"{"version":1,"device":"d","qubits":{"q":{"t_one":1.0}}}"#;
+        assert!(matches!(
+            CalibSnapshot::parse(nested),
+            Err(CalibError::Schema { path, .. }) if path == "$.qubits.q"
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_versions() {
+        for (case, text) in [
+            (
+                "negative t1",
+                r#"{"version":1,"device":"d","qubits":{"q":{"t1":-1.0,"t2":1.0}}}"#,
+            ),
+            (
+                "zero t2",
+                r#"{"version":1,"device":"d","qubits":{"q":{"t1":1.0,"t2":0}}}"#,
+            ),
+            (
+                "error > 1",
+                r#"{"version":1,"device":"d","qubits":{"q":{"swap_error":1.5}}}"#,
+            ),
+            (
+                "negative error",
+                r#"{"version":1,"device":"d","qubits":{"q":{"swap_error":-0.1}}}"#,
+            ),
+            (
+                "NaN literal",
+                r#"{"version":1,"device":"d","qubits":{"q":{"t1":NaN,"t2":1.0}}}"#,
+            ),
+            (
+                "Inf literal",
+                r#"{"version":1,"device":"d","qubits":{"q":{"t1":1e999,"t2":1.0}}}"#,
+            ),
+            (
+                "string number",
+                r#"{"version":1,"device":"d","qubits":{"q":{"t1":"0.1","t2":1.0}}}"#,
+            ),
+            (
+                "t1 without t2",
+                r#"{"version":1,"device":"d","qubits":{"q":{"t1":1.0}}}"#,
+            ),
+            (
+                "unphysical t2",
+                r#"{"version":1,"device":"d","qubits":{"q":{"t1":1.0,"t2":2.1}}}"#,
+            ),
+            ("missing version", r#"{"device":"d","qubits":{}}"#),
+            ("wrong version", r#"{"version":2,"device":"d","qubits":{}}"#),
+            (
+                "float version",
+                r#"{"version":1.0,"device":"d","qubits":{}}"#,
+            ),
+            (
+                "bad units",
+                r#"{"version":1,"device":"d","units":"ns","qubits":{}}"#,
+            ),
+            ("missing qubits", r#"{"version":1,"device":"d"}"#),
+            ("missing device", r#"{"version":1,"qubits":{}}"#),
+        ] {
+            assert!(CalibSnapshot::parse(text).is_err(), "should reject {case}");
+        }
+    }
+
+    #[test]
+    fn binary_serde_round_trips() {
+        let snap = CalibSnapshot::parse(&fixture_text()).unwrap();
+        let bytes = serde::to_bytes(&snap);
+        let back: CalibSnapshot = serde::from_bytes(&bytes).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        fn label() -> impl Strategy<Value = String> {
+            prop_oneof![
+                Just("usc/ancilla".to_string()),
+                Just("usc/s0".to_string()),
+                Just("usc/c1".to_string()),
+                Just("register/compute".to_string()),
+                Just("register/storage".to_string()),
+                Just("parcheck/a".to_string()),
+                Just("parcheck/b".to_string()),
+                Just("seqop/cp".to_string()),
+            ]
+        }
+
+        /// Optional-value combinator (the vendored proptest has no
+        /// `option::of`).
+        fn opt<S>(s: S) -> impl Strategy<Value = Option<S::Value>>
+        where
+            S: Strategy + 'static,
+        {
+            (0u32..2, s).prop_map(|(tag, v)| (tag == 1).then_some(v))
+        }
+
+        fn params() -> impl Strategy<Value = CalibParams> {
+            (
+                opt((1e-6f64..1.0, 0.05f64..=2.0)),
+                opt(0.0f64..=1.0),
+                opt(0.0f64..=1.0),
+                opt(0.0f64..=1.0),
+                opt(1e-9f64..1e-3),
+            )
+                .prop_map(|(coherence, g1, g2, sw, ro)| {
+                    let (t1, t2) = match coherence {
+                        // ratio ≤ 2.0 keeps t2 ≤ 2·t1 exactly.
+                        Some((t1, ratio)) => (Some(t1), Some(t1 * ratio)),
+                        None => (None, None),
+                    };
+                    CalibParams {
+                        t1,
+                        t2,
+                        gate_1q_error: g1,
+                        gate_2q_error: g2,
+                        swap_error: sw,
+                        readout_time: ro,
+                    }
+                })
+        }
+
+        fn snapshot() -> impl Strategy<Value = CalibSnapshot> {
+            (
+                prop_oneof![
+                    Just("fleet-east-7".to_string()),
+                    Just("fleet-west-2".to_string()),
+                    Just("rig-a".to_string()),
+                ],
+                prop_oneof![
+                    Just(String::new()),
+                    Just("2026-08-08T06:00:00Z".to_string()),
+                ],
+                vec((label(), params()), 0..6),
+            )
+                .prop_map(|(device, taken_at, entries)| CalibSnapshot {
+                    device,
+                    taken_at,
+                    qubits: entries.into_iter().collect(),
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// parse → render → parse is the identity, and rendering is a
+            /// fixpoint (canonical form renders to itself).
+            fn json_round_trip_is_idempotent(snap in snapshot()) {
+                let rendered = snap.to_json().render();
+                let parsed = CalibSnapshot::parse(&rendered).unwrap();
+                prop_assert_eq!(&parsed, &snap);
+                prop_assert_eq!(parsed.to_json().render(), rendered);
+            }
+
+            /// The binary serde form (used inside cache keys) round-trips.
+            fn binary_round_trip(snap in snapshot()) {
+                let bytes = serde::to_bytes(&snap);
+                let back: CalibSnapshot = serde::from_bytes(&bytes).unwrap();
+                prop_assert_eq!(back, snap);
+            }
+
+            /// Corrupting any one numeric field to a non-finite or
+            /// out-of-range value makes the whole snapshot unparseable.
+            fn corrupted_fields_are_rejected(
+                snap in snapshot(),
+                field in 0usize..6,
+                bad in prop_oneof![
+                    Just("-1.0"), Just("NaN"), Just("Infinity"),
+                    Just("1e999"), Just("null"), Just("\"0.1\""),
+                ],
+            ) {
+                let name = super::PARAM_FIELDS[field];
+                let mut v = snap.to_json();
+                let Json::Obj(map) = &mut v else { unreachable!() };
+                let Some(Json::Obj(qubits)) = map.get_mut("qubits") else {
+                    unreachable!()
+                };
+                qubits.insert(
+                    "injected/slot".to_string(),
+                    json::parse(&format!("{{\"{name}\":0.5}}")).unwrap(),
+                );
+                let good = v.render();
+                prop_assert!(CalibSnapshot::parse(&good).is_err() == (name == "t1" || name == "t2"),
+                    "lone t1/t2 must be rejected, everything else accepted");
+                let bad_text = good.replace(&format!("\"{name}\":0.5"), &format!("\"{name}\":{bad}"));
+                prop_assert!(CalibSnapshot::parse(&bad_text).is_err(),
+                    "should reject {}={}", name, bad);
+            }
+
+            /// Applying an effectively-empty snapshot is the identity on
+            /// every catalog spec.
+            fn empty_snapshot_apply_is_identity(label in label()) {
+                let snap = CalibSnapshot::default();
+                prop_assert!(snap.is_empty());
+                for spec in [
+                    catalog::fixed_frequency_qubit(),
+                    catalog::flux_tunable_qubit(),
+                    catalog::multimode_resonator_3d(),
+                ] {
+                    prop_assert_eq!(snap.apply(&label, &spec), spec);
+                }
+            }
+        }
+    }
+}

@@ -28,12 +28,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calib;
 pub mod catalog;
 pub mod device;
 pub mod footprint;
+pub mod json;
 pub mod rules;
 pub mod topology;
 
+pub use calib::{CalibError, CalibParams, CalibSnapshot};
 pub use catalog::catalog;
 pub use device::{DeviceKind, DeviceRole, DeviceSpec, Footprint, GateSet, GateSpec};
 pub use rules::{validate, DesignRule, Violation};

@@ -44,19 +44,20 @@ impl fmt::Display for DesignRule {
 pub struct Violation {
     /// The rule violated.
     pub rule: DesignRule,
-    /// The offending device.
-    pub device: DeviceId,
+    /// The offending device, when the violation is attributable to one.
+    /// `None` for whole-graph violations with no candidate device (e.g. a
+    /// DR4 readout-count mismatch on a graph with no compute devices).
+    pub device: Option<DeviceId>,
     /// Human-readable details.
     pub detail: String,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}: device #{}: {}",
-            self.rule, self.device.0, self.detail
-        )
+        match self.device {
+            Some(device) => write!(f, "{}: device #{}: {}", self.rule, device.0, self.detail),
+            None => write!(f, "{}: graph: {}", self.rule, self.detail),
+        }
     }
 }
 
@@ -69,7 +70,7 @@ pub fn check_dr1(graph: &DeviceGraph) -> Vec<Violation> {
             let deg = graph.degree(id);
             (deg > 4).then(|| Violation {
                 rule: DesignRule::Dr1ComputeFanout,
-                device: id,
+                device: Some(id),
                 detail: format!("'{}' has {deg} couplings (max 4)", n.label),
             })
         })
@@ -88,7 +89,7 @@ pub fn check_dr2(graph: &DeviceGraph) -> Vec<Violation> {
         if neighbors.len() != 1 {
             out.push(Violation {
                 rule: DesignRule::Dr2StorageSinglePort,
-                device: id,
+                device: Some(id),
                 detail: format!(
                     "'{}' has {} couplings (storage needs exactly 1)",
                     n.label,
@@ -101,7 +102,7 @@ pub fn check_dr2(graph: &DeviceGraph) -> Vec<Violation> {
         if peer.spec.role != DeviceRole::Compute {
             out.push(Violation {
                 rule: DesignRule::Dr2StorageSinglePort,
-                device: id,
+                device: Some(id),
                 detail: format!(
                     "'{}' couples to storage device '{}' instead of a compute device",
                     n.label, peer.label
@@ -121,7 +122,7 @@ pub fn check_dr3(graph: &DeviceGraph) -> Vec<Violation> {
         if deg > n.spec.max_connectivity as usize {
             out.push(Violation {
                 rule: DesignRule::Dr3ConnectivityBudget,
-                device: id,
+                device: Some(id),
                 detail: format!(
                     "'{}' uses {deg} couplings but tolerates only {}",
                     n.label, n.spec.max_connectivity
@@ -131,7 +132,7 @@ pub fn check_dr3(graph: &DeviceGraph) -> Vec<Violation> {
         if deg == 0 && graph.num_devices() > 1 {
             out.push(Violation {
                 rule: DesignRule::Dr3ConnectivityBudget,
-                device: id,
+                device: Some(id),
                 detail: format!("'{}' is disconnected", n.label),
             });
         }
@@ -150,7 +151,7 @@ pub fn check_dr4(graph: &DeviceGraph, required_readouts: usize) -> Vec<Violation
             if n.spec.role == DeviceRole::Storage {
                 out.push(Violation {
                     rule: DesignRule::Dr4MinimalReadout,
-                    device: id,
+                    device: Some(id),
                     detail: format!("storage device '{}' cannot carry readout", n.label),
                 });
             } else {
@@ -159,18 +160,23 @@ pub fn check_dr4(graph: &DeviceGraph, required_readouts: usize) -> Vec<Violation
         }
     }
     if equipped != required_readouts {
-        // Attribute to the first compute device for a stable report.
-        let device = graph
-            .compute_devices()
-            .first()
-            .copied()
-            .unwrap_or(DeviceId(0));
+        // Attribute to the first compute device for a stable report; a
+        // graph with no compute devices at all gets an explicit
+        // graph-level attribution instead of blaming an arbitrary device.
+        let device = graph.compute_devices().first().copied();
+        let detail = if device.is_some() {
+            format!(
+                "{equipped} readout-equipped compute devices, but the cell needs exactly {required_readouts}"
+            )
+        } else {
+            format!(
+                "graph has no compute device, but the cell needs exactly {required_readouts} readout-equipped"
+            )
+        };
         out.push(Violation {
             rule: DesignRule::Dr4MinimalReadout,
             device,
-            detail: format!(
-                "{equipped} readout-equipped compute devices, but the cell needs exactly {required_readouts}"
-            ),
+            detail,
         });
     }
     out
@@ -218,7 +224,7 @@ mod tests {
         let v = check_dr1(&g);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, DesignRule::Dr1ComputeFanout);
-        assert_eq!(v[0].device, hub);
+        assert_eq!(v[0].device, Some(hub));
     }
 
     #[test]
@@ -231,7 +237,7 @@ mod tests {
         g.connect(s, c2);
         let v = check_dr2(&g);
         assert_eq!(v.len(), 1);
-        assert_eq!(v[0].device, s);
+        assert_eq!(v[0].device, Some(s));
     }
 
     #[test]
@@ -253,7 +259,7 @@ mod tests {
         g.connect(s, c1); // storage budget is 1...
         g.connect(s, c2); // ...this exceeds it
         let v = check_dr3(&g);
-        assert!(v.iter().any(|x| x.device == s));
+        assert!(v.iter().any(|x| x.device == Some(s)));
 
         let mut g = DeviceGraph::new();
         let _ = g.add_device("a", fixed_frequency_qubit(), false);
@@ -280,7 +286,29 @@ mod tests {
         let s = g.add_device("s", multimode_resonator_3d(), true);
         g.connect(c, s);
         let v = check_dr4(&g, 0);
-        assert!(v.iter().any(|x| x.device == s));
+        assert!(v.iter().any(|x| x.device == Some(s)));
+    }
+
+    #[test]
+    fn dr4_attributes_compute_free_graph_to_the_graph() {
+        // A storage-only graph that still claims to need readout: there is
+        // no compute device to blame, so the attribution must be explicit
+        // (`None`), not an arbitrary DeviceId(0) that happens to be storage.
+        let mut g = DeviceGraph::new();
+        let s = g.add_device("s", multimode_resonator_3d(), false);
+        let v = check_dr4(&g, 1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, DesignRule::Dr4MinimalReadout);
+        assert_eq!(v[0].device, None, "must not blame the storage device");
+        assert_ne!(v[0].device, Some(s));
+        assert!(v[0].detail.contains("no compute device"), "{}", v[0].detail);
+        let msg = v[0].to_string();
+        assert!(msg.contains("graph:"), "{msg}");
+
+        // An empty graph needing readout is also a graph-level violation.
+        let v = check_dr4(&DeviceGraph::new(), 2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].device, None);
     }
 
     #[test]

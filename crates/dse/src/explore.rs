@@ -290,6 +290,27 @@ pub fn explore_compute_choice(
     sim_duration: f64,
     seed: u64,
 ) -> Vec<ComputeChoicePoint> {
+    explore_compute_choice_with_calib(
+        gen_rate_hz,
+        ts,
+        sim_duration,
+        seed,
+        &hetarch_devices::calib::CalibSnapshot::default(),
+    )
+}
+
+/// [`explore_compute_choice`] evaluated against a fleet calibration
+/// snapshot: every cell is built with the snapshot's per-slot overrides
+/// (keyed by layout label, e.g. `"register/storage"`), so the comparison
+/// reflects today's measured devices rather than the nominal catalog. An
+/// empty snapshot reproduces [`explore_compute_choice`] exactly.
+pub fn explore_compute_choice_with_calib(
+    gen_rate_hz: f64,
+    ts: f64,
+    sim_duration: f64,
+    seed: u64,
+    calib: &hetarch_devices::calib::CalibSnapshot,
+) -> Vec<ComputeChoicePoint> {
     use hetarch_cells::{CellLibrary, ParCheckCell, RegisterCell};
     use hetarch_devices::catalog::{
         coherence_limited_storage, fixed_frequency_qubit, flux_tunable_qubit,
@@ -306,8 +327,8 @@ pub fn explore_compute_choice(
         let storage = coherence_limited_storage(ts);
         let lib = CellLibrary::new();
         let mut cfg = DistillConfig::heterogeneous(ts, gen_rate_hz, seed);
-        cfg.register = (*lib.get::<RegisterCell>(&compute, &storage)).clone();
-        cfg.parcheck = (*lib.get::<ParCheckCell>(&compute, &compute)).clone();
+        cfg.register = (*lib.get_with_calib::<RegisterCell>(&compute, &storage, calib)).clone();
+        cfg.parcheck = (*lib.get_with_calib::<ParCheckCell>(&compute, &compute, calib)).clone();
         let report = DistillModule::new(cfg).run(sim_duration);
         out.push(ComputeChoicePoint {
             device: base.name.clone(),

@@ -204,18 +204,36 @@ pub fn distillation_design(
     compute: &hetarch_devices::DeviceSpec,
     storage: &hetarch_devices::DeviceSpec,
 ) -> DesignNode {
+    distillation_design_with_calib(
+        lib,
+        compute,
+        storage,
+        &hetarch_devices::calib::CalibSnapshot::default(),
+    )
+}
+
+/// [`distillation_design`] with per-slot calibration overrides: every cell
+/// is built and characterized with the snapshot entries matching its layout
+/// labels. An empty snapshot reproduces [`distillation_design`] exactly
+/// (same cache keys, same channels).
+pub fn distillation_design_with_calib(
+    lib: &hetarch_cells::CellLibrary,
+    compute: &hetarch_devices::DeviceSpec,
+    storage: &hetarch_devices::DeviceSpec,
+    calib: &hetarch_devices::calib::CalibSnapshot,
+) -> DesignNode {
     use hetarch_cells::{Cell, ParCheckCell, RegisterCell};
     let reg_cell = |name: &str| {
-        let cell = RegisterCell::build(compute.clone(), storage.clone())
+        let cell = RegisterCell::build_with_calib(compute.clone(), storage.clone(), calib)
             .expect("register obeys the design rules");
-        let ch = lib.get::<RegisterCell>(compute, storage);
+        let ch = lib.get_with_calib::<RegisterCell>(compute, storage, calib);
         DesignNode::leaf_cell(name, cell.layout().clone(), cell.required_readouts())
             .with_op(ch.load.clone())
     };
     let parcheck = {
-        let cell = ParCheckCell::build(compute.clone(), compute.clone())
+        let cell = ParCheckCell::build_with_calib(compute.clone(), compute.clone(), calib)
             .expect("parcheck obeys the design rules");
-        let ch = lib.get::<ParCheckCell>(compute, compute);
+        let ch = lib.get_with_calib::<ParCheckCell>(compute, compute, calib);
         DesignNode::leaf_cell("parcheck", cell.layout().clone(), cell.required_readouts())
             .with_op(ch.parity.clone())
     };
@@ -239,9 +257,28 @@ pub fn uec_design(
     storage: &hetarch_devices::DeviceSpec,
     n_ext: usize,
 ) -> DesignNode {
-    let chain = hetarch_cells::UscChain::new(compute.clone(), storage.clone(), n_ext)
-        .expect("chain obeys the design rules");
-    let ch = lib.get::<hetarch_cells::UscCell>(compute, storage);
+    uec_design_with_calib(
+        lib,
+        compute,
+        storage,
+        n_ext,
+        &hetarch_devices::calib::CalibSnapshot::default(),
+    )
+}
+
+/// [`uec_design`] with per-slot calibration overrides (see
+/// [`distillation_design_with_calib`]).
+pub fn uec_design_with_calib(
+    lib: &hetarch_cells::CellLibrary,
+    compute: &hetarch_devices::DeviceSpec,
+    storage: &hetarch_devices::DeviceSpec,
+    n_ext: usize,
+    calib: &hetarch_devices::calib::CalibSnapshot,
+) -> DesignNode {
+    let chain =
+        hetarch_cells::UscChain::new_with_calib(compute.clone(), storage.clone(), n_ext, calib)
+            .expect("chain obeys the design rules");
+    let ch = lib.get_with_calib::<hetarch_cells::UscCell>(compute, storage, calib);
     // The chain is a composite (base USC + n_ext extensions, one readout
     // ancilla each), not a single Cell, so its readout budget is counted
     // here rather than through `required_readouts`.

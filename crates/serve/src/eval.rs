@@ -9,6 +9,7 @@
 //! the pool size, executor interleaving, or cache state.
 
 use hetarch_cells::{CellLibrary, UscCell};
+use hetarch_devices::calib::CalibSnapshot;
 use hetarch_devices::catalog::{coherence_limited_compute, coherence_limited_storage};
 use hetarch_dse::{pareto_front, try_sweep_on, Axis, DesignSpace};
 use hetarch_exec::{CancelToken, Cancelled, WorkerPool};
@@ -43,7 +44,22 @@ pub fn evaluate(
             ts_values,
             shots,
             seed,
-        } => sweep_uec(lib, pool, token, distances, ts_values, *shots, *seed),
+        } => {
+            // The empty snapshot characterizes identically to no snapshot
+            // (same cache key, bit-identical channels), so both sweep kinds
+            // share one code path.
+            let calib = CalibSnapshot::default();
+            sweep_uec(
+                lib, pool, token, distances, ts_values, *shots, *seed, &calib,
+            )
+        }
+        Query::CalibSweep {
+            distances,
+            ts_values,
+            shots,
+            seed,
+            calib,
+        } => sweep_uec(lib, pool, token, distances, ts_values, *shots, *seed, calib),
         Query::RareUec {
             distance, ts, seed, ..
         } => {
@@ -78,6 +94,7 @@ pub fn evaluate(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sweep_uec(
     lib: &CellLibrary,
     pool: &WorkerPool,
@@ -86,6 +103,7 @@ fn sweep_uec(
     ts_values: &[f64],
     shots: u32,
     seed: u64,
+    calib: &CalibSnapshot,
 ) -> Result<Json, Cancelled> {
     let space = DesignSpace::new(vec![
         Axis::new("d", distances.iter().map(|&d| f64::from(d)).collect()),
@@ -96,7 +114,12 @@ fn sweep_uec(
     let results = try_sweep_on(pool, space.points(), token, |p| {
         let d = p.get("d") as u32;
         let ts = p.get("ts");
-        uec_module(lib, d, ts).try_logical_error_rate_on(pool, shots as usize, seed, token)
+        uec_module_with_calib(lib, d, ts, calib).try_logical_error_rate_on(
+            pool,
+            shots as usize,
+            seed,
+            token,
+        )
     })?;
     let mut points = Vec::with_capacity(results.len());
     let mut objectives = Vec::with_capacity(results.len());
@@ -125,9 +148,23 @@ fn sweep_uec(
 }
 
 fn uec_module(lib: &CellLibrary, distance: u32, ts: f64) -> UecModule {
-    let usc = lib.get::<UscCell>(
+    uec_module_with_calib(lib, distance, ts, &CalibSnapshot::default())
+}
+
+/// Builds the UEC module for one design point with the snapshot's overrides
+/// folded into characterization. The empty snapshot shares the uncalibrated
+/// cache entry, so `sweep_uec`/`calib_sweep` with no overrides cost one
+/// simulation between them.
+fn uec_module_with_calib(
+    lib: &CellLibrary,
+    distance: u32,
+    ts: f64,
+    calib: &CalibSnapshot,
+) -> UecModule {
+    let usc = lib.get_with_calib::<UscCell>(
         &coherence_limited_compute(COMPUTE_TC),
         &coherence_limited_storage(ts),
+        calib,
     );
     UecModule::new(
         rotated_surface_code(distance as usize),
@@ -185,6 +222,70 @@ mod tests {
             renders.push(cold);
         }
         assert_eq!(renders[0], renders[1]);
+    }
+
+    #[test]
+    fn calib_sweep_overrides_reach_characterization() {
+        use hetarch_devices::calib::CalibParams;
+
+        let lib = CellLibrary::new();
+        let pool = WorkerPool::new(2);
+        let token = CancelToken::new();
+        let plain = Query::SweepUec {
+            distances: vec![3],
+            ts_values: vec![5e-3],
+            shots: 400,
+            seed: 11,
+        };
+        let baseline = evaluate(&plain, &lib, &pool, &token).unwrap().render();
+
+        // An empty snapshot is the same design point: identical bytes, and
+        // the characterization cache entry is shared (no new simulation).
+        let misses_before = lib.stats().misses;
+        let empty = Query::CalibSweep {
+            distances: vec![3],
+            ts_values: vec![5e-3],
+            shots: 400,
+            seed: 11,
+            calib: CalibSnapshot::default(),
+        };
+        assert_eq!(
+            evaluate(&empty, &lib, &pool, &token).unwrap().render(),
+            baseline
+        );
+        assert_eq!(lib.stats().misses, misses_before);
+
+        // A degraded storage slot must change the characterized channel and
+        // hence the swept logical error rate: the module's idle noise comes
+        // from the characterized storage coherence, so a fleet measurement
+        // far below the sweep-axis T_S must raise p_L.
+        let mut snap = CalibSnapshot::default();
+        snap.qubits.insert(
+            "usc/s0".to_string(),
+            CalibParams {
+                t1: Some(5e-5),
+                t2: Some(5e-5),
+                ..CalibParams::default()
+            },
+        );
+        let degraded = Query::CalibSweep {
+            distances: vec![3],
+            ts_values: vec![5e-3],
+            shots: 400,
+            seed: 11,
+            calib: snap,
+        };
+        let result = evaluate(&degraded, &lib, &pool, &token).unwrap();
+        assert!(lib.stats().misses > misses_before);
+        let p_l = |r: &Json| {
+            r.get("points").and_then(Json::as_arr).unwrap()[0]
+                .get("p_l")
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        let baseline_json = evaluate(&plain, &lib, &pool, &token).unwrap();
+        assert_ne!(p_l(&result), p_l(&baseline_json));
+        assert!(p_l(&result) > p_l(&baseline_json));
     }
 
     #[test]

@@ -1,512 +1,9 @@
-//! A minimal, dependency-free JSON value with a deterministic writer.
+//! Re-export of the workspace's deterministic JSON machinery.
 //!
-//! The workspace's vendored serde speaks a binary format, not JSON, so the
-//! wire layer hand-rolls the little JSON it needs. Two properties matter for
-//! the serving contract and are guaranteed here:
-//!
-//! * **Deterministic output** — objects are [`BTreeMap`]s, so keys always
-//!   serialize in sorted order, and floats print via `{:?}` (Rust's
-//!   shortest-round-trip formatting). Rendering the same [`Json`] twice
-//!   yields byte-identical text, which is what lets coalesced requests share
-//!   one response buffer and lets tests compare responses byte for byte.
-//! * **Bounded parsing** — the parser enforces a nesting-depth cap so a
-//!   hostile frame cannot overflow the handler's stack.
+//! The JSON value type, writer, and bounded parser now live in
+//! [`hetarch_devices::json`] so the calibration-snapshot schema
+//! (`hetarch_devices::calib`) can use them without a dependency cycle.
+//! The serve crate re-exports the module wholesale to keep
+//! `hetarch_serve::json::{Json, parse, ParseError}` paths stable.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
-/// Maximum nesting depth the parser accepts.
-const MAX_DEPTH: usize = 64;
-
-/// A parsed JSON value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer literal (no fraction or exponent) that fits in `i64`.
-    ///
-    /// Kept separate from [`Json::Num`] so 64-bit seeds and shot counts
-    /// round-trip exactly instead of saturating at 2^53.
-    Int(i64),
-    /// Any other number literal.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; sorted keys, duplicate keys rejected at parse time.
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// Builds an object from key/value pairs.
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Borrows the object field `key`, if this is an object that has it.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(map) => map.get(key),
-            _ => None,
-        }
-    }
-
-    /// The value as an `f64` (integers widen losslessly up to 2^53).
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Int(i) => Some(*i as f64),
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The value as a `u64`, if it is a non-negative integer.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Int(i) => u64::try_from(*i).ok(),
-            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
-            _ => None,
-        }
-    }
-
-    /// The value as a string slice.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as an array slice.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Renders to the deterministic text form.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        write_value(&mut out, self);
-        out
-    }
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.render())
-    }
-}
-
-fn write_value(out: &mut String, v: &Json) {
-    match v {
-        Json::Null => out.push_str("null"),
-        Json::Bool(true) => out.push_str("true"),
-        Json::Bool(false) => out.push_str("false"),
-        Json::Int(i) => out.push_str(&i.to_string()),
-        Json::Num(n) => write_f64(out, *n),
-        Json::Str(s) => write_string(out, s),
-        Json::Arr(items) => {
-            out.push('[');
-            for (i, item) in items.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                write_value(out, item);
-            }
-            out.push(']');
-        }
-        Json::Obj(map) => {
-            out.push('{');
-            for (i, (k, item)) in map.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                write_string(out, k);
-                out.push(':');
-                write_value(out, item);
-            }
-            out.push('}');
-        }
-    }
-}
-
-fn write_f64(out: &mut String, n: f64) {
-    if n.is_finite() {
-        // {:?} is Rust's shortest round-trip form; always contains '.',
-        // 'e', or "inf"/"NaN", so integers and floats stay distinguishable.
-        out.push_str(&format!("{n:?}"));
-    } else {
-        // JSON has no Inf/NaN; the server never emits them (validation
-        // rejects non-finite inputs), but render defensively as null.
-        out.push_str("null");
-    }
-}
-
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// A JSON parse error with a byte offset.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ParseError {
-    /// What went wrong.
-    pub message: String,
-    /// Byte offset into the input.
-    pub offset: usize,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at byte {}", self.message, self.offset)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-/// Parses one JSON value; trailing non-whitespace is an error.
-pub fn parse(input: &str) -> Result<Json, ParseError> {
-    let mut p = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let v = p.value(0)?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing data after value"));
-    }
-    Ok(v)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, message: &str) -> ParseError {
-        ParseError {
-            message: message.to_string(),
-            offset: self.pos,
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, ParseError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected `{lit}`")))
-        }
-    }
-
-    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
-        if depth > MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
-        }
-        match self.peek() {
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(depth),
-            Some(b'{') => self.object(depth),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(_) => Err(self.err("unexpected character")),
-            None => Err(self.err("unexpected end of input")),
-        }
-    }
-
-    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value(depth + 1)?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected `,` or `]`")),
-            }
-        }
-    }
-
-    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value(depth + 1)?;
-            if map.insert(key, value).is_some() {
-                return Err(self.err("duplicate object key"));
-            }
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(map));
-                }
-                _ => return Err(self.err("expected `,` or `}`")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let Some(b) = self.peek() else {
-                return Err(self.err("unterminated string"));
-            };
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let Some(esc) = self.peek() else {
-                        return Err(self.err("unterminated escape"));
-                    };
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let code = self.hex4()?;
-                            // Surrogate pairs: one following \uXXXX escape.
-                            let c = if (0xD800..0xDC00).contains(&code) {
-                                if self.peek() == Some(b'\\') {
-                                    self.pos += 1;
-                                    self.expect(b'u')?;
-                                    let low = self.hex4()?;
-                                    if !(0xDC00..0xE000).contains(&low) {
-                                        return Err(self.err("invalid low surrogate"));
-                                    }
-                                    let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
-                                    char::from_u32(c)
-                                } else {
-                                    None
-                                }
-                            } else {
-                                char::from_u32(code)
-                            };
-                            match c {
-                                Some(c) => out.push(c),
-                                None => return Err(self.err("invalid unicode escape")),
-                            }
-                        }
-                        _ => return Err(self.err("invalid escape")),
-                    }
-                }
-                b if b < 0x20 => return Err(self.err("control character in string")),
-                _ => {
-                    // Re-decode the UTF-8 sequence starting at b.
-                    let start = self.pos - 1;
-                    let width = utf8_width(b).ok_or_else(|| self.err("invalid utf-8"))?;
-                    let end = start + width;
-                    if end > self.bytes.len() {
-                        return Err(self.err("truncated utf-8"));
-                    }
-                    let s = std::str::from_utf8(&self.bytes[start..end])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    out.push_str(s);
-                    self.pos = end;
-                }
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, ParseError> {
-        let mut code = 0u32;
-        for _ in 0..4 {
-            let Some(b) = self.peek() else {
-                return Err(self.err("truncated unicode escape"));
-            };
-            let digit = match b {
-                b'0'..=b'9' => b - b'0',
-                b'a'..=b'f' => b - b'a' + 10,
-                b'A'..=b'F' => b - b'A' + 10,
-                _ => return Err(self.err("invalid hex digit")),
-            };
-            code = code * 16 + u32::from(digit);
-            self.pos += 1;
-        }
-        Ok(code)
-    }
-
-    fn number(&mut self) -> Result<Json, ParseError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        let mut integral = true;
-        while let Some(b) = self.peek() {
-            match b {
-                b'0'..=b'9' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    integral = false;
-                    self.pos += 1;
-                }
-                _ => break,
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        if integral {
-            if let Ok(i) = text.parse::<i64>() {
-                return Ok(Json::Int(i));
-            }
-        }
-        match text.parse::<f64>() {
-            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
-            _ => Err(self.err("invalid number")),
-        }
-    }
-}
-
-fn utf8_width(b: u8) -> Option<usize> {
-    match b {
-        0x00..=0x7F => Some(1),
-        0xC2..=0xDF => Some(2),
-        0xE0..=0xEF => Some(3),
-        0xF0..=0xF4 => Some(4),
-        _ => None,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_trips_scalars() {
-        for text in ["null", "true", "false", "0", "-7", "1.5", "\"hi\""] {
-            let v = parse(text).unwrap();
-            assert_eq!(v.render(), text);
-        }
-    }
-
-    #[test]
-    fn object_keys_render_sorted() {
-        let v = parse(r#"{"b":1,"a":2}"#).unwrap();
-        assert_eq!(v.render(), r#"{"a":2,"b":1}"#);
-    }
-
-    #[test]
-    fn integers_keep_64_bit_precision() {
-        let v = parse("9007199254740993").unwrap();
-        assert_eq!(v, Json::Int(9007199254740993));
-        assert_eq!(v.as_u64(), Some(9007199254740993));
-    }
-
-    #[test]
-    fn floats_round_trip_shortest() {
-        let v = parse("0.1").unwrap();
-        assert_eq!(v.render(), "0.1");
-        let v = parse("1e-10").unwrap();
-        assert_eq!(v.as_f64(), Some(1e-10));
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        for text in [
-            "",
-            "{",
-            "[1,",
-            "{\"a\"}",
-            "tru",
-            "1.2.3",
-            "\"\\x\"",
-            "{\"a\":1,\"a\":2}",
-            "01a",
-            "nul",
-            "[1]]",
-        ] {
-            assert!(parse(text).is_err(), "should reject {text:?}");
-        }
-    }
-
-    #[test]
-    fn rejects_deep_nesting() {
-        let deep = "[".repeat(100) + &"]".repeat(100);
-        assert!(parse(&deep).is_err());
-    }
-
-    #[test]
-    fn string_escapes_round_trip() {
-        let v = parse(r#""a\n\t\"\\\u0041\u00e9""#).unwrap();
-        assert_eq!(v, Json::Str("a\n\t\"\\Aé".to_string()));
-        let rendered = v.render();
-        assert_eq!(parse(&rendered).unwrap(), v);
-    }
-
-    #[test]
-    fn surrogate_pairs_decode() {
-        let v = parse(r#""\ud83d\ude00""#).unwrap();
-        assert_eq!(v, Json::Str("😀".to_string()));
-    }
-
-    #[test]
-    fn unicode_passthrough() {
-        let v = parse("\"héllo — 😀\"").unwrap();
-        assert_eq!(v, Json::Str("héllo — 😀".to_string()));
-    }
-}
+pub use hetarch_devices::json::*;

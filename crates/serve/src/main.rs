@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! hetarch-serve serve [--addr HOST:PORT] [--workers N] [--executors N]
+//!                     [--queue N] [--cache-cap N] [--cache PATH]
 //! hetarch-serve query ADDR JSON     # one request, prints the reply
 //! hetarch-serve shutdown ADDR       # asks a running server to drain
 //! ```
@@ -31,9 +32,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   hetarch-serve serve [--addr HOST:PORT] [--workers N] [--executors N] \
-[--queue N] [--cache N]
+[--queue N] [--cache-cap N] [--cache PATH]
   hetarch-serve query ADDR JSON
-  hetarch-serve shutdown ADDR";
+  hetarch-serve shutdown ADDR
+
+  --cache PATH persists the characterization cache: loaded on boot (a
+  missing file is a cold start), saved on graceful shutdown. A restarted
+  server re-answers prior sweeps with zero new simulations.";
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut config = ServerConfig {
@@ -52,7 +57,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--workers" => config.workers = parse_count(&value(&mut it)?)?,
             "--executors" => config.executors = parse_count(&value(&mut it)?)?,
             "--queue" => config.queue_capacity = parse_count(&value(&mut it)?)?,
-            "--cache" => config.cache_capacity = parse_count(&value(&mut it)?)?,
+            "--cache-cap" => config.cache_capacity = parse_count(&value(&mut it)?)?,
+            "--cache" => config.library_path = Some(value(&mut it)?.into()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }

@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use hetarch_devices::calib::CalibSnapshot;
 use hetarch_exec::rare::RareConfig;
 
 use crate::json::Json;
@@ -45,6 +46,22 @@ pub enum Query {
         shots: u32,
         /// Base seed (worker-count-invariant sharding beneath).
         seed: u64,
+    },
+    /// [`Query::SweepUec`] against a calibration snapshot: every design
+    /// point is characterized with the snapshot's per-device overrides
+    /// applied on top of the sweep-axis specs. The snapshot is part of the
+    /// canonical query, so sweeps against different fleets never coalesce.
+    CalibSweep {
+        /// Code distances (subset of [`SUPPORTED_DISTANCES`]).
+        distances: Vec<u32>,
+        /// Storage coherence values T_S (seconds).
+        ts_values: Vec<f64>,
+        /// Monte-Carlo shots per design point.
+        shots: u32,
+        /// Base seed (worker-count-invariant sharding beneath).
+        seed: u64,
+        /// The fleet calibration snapshot to characterize against.
+        calib: CalibSnapshot,
     },
     /// Rare-event logical error rate for one UEC configuration.
     RareUec {
@@ -93,6 +110,11 @@ impl Query {
     /// before deriving its key.
     pub fn canonicalize(&mut self) {
         if let Query::SweepUec {
+            distances,
+            ts_values,
+            ..
+        }
+        | Query::CalibSweep {
             distances,
             ts_values,
             ..
@@ -148,6 +170,7 @@ pub fn parse_query(body: &Json) -> Result<Query, String> {
         .ok_or("missing string field `query`")?;
     let known: &[&str] = match kind {
         "sweep_uec" => &["query", "distances", "ts_values", "shots", "seed"],
+        "calib_sweep" => &["query", "distances", "ts_values", "shots", "seed", "calib"],
         "rare_uec" => &[
             "query",
             "distance",
@@ -174,6 +197,16 @@ pub fn parse_query(body: &Json) -> Result<Query, String> {
             ts_values: f64_list(body, "ts_values")?,
             shots: u32_field(body, "shots", DEFAULT_SHOTS)?,
             seed: u64_field(body, "seed", DEFAULT_SEED)?,
+        },
+        "calib_sweep" => Query::CalibSweep {
+            distances: u32_list(body, "distances")?,
+            ts_values: f64_list(body, "ts_values")?,
+            shots: u32_field(body, "shots", DEFAULT_SHOTS)?,
+            seed: u64_field(body, "seed", DEFAULT_SEED)?,
+            calib: CalibSnapshot::from_json(
+                body.get("calib").ok_or("missing object field `calib`")?,
+            )
+            .map_err(|e| format!("invalid `calib`: {e}"))?,
         },
         "rare_uec" => {
             let defaults = RareConfig::default();
@@ -214,24 +247,13 @@ fn validate(query: &Query) -> Result<(), String> {
             ts_values,
             shots,
             ..
-        } => {
-            if distances.is_empty() {
-                return Err("`distances` must be non-empty".to_string());
-            }
-            if distances.len() > MAX_AXIS_LEN || ts_values.len() > MAX_AXIS_LEN {
-                return Err(format!("sweep axes are capped at {MAX_AXIS_LEN} values"));
-            }
-            for &d in distances {
-                validate_distance(d)?;
-            }
-            if ts_values.is_empty() {
-                return Err("`ts_values` must be non-empty".to_string());
-            }
-            for &ts in ts_values {
-                validate_ts(ts)?;
-            }
-            validate_shots(*shots)
         }
+        | Query::CalibSweep {
+            distances,
+            ts_values,
+            shots,
+            ..
+        } => validate_sweep(distances, ts_values, *shots),
         Query::RareUec {
             distance,
             ts,
@@ -258,6 +280,25 @@ fn validate(query: &Query) -> Result<(), String> {
         }
         Query::Stats | Query::Shutdown | Query::TestPanic => Ok(()),
     }
+}
+
+fn validate_sweep(distances: &[u32], ts_values: &[f64], shots: u32) -> Result<(), String> {
+    if distances.is_empty() {
+        return Err("`distances` must be non-empty".to_string());
+    }
+    if distances.len() > MAX_AXIS_LEN || ts_values.len() > MAX_AXIS_LEN {
+        return Err(format!("sweep axes are capped at {MAX_AXIS_LEN} values"));
+    }
+    for &d in distances {
+        validate_distance(d)?;
+    }
+    if ts_values.is_empty() {
+        return Err("`ts_values` must be non-empty".to_string());
+    }
+    for &ts in ts_values {
+        validate_ts(ts)?;
+    }
+    validate_shots(shots)
 }
 
 fn validate_distance(d: u32) -> Result<(), String> {
@@ -416,6 +457,84 @@ mod tests {
             r#"{"query":"rare_uec","distance":3,"ts":0.005,"rel_tol":0.0}"#,
             r#"{"query":"frobnicate"}"#,
             r#"[1,2,3]"#,
+        ] {
+            assert!(
+                parse_query(&parse(bad).unwrap()).is_err(),
+                "should reject {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn calib_sweep_keys_by_snapshot_physics() {
+        let request = |t1: &str| {
+            format!(
+                concat!(
+                    r#"{{"query":"calib_sweep","distances":[3],"ts_values":[0.005],"#,
+                    r#""calib":{{"version":1,"device":"fridge-a","#,
+                    r#""qubits":{{"usc/s0":{{"t1":{},"t2":{}}}}}}}}}"#,
+                ),
+                t1, t1
+            )
+        };
+        let a = parse_query(&parse(&request("0.002")).unwrap()).unwrap();
+        let same = parse_query(&parse(&request("0.002")).unwrap()).unwrap();
+        let degraded = parse_query(&parse(&request("0.001")).unwrap()).unwrap();
+        assert_eq!(a.key(), same.key());
+        assert_ne!(
+            a.key(),
+            degraded.key(),
+            "different snapshots must not coalesce"
+        );
+        // And a calibrated sweep never coalesces with the plain sweep over
+        // the same axes, even when the snapshot carries no overrides.
+        let empty = parse_query(
+            &parse(
+                r#"{"query":"calib_sweep","distances":[3],"ts_values":[0.005],"calib":{"version":1,"device":"fridge-a","qubits":{}}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let plain = parse_query(
+            &parse(r#"{"query":"sweep_uec","distances":[3],"ts_values":[0.005]}"#).unwrap(),
+        )
+        .unwrap();
+        assert_ne!(empty.key(), plain.key());
+    }
+
+    #[test]
+    fn calib_sweep_canonicalizes_axes_like_sweep_uec() {
+        let calib = r#"{"version":1,"device":"f","qubits":{}}"#;
+        let a = parse_query(
+            &parse(&format!(
+                r#"{{"query":"calib_sweep","distances":[5,3],"ts_values":[0.005,0.0005],"calib":{calib}}}"#
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        let b = parse_query(
+            &parse(&format!(
+                r#"{{"query":"calib_sweep","distances":[3,5,3],"ts_values":[0.0005,0.005],"calib":{calib}}}"#
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn calib_sweep_rejects_malformed_snapshots() {
+        for bad in [
+            // Missing `calib` entirely.
+            r#"{"query":"calib_sweep","distances":[3],"ts_values":[0.005]}"#,
+            // Not an object.
+            r#"{"query":"calib_sweep","distances":[3],"ts_values":[0.005],"calib":7}"#,
+            // Missing the schema version.
+            r#"{"query":"calib_sweep","distances":[3],"ts_values":[0.005],"calib":{"device":"f","qubits":{}}}"#,
+            // Negative t1 must be rejected at parse, not during simulation.
+            r#"{"query":"calib_sweep","distances":[3],"ts_values":[0.005],"calib":{"version":1,"device":"f","qubits":{"usc/s0":{"t1":-1.0,"t2":1e-3}}}}"#,
+            // The sweep validation still applies.
+            r#"{"query":"calib_sweep","distances":[7],"ts_values":[0.005],"calib":{"version":1,"device":"f","qubits":{}}}"#,
         ] {
             assert!(
                 parse_query(&parse(bad).unwrap()).is_err(),

@@ -79,6 +79,11 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Largest accepted frame, in bytes.
     pub max_frame_len: u32,
+    /// Optional [`CellLibrary`] persistence path: loaded on boot (a missing
+    /// file is a normal cold start) and saved atomically after a graceful
+    /// drain, so a restarted server re-answers prior sweeps without
+    /// re-simulating any characterization.
+    pub library_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +95,7 @@ impl Default for ServerConfig {
             queue_capacity: 32,
             cache_capacity: 64,
             max_frame_len: 1 << 20,
+            library_path: None,
         }
     }
 }
@@ -169,6 +175,7 @@ impl ServerStats {
 
 struct Shared {
     lib: CellLibrary,
+    library_path: Option<std::path::PathBuf>,
     pool: WorkerPool,
     cache: QueryCache,
     queue: JobQueue,
@@ -210,8 +217,21 @@ impl Server {
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        // Warm-start: a persisted characterization cache means a restarted
+        // server answers prior sweeps with zero new simulations. A missing
+        // file is the normal cold start; a corrupt one is a hard error
+        // (silently discarding it would mask operational mistakes).
+        let lib = match &config.library_path {
+            Some(path) => match CellLibrary::load(path) {
+                Ok(lib) => lib,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => CellLibrary::new(),
+                Err(e) => return Err(e),
+            },
+            None => CellLibrary::new(),
+        };
         let shared = Arc::new(Shared {
-            lib: CellLibrary::new(),
+            lib,
+            library_path: config.library_path.clone(),
             pool: WorkerPool::new(config.workers.max(1)),
             cache: QueryCache::new(config.cache_capacity),
             queue: JobQueue::new(config.queue_capacity),
@@ -249,6 +269,13 @@ impl Server {
         &self.shared.stats
     }
 
+    /// Characterization-cache statistics of the shared [`CellLibrary`]:
+    /// a warm-started server answering only previously seen design points
+    /// shows zero misses (zero new simulations).
+    pub fn library_stats(&self) -> hetarch_cells::CacheStats {
+        self.shared.lib.stats()
+    }
+
     /// Initiates a graceful shutdown and blocks until drained.
     pub fn shutdown(mut self) {
         self.shared.begin_shutdown();
@@ -284,6 +311,15 @@ impl Server {
         self.shared.queue.close();
         for handle in self.executors.drain(..) {
             let _ = handle.join();
+        }
+        // 4. Executors are done, so the library is quiescent: persist the
+        //    characterization cache for the next boot. The save is atomic
+        //    (temp file + rename), so a crash here leaves either the old
+        //    cache or the new one, never a torn file.
+        if let Some(path) = &self.shared.library_path {
+            if let Err(e) = self.shared.lib.save(path) {
+                eprintln!("warning: failed to save cell library to {path:?}: {e}");
+            }
         }
     }
 }

@@ -291,3 +291,72 @@ fn distill_report_golden_is_bit_stable() {
     assert_eq!(first.render(), second.render());
     assert_golden(&golden_dir(), "distill_report", &first);
 }
+
+/// Calibration-snapshot sweep golden: the committed fleet fixture drives a
+/// `calib_sweep` through the exact serve evaluation path, side by side with
+/// the uncalibrated sweep over the same axes. Pins (a) the strict schema
+/// accepting the fixture, (b) the overrides demonstrably reaching
+/// characterization (the two responses differ), and (c) byte-stability of
+/// the calibrated response.
+fn calib_sweep_snapshot(pool: &WorkerPool) -> Snapshot {
+    use hetarch::serve::{evaluate, Query};
+
+    let fixture =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/fleet_calib_v1.json");
+    let text = std::fs::read_to_string(&fixture).expect("read committed fleet fixture");
+    let calib = CalibSnapshot::parse(&text).expect("fixture obeys the calib schema");
+    assert!(!calib.is_empty(), "the fixture must carry overrides");
+
+    let lib = CellLibrary::new();
+    let token = hetarch::exec::CancelToken::new();
+    let distances = vec![3, 5];
+    let ts_values = vec![0.5e-3, 5e-3];
+    let plain = Query::SweepUec {
+        distances: distances.clone(),
+        ts_values: ts_values.clone(),
+        shots: 500,
+        seed: 61,
+    };
+    let fleet = Query::CalibSweep {
+        distances,
+        ts_values,
+        shots: 500,
+        seed: 61,
+        calib: calib.clone(),
+    };
+    assert_ne!(plain.key(), fleet.key(), "fleet sweeps must not coalesce");
+    let nominal = evaluate(&plain, &lib, pool, &token)
+        .expect("uncancelled sweep")
+        .render();
+    let calibrated = evaluate(&fleet, &lib, pool, &token)
+        .expect("uncancelled calib sweep")
+        .render();
+    assert_ne!(
+        nominal, calibrated,
+        "fixture overrides must reach characterization and move the sweep"
+    );
+
+    let mut s = Snapshot::new(
+        "calib_sweep over tests/fixtures/fleet_calib_v1.json vs the uncalibrated sweep, \
+         d in {3,5} x ts in {0.5ms, 5ms}, 500 shots, seed 61",
+    );
+    s.section("snapshot");
+    s.field("canonical_json", calib.to_json().render());
+    s.section("nominal_response");
+    s.field("bytes", nominal);
+    s.section("fleet_response");
+    s.field("bytes", calibrated);
+    s
+}
+
+#[test]
+fn calib_sweep_golden_is_worker_count_invariant() {
+    let single = calib_sweep_snapshot(&WorkerPool::new(1));
+    let four = calib_sweep_snapshot(&WorkerPool::new(4));
+    assert_eq!(
+        single.render(),
+        four.render(),
+        "calibrated sweep must not depend on the worker count"
+    );
+    assert_golden(&golden_dir(), "calib_sweep", &single);
+}

@@ -272,3 +272,91 @@ fn shutdown_query_drains_gracefully() {
         "drain took {drained_in:?}"
     );
 }
+
+/// A server restarted with `--cache PATH` re-answers a prior sweep with
+/// zero new characterization simulations: the first server persists its
+/// [`CellLibrary`] on graceful drain, the second loads it on boot, and the
+/// warm sweep — including a calibrated one — is all cache hits with
+/// byte-identical replies.
+#[test]
+fn restarted_server_answers_prior_sweeps_without_new_simulations() {
+    let _guard = serialized();
+    obs_fresh();
+    let path = std::env::temp_dir().join(format!("hetarch-serve-warm-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let calib_request = Json::obj([
+        ("query", Json::Str("calib_sweep".to_string())),
+        ("distances", Json::Arr(vec![Json::Int(3)])),
+        ("ts_values", Json::Arr(vec![Json::Num(5e-3)])),
+        ("shots", Json::Int(256)),
+        ("seed", Json::Int(61)),
+        (
+            "calib",
+            Json::obj([
+                ("version", Json::Int(1)),
+                ("device", Json::Str("fridge-a".to_string())),
+                (
+                    "qubits",
+                    Json::obj([(
+                        "usc/s0",
+                        Json::obj([("t1", Json::Num(2e-4)), ("t2", Json::Num(2e-4))]),
+                    )]),
+                ),
+            ]),
+        ),
+    ]);
+
+    // First life: cold server simulates, answers, drains, persists.
+    let (cold_plain, cold_calib, cold_misses) = {
+        let server = start(ServerConfig {
+            library_path: Some(path.clone()),
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let plain = client
+            .request_raw(sweep_request_sorted().render().as_bytes())
+            .expect("cold sweep");
+        let calib = client
+            .request_raw(calib_request.render().as_bytes())
+            .expect("cold calib sweep");
+        let misses = server.library_stats().misses;
+        assert!(misses > 0, "the cold server must have simulated something");
+        drop(client);
+        server.shutdown();
+        (plain, calib, misses)
+    };
+    assert!(path.exists(), "graceful drain persists the library");
+
+    // Second life: the restarted server loads the persisted library and
+    // re-answers both sweeps — calibrated and not — without a single new
+    // characterization.
+    {
+        let server = start(ServerConfig {
+            library_path: Some(path.clone()),
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let warm_plain = client
+            .request_raw(sweep_request_sorted().render().as_bytes())
+            .expect("warm sweep");
+        let warm_calib = client
+            .request_raw(calib_request.render().as_bytes())
+            .expect("warm calib sweep");
+        assert_eq!(warm_plain, cold_plain, "warm replies are byte-identical");
+        assert_eq!(
+            warm_calib, cold_calib,
+            "warm calib replies are byte-identical"
+        );
+        let stats = server.library_stats();
+        assert_eq!(stats.misses, 0, "warm start must not simulate anything");
+        assert_eq!(
+            stats.hits, cold_misses,
+            "every cold-run characterization is re-served from the loaded cache"
+        );
+        drop(client);
+        server.shutdown();
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
