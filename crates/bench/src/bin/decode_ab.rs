@@ -1,0 +1,109 @@
+//! Interleaved A/B comparison of the union-find decode paths.
+//!
+//! Single-shot timings on this class of container swing ±40% between
+//! CPU-frequency bands (see the PR 5/6 notes in CHANGES.md), which drowns
+//! the effect a criterion run measures in separate blocks. This bin times
+//! the three decode paths — pristine per-shot `decode_reference`, the
+//! dense `decode_with` scratch path, and the bit-packed `count_failures`
+//! batch path — over the **same** 256 surface-memory shots, alternated
+//! trial by trial so band noise hits all sides equally, and reports
+//! medians. The scratch and batch rows are the PR 10 acceptance numbers.
+//!
+//! `HETARCH_AB_TRIALS` overrides the trial count (default 96).
+
+use std::time::Instant;
+
+use hetarch::prelude::*;
+use hetarch::stab::detector::sample_detectors;
+
+const SHOTS: usize = 256;
+
+fn trials() -> usize {
+    std::env::var("HETARCH_AB_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(96)
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let trials = trials();
+    hetarch_bench::header(
+        "decode_ab",
+        "interleaved reference-vs-scratch-vs-batch union-find decode medians",
+    );
+    println!("trials per row: {trials}, {SHOTS} shots per trial\n");
+
+    for d in [5usize, 7, 11] {
+        let mem = SurfaceMemory::new(d, d, SurfaceNoise::default());
+        let circuit = mem.circuit();
+        let decoder = UnionFindDecoder::new(&mem.matching_graph());
+        let samples = sample_detectors(&circuit, SHOTS, 7);
+        let n_det = circuit.num_detectors();
+        let syndromes: Vec<Vec<bool>> = (0..SHOTS)
+            .map(|shot| (0..n_det).map(|i| samples.detectors.get(i, shot)).collect())
+            .collect();
+        let mut scratch = decoder.new_scratch();
+
+        // Warm pass: page in the tables, size the scratch arena.
+        let mut check = 0u64;
+        for syn in &syndromes {
+            check ^= decoder.decode_reference(syn);
+        }
+        decoder.count_failures(
+            &mut scratch,
+            &samples.detectors,
+            &samples.observables,
+            0,
+            0,
+            SHOTS,
+        );
+
+        let mut t_ref = Vec::with_capacity(trials);
+        let mut t_scratch = Vec::with_capacity(trials);
+        let mut t_batch = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let t = Instant::now();
+            let mut acc = 0u64;
+            for syn in &syndromes {
+                acc ^= decoder.decode_reference(syn);
+            }
+            t_ref.push(t.elapsed().as_secs_f64());
+            assert_eq!(acc, check, "reference drifted");
+
+            let t = Instant::now();
+            acc = 0;
+            for syn in &syndromes {
+                acc ^= decoder.decode_with(&mut scratch, syn);
+            }
+            t_scratch.push(t.elapsed().as_secs_f64());
+            assert_eq!(acc, check, "scratch path diverged");
+
+            let t = Instant::now();
+            decoder.count_failures(
+                &mut scratch,
+                &samples.detectors,
+                &samples.observables,
+                0,
+                0,
+                SHOTS,
+            );
+            t_batch.push(t.elapsed().as_secs_f64());
+        }
+
+        let (r, s, b) = (median(t_ref), median(t_scratch), median(t_batch));
+        println!(
+            "surface d={d:>2}: reference {:>9.1} µs  scratch {:>9.1} µs ({:.2}x)  batch {:>9.1} µs ({:.2}x)",
+            r * 1e6,
+            s * 1e6,
+            r / s,
+            b * 1e6,
+            r / b
+        );
+    }
+}

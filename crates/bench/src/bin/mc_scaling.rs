@@ -10,14 +10,20 @@
 //! surface-memory, distillation and cold-cache cell-characterization
 //! workloads once each, and writes shots/sec, shard counts, superoperator
 //! kernel counters and characterization-cache hit ratios — together with
-//! the full metric report — to `BENCH_pr7.json`. The first six workloads
-//! are definition-identical to the `BENCH_pr6.json` baseline so their
-//! shots/sec are directly comparable across the two files; the new
-//! `rare_event` workload runs the weight-stratified estimator on a
-//! deep-subthreshold d=5 surface memory (a point the plain estimator
-//! cannot resolve at any comparable budget) and reports its
-//! `exec.rare.strata` / `exec.rare.shots` counters plus the full
-//! `(p_L, sigma, truncation_bound)` error budget.
+//! the full metric report — to `BENCH_pr10.json`. The workloads shared
+//! with the `BENCH_pr7.json` baseline are definition-identical so their
+//! shots/sec are directly comparable across the two files; the
+//! `surface_memory_d5` row is the headline number for the allocation-free
+//! union-find decode path, the new `surface_memory_d11` row sizes the
+//! same path at a distance the old decoder made expensive, and the
+//! `decoder` block records the `stab.decoder.*` counters (decodes,
+//! empty-syndrome fast-path hits, growth passes, unions, peel
+//! discharges/leaks) for the whole report run. The `rare_event` workload
+//! runs the weight-stratified estimator on a deep-subthreshold d=5
+//! surface memory (a point the plain estimator cannot resolve at any
+//! comparable budget) and reports its `exec.rare.strata` /
+//! `exec.rare.shots` counters plus the full `(p_L, sigma,
+//! truncation_bound)` error budget.
 //!
 //! `HETARCH_SHOTS` scales the shot count (default 4096);
 //! `HETARCH_WORKER_COUNTS` is a comma-separated override of the swept
@@ -160,15 +166,15 @@ fn calib_mode(path: &str) {
 }
 
 /// `--report`: one pass per workload with the observability layer armed,
-/// emitting `BENCH_pr7.json`.
+/// emitting `BENCH_pr10.json`.
 fn report_mode() {
     obs::force_enabled(true);
     obs::reset();
     let shots = hetarch_bench::shots(4096);
     let seed = 2023;
     hetarch_bench::header(
-        "BENCH_pr7",
-        "observability report: shots/sec, kernel counters and cache-hit ratios per workload",
+        "BENCH_pr10",
+        "observability report: shots/sec, decoder/kernel counters and cache-hit ratios per workload",
     );
     if !obs::enabled() {
         println!("note: built without the `obs` feature; all counters will be empty");
@@ -178,6 +184,8 @@ fn report_mode() {
 
     let uec = uec_module();
     let memory = SurfaceMemory::new(5, 5, SurfaceNoise::default());
+    let memory_d11 = SurfaceMemory::new(11, 11, SurfaceNoise::default());
+    let d11_shots = (shots / 4).max(256);
     let distill = DistillModule::new(DistillConfig::heterogeneous(12.5e-3, 1e6, seed));
     let trials = (shots / 512).max(4);
     let duration = hetarch_bench::sim_duration(2.0);
@@ -187,6 +195,7 @@ fn report_mode() {
     // the timed passes.
     uec.logical_error_rate_on(&pool, shots.min(512), seed);
     memory.logical_error_rate_on(&pool, SurfaceDecoder::UnionFind, shots.min(512), seed);
+    memory_d11.logical_error_rate_on(&pool, SurfaceDecoder::UnionFind, 64, seed);
     distill.run_batch_on(&pool, duration, trials.min(2));
     obs::reset();
 
@@ -217,6 +226,12 @@ fn report_mode() {
     });
     timed("surface_memory_d5", shots, &mut || {
         memory.logical_error_rate_on(&pool, SurfaceDecoder::UnionFind, shots, seed);
+    });
+    // Distance-11 memory: the projection workload the allocation-free
+    // decoder makes affordable — same decode path as d=5, ~20x the
+    // detectors per shot.
+    timed("surface_memory_d11", d11_shots, &mut || {
+        memory_d11.logical_error_rate_on(&pool, SurfaceDecoder::UnionFind, d11_shots, seed);
     });
     timed("distillation_batch", trials, &mut || {
         distill.run_batch_on(&pool, duration, trials);
@@ -300,7 +315,7 @@ fn report_mode() {
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"mc_scaling_report\",\n");
-    json.push_str("  \"baseline\": \"BENCH_pr6.json\",\n");
+    json.push_str("  \"baseline\": \"BENCH_pr7.json\",\n");
     json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str("  \"workloads\": [\n");
@@ -340,6 +355,16 @@ fn report_mode() {
         counter("qsim.kernel.applies")
     ));
     json.push_str(&format!(
+        "  \"decoder\": {{\"decodes\": {}, \"empty_fast_path\": {}, \"growth_passes\": {}, \
+         \"unions\": {}, \"peel_discharges\": {}, \"peel_leaks\": {}}},\n",
+        counter("stab.decoder.decodes"),
+        counter("stab.decoder.empty_fast_path"),
+        counter("stab.decoder.growth_passes"),
+        counter("stab.decoder.unions"),
+        counter("stab.decoder.peel_discharges"),
+        counter("stab.decoder.peel_leaks")
+    ));
+    json.push_str(&format!(
         "  \"rare\": {{\"strata\": {}, \"shots\": {}, \"p_l\": {:e}, \"sigma\": {:e}, \
          \"truncation_bound\": {:e}, \"converged\": {rare_converged}}},\n",
         counter("exec.rare.strata"),
@@ -350,8 +375,8 @@ fn report_mode() {
     ));
     json.push_str(&format!("  \"obs_report\": {}\n", report.to_json()));
     json.push_str("}\n");
-    std::fs::write("BENCH_pr7.json", &json).expect("write BENCH_pr7.json");
-    println!("\nwrote BENCH_pr7.json ({} workloads)", workloads.len());
+    std::fs::write("BENCH_pr10.json", &json).expect("write BENCH_pr10.json");
+    println!("\nwrote BENCH_pr10.json ({} workloads)", workloads.len());
 }
 
 /// Default mode: the PR 2 worker-count scaling study (`BENCH_pr2.json`).

@@ -92,7 +92,9 @@ pub mod prelude {
         color_17, reed_muller_15, rotated_surface_code, steane, MemoryBasis, StabilizerCode,
         SurfaceMemory, SurfaceNoise,
     };
-    pub use hetarch_stab::decoder::{LookupDecoder, MatchingGraph, UnionFindDecoder};
+    pub use hetarch_stab::decoder::{
+        DecoderScratch, LookupDecoder, MatchingGraph, UnionFindDecoder,
+    };
     pub use hetarch_stab::pauli::{Pauli, PauliString};
     pub use hetarch_stab::tableau::Tableau;
 }

@@ -156,6 +156,13 @@ impl BitTable {
         self.row(row).iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Word `block` of row `row` (shots `64*block .. 64*block+64`).
+    #[inline]
+    pub fn word(&self, row: usize, block: usize) -> u64 {
+        debug_assert!(row < self.rows && block < self.words);
+        self.data[row * self.words + block]
+    }
+
     /// Iterates the set shot indices in `row`.
     pub fn iter_ones(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
         let shots = self.shots;
@@ -175,6 +182,64 @@ impl BitTable {
                 })
                 .filter(move |&s| s < shots)
             })
+    }
+}
+
+/// Sparse per-shot set-row lists for one 64-shot column block of a
+/// [`BitTable`] — the decoder-facing "defect list" view of a packed
+/// detector table.
+///
+/// [`ShotBlock::load`] makes a single pass over the rows of one word
+/// column, turning each set bit (via `trailing_zeros`) into an entry of the
+/// corresponding lane's row-index list. Lists come out in ascending row
+/// order, which is exactly the order a dense `&[bool]` scan would produce —
+/// the property the union-find bit-identity contract relies on
+/// (DESIGN.md §5k). Lanes whose word column is all zero get empty lists and
+/// are reported absent from the returned occupancy mask, enabling an
+/// all-zero fast path that skips decoding entirely.
+///
+/// The 64 lane buffers are reused across `load` calls; after the first few
+/// blocks the structure is allocation-free in steady state.
+#[derive(Clone, Debug, Default)]
+pub struct ShotBlock {
+    lists: Vec<Vec<u32>>,
+}
+
+impl ShotBlock {
+    /// Creates an empty block extractor.
+    pub fn new() -> Self {
+        ShotBlock {
+            lists: Vec::from_iter(std::iter::repeat_with(Vec::new).take(64)),
+        }
+    }
+
+    /// Loads word column `block` of `table`, restricted to the lanes in
+    /// `lane_mask`. Returns the occupancy mask: lanes (within `lane_mask`)
+    /// whose column holds at least one set bit.
+    pub fn load(&mut self, table: &BitTable, block: usize, lane_mask: u64) -> u64 {
+        if self.lists.len() != 64 {
+            self.lists.resize_with(64, Vec::new);
+        }
+        for list in &mut self.lists {
+            list.clear();
+        }
+        let mut occupied = 0u64;
+        for row in 0..table.rows() {
+            let mut bits = table.word(row, block) & lane_mask;
+            occupied |= bits;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.lists[lane].push(row as u32);
+            }
+        }
+        occupied
+    }
+
+    /// The ascending set-row indices of `lane` from the last `load`.
+    #[inline]
+    pub fn rows(&self, lane: usize) -> &[u32] {
+        &self.lists[lane]
     }
 }
 
@@ -307,5 +372,29 @@ mod tests {
         }
         let got: Vec<_> = t.iter_ones(0).collect();
         assert_eq!(got, vec![5, 64, 65, 199]);
+    }
+
+    #[test]
+    fn shot_block_matches_dense_extraction() {
+        let mut t = BitTable::new(7, 150);
+        for (r, s) in [(0, 64), (3, 64), (6, 64), (2, 70), (5, 127), (1, 149)] {
+            t.set(r, s, true);
+        }
+        let mut block = ShotBlock::new();
+        let occ = block.load(&t, 1, u64::MAX);
+        // Lane 0 of block 1 is shot 64: rows 0, 3, 6 ascending.
+        assert_eq!(block.rows(0), &[0, 3, 6]);
+        assert_eq!(block.rows(6), &[2]);
+        assert_eq!(block.rows(63), &[5]);
+        assert_eq!(block.rows(1), &[] as &[u32]);
+        assert_eq!(occ, 1 | (1 << 6) | (1 << 63));
+        // Lane mask excludes lane 0: its list empties and the mask drops it.
+        let occ = block.load(&t, 1, !1);
+        assert_eq!(block.rows(0), &[] as &[u32]);
+        assert_eq!(occ, (1 << 6) | (1 << 63));
+        // Block 2 holds shot 149 only (lane 21).
+        let occ = block.load(&t, 2, u64::MAX);
+        assert_eq!(occ, 1 << 21);
+        assert_eq!(block.rows(21), &[1]);
     }
 }

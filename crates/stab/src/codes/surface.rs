@@ -15,6 +15,7 @@ use hetarch_obs as obs;
 use crate::circuit::{Circuit, PauliErr};
 use crate::codes::code::{typed_string, StabilizerCode};
 use crate::decoder::graph::MatchingGraph;
+use crate::decoder::greedy::GreedyMatchingDecoder;
 use crate::decoder::unionfind::UnionFindDecoder;
 use crate::detector::{assemble_detectors, sample_detectors_on, DetectorSamples};
 use crate::frame::{enumerate_at_weight, sample_at_weight, FaultModel};
@@ -270,9 +271,87 @@ pub enum MemoryBasis {
     X,
 }
 
-/// A boxed syndrome-to-correction decoder closure (Sync: shared across
-/// decoding shards).
-type DecodeFn = Box<dyn Fn(&[bool]) -> u64 + Sync>;
+/// A prebuilt decoder shared across decoding shards.
+///
+/// Union-find decodes straight from the packed [`crate::bits::BitTable`]
+/// through a per-shard scratch arena (allocation-free across the shard's
+/// shots, with the all-zero-syndrome fast path); greedy matching keeps the
+/// dense per-shot path.
+enum ShardDecoder {
+    UnionFind(UnionFindDecoder),
+    Greedy(GreedyMatchingDecoder),
+}
+
+impl ShardDecoder {
+    /// Counts decoder-prediction/observable mismatches over shots
+    /// `start..start + len`.
+    fn count_failures(&self, samples: &DetectorSamples, start: usize, len: usize) -> u64 {
+        match self {
+            ShardDecoder::UnionFind(uf) => {
+                let mut scratch = uf.new_scratch();
+                uf.count_failures(
+                    &mut scratch,
+                    &samples.detectors,
+                    &samples.observables,
+                    0,
+                    start,
+                    len,
+                )
+            }
+            ShardDecoder::Greedy(greedy) => {
+                let n_det = samples.detectors.rows();
+                let mut failures = 0u64;
+                let mut syndrome = vec![false; n_det];
+                for shot in start..start + len {
+                    for (d, s) in syndrome.iter_mut().enumerate() {
+                        *s = samples.detectors.get(d, shot);
+                    }
+                    let predicted = greedy.decode(&syndrome) & 1 == 1;
+                    if predicted != samples.observables.get(0, shot) {
+                        failures += 1;
+                    }
+                }
+                failures
+            }
+        }
+    }
+
+    /// Reports every shot's failure bit to `on_shot(shot, failed)` — used
+    /// where failures carry per-shot weights (enumerated rare strata).
+    fn for_each_shot(
+        &self,
+        samples: &DetectorSamples,
+        start: usize,
+        len: usize,
+        mut on_shot: impl FnMut(usize, bool),
+    ) {
+        match self {
+            ShardDecoder::UnionFind(uf) => {
+                let mut scratch = uf.new_scratch();
+                uf.decode_shots(
+                    &mut scratch,
+                    &samples.detectors,
+                    &samples.observables,
+                    0,
+                    start,
+                    len,
+                    on_shot,
+                );
+            }
+            ShardDecoder::Greedy(greedy) => {
+                let n_det = samples.detectors.rows();
+                let mut syndrome = vec![false; n_det];
+                for shot in start..start + len {
+                    for (d, s) in syndrome.iter_mut().enumerate() {
+                        *s = samples.detectors.get(d, shot);
+                    }
+                    let predicted = greedy.decode(&syndrome) & 1 == 1;
+                    on_shot(shot, predicted != samples.observables.get(0, shot));
+                }
+            }
+        }
+    }
+}
 
 /// Decoder choice for the memory Monte Carlo.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -582,27 +661,16 @@ impl SurfaceMemory {
         let decoder = self.build_decoder(&circuit, which);
         let span = obs::span!(SURFACE_RUN_NS);
         let samples = sample_detectors_on(pool, &circuit, shots, seed);
-        let n_det = circuit.num_detectors();
         // Decoding is deterministic per shot, so sharding it only splits the
-        // work; shot order inside the count is irrelevant to the sum.
-        let errors: usize = pool
+        // work; shot order inside the count is irrelevant to the sum. Each
+        // shard owns one scratch arena, reused across its shots.
+        let errors: u64 = pool
             .run_shards(shots, DECODE_SHARD_SHOTS, seed, |shard| {
-                let mut errors = 0usize;
-                let mut syndrome = vec![false; n_det];
-                for shot in shard.start..shard.start + shard.len {
-                    for (d, s) in syndrome.iter_mut().enumerate() {
-                        *s = samples.detectors.get(d, shot);
-                    }
-                    let predicted = decoder(&syndrome) & 1 == 1;
-                    let actual = samples.observables.get(0, shot);
-                    if predicted != actual {
-                        errors += 1;
-                    }
-                }
-                errors
+                decoder.count_failures(&samples, shard.start, shard.len)
             })
             .into_iter()
             .sum();
+        let errors = errors as usize;
         drop(span);
         SURFACE_SHOTS.add(shots as u64);
         SURFACE_FAILURES.add(errors as u64);
@@ -619,18 +687,14 @@ impl SurfaceMemory {
         (per_shot, per_round)
     }
 
-    /// Instantiates the decoder closure for this memory's matching graph.
-    fn build_decoder(&self, circuit: &Circuit, which: SurfaceDecoder) -> DecodeFn {
+    /// Instantiates the shared decoder for this memory's matching graph.
+    fn build_decoder(&self, circuit: &Circuit, which: SurfaceDecoder) -> ShardDecoder {
         let graph = self.matching_graph();
         debug_assert_eq!(graph.num_nodes(), circuit.num_detectors());
         match which {
-            SurfaceDecoder::UnionFind => {
-                let d = UnionFindDecoder::new(&graph);
-                Box::new(move |syn| d.decode(syn))
-            }
+            SurfaceDecoder::UnionFind => ShardDecoder::UnionFind(UnionFindDecoder::new(&graph)),
             SurfaceDecoder::GreedyMatching => {
-                let d = crate::decoder::greedy::GreedyMatchingDecoder::new(&graph);
-                Box::new(move |syn| d.decode(syn))
+                ShardDecoder::Greedy(GreedyMatchingDecoder::new(&graph))
             }
         }
     }
@@ -675,28 +739,18 @@ impl SurfaceMemory {
         let decoder = self.build_decoder(&circuit, which);
         let model = FaultModel::from_circuit(&circuit);
         let prior = model.prior();
-        let n_det = circuit.num_detectors();
         let span = obs::span!(SURFACE_RUN_NS);
-
-        let decode_shot = |samples: &DetectorSamples, syndrome: &mut [bool], shot: usize| -> bool {
-            for (d, s) in syndrome.iter_mut().enumerate() {
-                *s = samples.detectors.get(d, shot);
-            }
-            let predicted = decoder(syndrome) & 1 == 1;
-            predicted != samples.observables.get(0, shot)
-        };
 
         let outcome = StratifiedEstimator::new(&prior, config).run(|w| {
             match enumerate_at_weight(&circuit, &model, w, config.enumerate_threshold) {
                 Some((configs, frames)) => {
                     let samples = assemble_detectors(&circuit, &frames.meas_flips, configs.len());
-                    let mut syndrome = vec![false; n_det];
                     let mut failure_probability = 0.0;
-                    for (shot, fault) in configs.iter().enumerate() {
-                        if decode_shot(&samples, &mut syndrome, shot) {
-                            failure_probability += fault.weight;
+                    decoder.for_each_shot(&samples, 0, configs.len(), |shot, failed| {
+                        if failed {
+                            failure_probability += configs[shot].weight;
                         }
-                    }
+                    });
                     StratumEval::Enumerated {
                         failure_probability,
                         configs: configs.len() as u64,
@@ -709,14 +763,7 @@ impl SurfaceMemory {
                     let samples = assemble_detectors(&circuit, &frames.meas_flips, shots);
                     let failures: u64 = pool
                         .run_shards(shots, DECODE_SHARD_SHOTS, stratum_seed, |shard| {
-                            let mut failures = 0u64;
-                            let mut syndrome = vec![false; n_det];
-                            for shot in shard.start..shard.start + shard.len {
-                                if decode_shot(&samples, &mut syndrome, shot) {
-                                    failures += 1;
-                                }
-                            }
-                            failures
+                            decoder.count_failures(&samples, shard.start, shard.len)
                         })
                         .into_iter()
                         .sum();

@@ -108,6 +108,62 @@ impl MatchingGraph {
         }
         adj
     }
+
+    /// Compressed-sparse-row adjacency: one flat indices slice plus per-node
+    /// offsets. Per-node entries keep the same ascending-edge-index order as
+    /// [`MatchingGraph::adjacency`].
+    pub fn csr_adjacency(&self) -> CsrAdjacency {
+        let mut offsets = vec![0u32; self.num_nodes + 1];
+        for e in &self.edges {
+            offsets[e.u as usize + 1] += 1;
+            if let Some(v) = e.v {
+                offsets[v as usize + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut indices = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+        for (i, e) in self.edges.iter().enumerate() {
+            indices[cursor[e.u as usize] as usize] = i as u32;
+            cursor[e.u as usize] += 1;
+            if let Some(v) = e.v {
+                indices[cursor[v as usize] as usize] = i as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        CsrAdjacency { offsets, indices }
+    }
+}
+
+/// Flattened adjacency (offsets + one indices slice): the allocation-free
+/// form consumed by the decoders. Entry order per node matches
+/// [`MatchingGraph::adjacency`] exactly, which the bit-identity contract of
+/// the union-find scratch decoder depends on (DESIGN.md §5k).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CsrAdjacency {
+    offsets: Vec<u32>,
+    indices: Vec<u32>,
+}
+
+impl CsrAdjacency {
+    /// Incident edge indices of node `v`, in ascending edge order.
+    #[inline]
+    pub fn incident(&self, v: usize) -> &[u32] {
+        &self.indices[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of (node, edge) incidences — the length of the flat
+    /// indices slice.
+    pub fn num_incidences(&self) -> usize {
+        self.indices.len()
+    }
 }
 
 #[cfg(test)]
@@ -164,5 +220,24 @@ mod tests {
         let adj = g.adjacency();
         assert_eq!(adj[0].len(), 2);
         assert_eq!(adj[1].len(), 1);
+    }
+
+    #[test]
+    fn csr_matches_nested_adjacency() {
+        let mut g = MatchingGraph::new(5);
+        g.add_edge(0, Some(1), 0.1, 0);
+        g.add_edge(1, Some(2), 0.1, 1);
+        g.add_edge(0, None, 0.2, 0);
+        g.add_edge(3, Some(1), 0.05, 0);
+        g.add_edge(4, None, 0.3, 1);
+        let nested = g.adjacency();
+        let csr = g.csr_adjacency();
+        assert_eq!(csr.num_nodes(), 5);
+        let mut total = 0;
+        for (v, row) in nested.iter().enumerate() {
+            assert_eq!(csr.incident(v), row.as_slice(), "node {v}");
+            total += row.len();
+        }
+        assert_eq!(csr.num_incidences(), total);
     }
 }

@@ -9,14 +9,26 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::decoder::graph::MatchingGraph;
+use crate::decoder::graph::{CsrAdjacency, MatchingGraph};
 
 /// A greedy-matching decoder prebuilt for one matching graph.
+///
+/// Stores the CSR adjacency and per-edge data it needs rather than a clone
+/// of the whole [`MatchingGraph`].
 #[derive(Clone, Debug)]
 pub struct GreedyMatchingDecoder {
-    graph: MatchingGraph,
-    adjacency: Vec<Vec<u32>>,
+    num_nodes: usize,
+    adjacency: CsrAdjacency,
+    /// Per-edge (u, v-or-MAX, weight, obs_mask), mirroring the graph's
+    /// edge order.
+    edge_u: Vec<u32>,
+    edge_v: Vec<u32>,
+    weights: Vec<f64>,
+    edge_obs: Vec<u64>,
 }
+
+/// Boundary sentinel in `edge_v`.
+const NO_NODE: u32 = u32::MAX;
 
 #[derive(Clone, Copy, PartialEq)]
 struct QItem {
@@ -39,8 +51,16 @@ impl GreedyMatchingDecoder {
     /// Builds the decoder.
     pub fn new(graph: &MatchingGraph) -> Self {
         GreedyMatchingDecoder {
-            adjacency: graph.adjacency(),
-            graph: graph.clone(),
+            num_nodes: graph.num_nodes(),
+            adjacency: graph.csr_adjacency(),
+            edge_u: graph.edges().iter().map(|e| e.u).collect(),
+            edge_v: graph
+                .edges()
+                .iter()
+                .map(|e| e.v.unwrap_or(NO_NODE))
+                .collect(),
+            weights: graph.edges().iter().map(|e| e.weight()).collect(),
+            edge_obs: graph.edges().iter().map(|e| e.obs_mask).collect(),
         }
     }
 
@@ -48,7 +68,7 @@ impl GreedyMatchingDecoder {
     /// the observable parity accumulated along the shortest path, plus the
     /// best distance/parity to the boundary.
     fn shortest_paths(&self, src: usize) -> (Vec<f64>, Vec<u64>, f64, u64) {
-        let n = self.graph.num_nodes();
+        let n = self.num_nodes;
         let mut dist = vec![f64::INFINITY; n];
         let mut obs = vec![0u64; n];
         let mut boundary = (f64::INFINITY, 0u64);
@@ -62,31 +82,29 @@ impl GreedyMatchingDecoder {
             if d > dist[node] {
                 continue;
             }
-            for &ei in &self.adjacency[node] {
-                let e = &self.graph.edges()[ei as usize];
-                let w = e.weight();
-                match e.v {
-                    Some(v) => {
-                        let other = if e.u as usize == node {
-                            v as usize
-                        } else {
-                            e.u as usize
-                        };
-                        let nd = d + w;
-                        if nd < dist[other] {
-                            dist[other] = nd;
-                            obs[other] = obs[node] ^ e.obs_mask;
-                            heap.push(QItem {
-                                dist: nd,
-                                node: other,
-                            });
-                        }
+            for &ei in self.adjacency.incident(node) {
+                let ei = ei as usize;
+                let w = self.weights[ei];
+                let v = self.edge_v[ei];
+                if v == NO_NODE {
+                    let nd = d + w;
+                    if nd < boundary.0 {
+                        boundary = (nd, obs[node] ^ self.edge_obs[ei]);
                     }
-                    None => {
-                        let nd = d + w;
-                        if nd < boundary.0 {
-                            boundary = (nd, obs[node] ^ e.obs_mask);
-                        }
+                } else {
+                    let other = if self.edge_u[ei] as usize == node {
+                        v as usize
+                    } else {
+                        self.edge_u[ei] as usize
+                    };
+                    let nd = d + w;
+                    if nd < dist[other] {
+                        dist[other] = nd;
+                        obs[other] = obs[node] ^ self.edge_obs[ei];
+                        heap.push(QItem {
+                            dist: nd,
+                            node: other,
+                        });
                     }
                 }
             }
@@ -100,7 +118,7 @@ impl GreedyMatchingDecoder {
     ///
     /// Panics if the syndrome length mismatches the graph.
     pub fn decode(&self, syndrome: &[bool]) -> u64 {
-        assert_eq!(syndrome.len(), self.graph.num_nodes(), "syndrome length");
+        assert_eq!(syndrome.len(), self.num_nodes, "syndrome length");
         let defects: Vec<usize> = syndrome
             .iter()
             .enumerate()

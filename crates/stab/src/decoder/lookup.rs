@@ -111,6 +111,12 @@ impl LookupDecoder {
     }
 
     /// Decodes a syndrome given as packed bits.
+    ///
+    /// This is the hot entry point: the UEC shard loop extracts packed
+    /// syndrome words straight from its [`crate::bits::BitTable`] and
+    /// never materialises a `&[bool]` per shot, mirroring the sparse
+    /// extraction discipline of the union-find batch path (DESIGN.md §5k).
+    #[inline]
     pub fn decode_bits(&self, bits: u64) -> PauliString {
         self.table
             .get(&bits)

@@ -6,7 +6,7 @@ pub mod greedy;
 pub mod lookup;
 pub mod unionfind;
 
-pub use graph::MatchingGraph;
+pub use graph::{CsrAdjacency, MatchingGraph};
 pub use greedy::GreedyMatchingDecoder;
 pub use lookup::LookupDecoder;
-pub use unionfind::UnionFindDecoder;
+pub use unionfind::{DecoderScratch, UnionFindDecoder};

@@ -6,10 +6,56 @@
 //! near-MWPM accuracy at far lower implementation and runtime cost, and the
 //! paper's conclusions depend only on relative (heterogeneous vs
 //! homogeneous) logical error rates.
+//!
+//! # Allocation-free decoding
+//!
+//! The production path decodes through a reusable [`DecoderScratch`]: all
+//! per-shot state lives in flat arrays sized once per graph, reset sparsely
+//! via epoch stamps (O(touched nodes), not O(n)), with intrusive-list
+//! frontiers carved out of a per-shot cell pool so cluster growth and
+//! unions never allocate. Shard loops decode straight from the packed
+//! [`BitTable`] via [`UnionFindDecoder::count_failures`] /
+//! [`UnionFindDecoder::decode_shots`], which extract sparse defect lists
+//! with `trailing_zeros` over 64-bit words and skip all-zero syndromes
+//! entirely.
+//!
+//! Predictions are **bit-identical** to the original per-shot decoder,
+//! which is kept verbatim as [`UnionFindDecoder::decode_reference`] and
+//! cross-checked by `tests/decode_scratch_differential.rs` (see
+//! DESIGN.md §5k for the contract).
 
-use crate::decoder::graph::MatchingGraph;
+use crate::bits::{BitTable, ShotBlock};
+use crate::decoder::graph::{CsrAdjacency, MatchingGraph};
+use hetarch_obs as obs;
+
+// Decoder metrics (no-ops unless the `obs` feature is on and
+// `HETARCH_OBS=1`).
+static DECODES: obs::Counter = obs::Counter::new("stab.decoder.decodes");
+static EMPTY_FAST_PATH: obs::Counter = obs::Counter::new("stab.decoder.empty_fast_path");
+static GROWTH_PASSES: obs::Counter = obs::Counter::new("stab.decoder.growth_passes");
+static UNIONS: obs::Counter = obs::Counter::new("stab.decoder.unions");
+static PEEL_DISCHARGES: obs::Counter = obs::Counter::new("stab.decoder.peel_discharges");
+static PEEL_LEAKS: obs::Counter = obs::Counter::new("stab.decoder.peel_leaks");
+static DECODE_NS: obs::Histogram = obs::Histogram::new("stab.decode_ns");
+
+/// Empty link in the intrusive frontier lists.
+const NIL: u32 = u32::MAX;
+/// Boundary sentinel in the edge endpoint array.
+const NO_NODE: u32 = u32::MAX;
+/// Peel-forest parent sentinel: no parent (arbitrary root).
+const PEEL_NONE: u32 = u32::MAX;
+/// Peel-forest parent sentinel: reached through a boundary edge.
+const PEEL_BOUNDARY: u32 = u32::MAX - 1;
+
+const F_BOUNDARY: u8 = 1;
+const F_VISITED: u8 = 2;
+const F_MARKED: u8 = 4;
+const F_PEEL_VISITED: u8 = 8;
 
 /// A union-find decoder prebuilt for one matching graph.
+///
+/// Holds only the CSR adjacency and struct-of-arrays edge data it needs —
+/// not a clone of the [`MatchingGraph`] it was built from.
 ///
 /// # Examples
 ///
@@ -28,8 +74,14 @@ use crate::decoder::graph::MatchingGraph;
 /// ```
 #[derive(Clone, Debug)]
 pub struct UnionFindDecoder {
-    graph: MatchingGraph,
-    adjacency: Vec<Vec<u32>>,
+    num_nodes: usize,
+    adjacency: CsrAdjacency,
+    /// First endpoint per edge.
+    edge_u: Vec<u32>,
+    /// Second endpoint per edge, or [`NO_NODE`] for a boundary edge.
+    edge_v: Vec<u32>,
+    /// Observable mask per edge.
+    edge_obs: Vec<u64>,
     /// Integer growth length per edge (quantized weight).
     lengths: Vec<u32>,
 }
@@ -50,30 +102,496 @@ impl UnionFindDecoder {
             .map(|e| ((e.weight() / min_w * 4.0).round() as u32).clamp(1, 1 << 14))
             .collect();
         UnionFindDecoder {
-            graph: graph.clone(),
-            adjacency: graph.adjacency(),
+            num_nodes: graph.num_nodes(),
+            adjacency: graph.csr_adjacency(),
+            edge_u: graph.edges().iter().map(|e| e.u).collect(),
+            edge_v: graph
+                .edges()
+                .iter()
+                .map(|e| e.v.unwrap_or(NO_NODE))
+                .collect(),
+            edge_obs: graph.edges().iter().map(|e| e.obs_mask).collect(),
             lengths,
         }
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &MatchingGraph {
-        &self.graph
+    /// Number of detector nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges (error mechanisms).
+    pub fn num_edges(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Allocates a scratch arena sized for this decoder's graph. The pool
+    /// capacities are reserved to their worst-case bounds up front, so
+    /// every subsequent decode through this scratch is allocation-free.
+    pub fn new_scratch(&self) -> DecoderScratch {
+        let n = self.num_nodes;
+        let m = self.lengths.len();
+        // Frontier cells are pushed at most once per (defect, incident
+        // edge) at init and once per (visited node, incident edge) during
+        // expansion: 2x the flat incidence count bounds the pool.
+        let pool_cap = 2 * self.adjacency.num_incidences();
+        DecoderScratch {
+            num_nodes: n,
+            num_edges: m,
+            epoch: 0,
+            pass_id: 0,
+            node_epoch: vec![0; n],
+            nodes: vec![NodeScratch::default(); n],
+            pass_seen: vec![0; n],
+            edge_epoch: vec![0; m],
+            support: vec![0; m],
+            grown: vec![false; m],
+            pool_edge: Vec::with_capacity(pool_cap),
+            pool_next: Vec::with_capacity(pool_cap),
+            defects: Vec::with_capacity(n),
+            candidates: Vec::with_capacity(2 * n),
+            pass_roots: Vec::with_capacity(n),
+            newly_grown: Vec::with_capacity(m),
+            grown_boundary: Vec::with_capacity(m),
+            order: Vec::with_capacity(n),
+            queue: Vec::with_capacity(n),
+            block: ShotBlock::new(),
+            stalled: false,
+        }
     }
 
     /// Decodes a syndrome (one bool per detector), returning the predicted
     /// logical-observable flip mask.
     ///
+    /// Convenience wrapper that builds a fresh [`DecoderScratch`] per call;
+    /// hot loops should hold one scratch and use
+    /// [`Self::decode_with`] or the batch entry points instead.
+    ///
     /// # Panics
     ///
     /// Panics if `syndrome.len()` differs from the graph's node count.
     pub fn decode(&self, syndrome: &[bool]) -> u64 {
-        let n = self.graph.num_nodes();
+        let mut scratch = self.new_scratch();
+        self.decode_with(&mut scratch, syndrome)
+    }
+
+    /// Decodes a dense syndrome through a reusable scratch arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `syndrome.len()` differs from the graph's node count or
+    /// the scratch was built for a different graph shape.
+    pub fn decode_with(&self, scratch: &mut DecoderScratch, syndrome: &[bool]) -> u64 {
+        assert_eq!(syndrome.len(), self.num_nodes, "syndrome length mismatch");
+        scratch.check_shape(self.num_nodes, self.lengths.len());
+        scratch.defects.clear();
+        for (v, &s) in syndrome.iter().enumerate() {
+            if s {
+                scratch.defects.push(v as u32);
+            }
+        }
+        self.decode_current(scratch)
+    }
+
+    /// Decodes a sparse syndrome given as a strictly ascending list of
+    /// defect (detector) indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch shape mismatches; defect ordering is checked
+    /// by `debug_assert` only.
+    pub fn decode_defects(&self, scratch: &mut DecoderScratch, defects: &[u32]) -> u64 {
+        scratch.check_shape(self.num_nodes, self.lengths.len());
+        scratch.defects.clear();
+        scratch.defects.extend_from_slice(defects);
+        self.decode_current(scratch)
+    }
+
+    /// Decodes shots `start..start + len` straight from packed detector
+    /// samples and counts prediction/observable mismatches.
+    ///
+    /// Defect lists are extracted per 64-shot word block with
+    /// `trailing_zeros`; all-zero syndromes never reach the decoder (the
+    /// sparse fast path). Failure bits are compared a word at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detector row count differs from the graph's node
+    /// count, the shot range is out of bounds, or `obs_row` is out of
+    /// range.
+    pub fn count_failures(
+        &self,
+        scratch: &mut DecoderScratch,
+        detectors: &BitTable,
+        observables: &BitTable,
+        obs_row: usize,
+        start: usize,
+        len: usize,
+    ) -> u64 {
+        let mut failures = 0u64;
+        self.decode_blocks(
+            scratch,
+            detectors,
+            observables,
+            obs_row,
+            start,
+            len,
+            |mismatch, _, _| {
+                failures += mismatch.count_ones() as u64;
+            },
+        );
+        failures
+    }
+
+    /// As [`Self::count_failures`], but reports every shot's failure bit to
+    /// `on_shot(shot_index, failed)` — the entry point for weighted
+    /// accumulation (the rare-event enumerated strata).
+    #[allow(clippy::too_many_arguments)]
+    pub fn decode_shots(
+        &self,
+        scratch: &mut DecoderScratch,
+        detectors: &BitTable,
+        observables: &BitTable,
+        obs_row: usize,
+        start: usize,
+        len: usize,
+        mut on_shot: impl FnMut(usize, bool),
+    ) {
+        self.decode_blocks(
+            scratch,
+            detectors,
+            observables,
+            obs_row,
+            start,
+            len,
+            |mismatch, block, lane_range| {
+                for lane in lane_range {
+                    on_shot(block * 64 + lane, (mismatch >> lane) & 1 == 1);
+                }
+            },
+        );
+    }
+
+    /// Shared block loop of the batch entry points: per 64-shot word
+    /// column, extract sparse defect lists, decode the occupied lanes, and
+    /// hand the caller the mismatch word.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_blocks(
+        &self,
+        scratch: &mut DecoderScratch,
+        detectors: &BitTable,
+        observables: &BitTable,
+        obs_row: usize,
+        start: usize,
+        len: usize,
+        mut on_block: impl FnMut(u64, usize, std::ops::Range<usize>),
+    ) {
+        assert_eq!(
+            detectors.rows(),
+            self.num_nodes,
+            "detector row count mismatch"
+        );
+        assert_eq!(
+            detectors.shots(),
+            observables.shots(),
+            "shot count mismatch"
+        );
+        assert!(start + len <= detectors.shots(), "shot range out of bounds");
+        assert!(obs_row < observables.rows(), "observable row out of range");
+        scratch.check_shape(self.num_nodes, self.lengths.len());
+        let span = obs::span!(DECODE_NS);
+        let end = start + len;
+        let mut shot = start;
+        // Take the block buffer out so the borrow checker lets the decoder
+        // read its lane lists while mutating the rest of the scratch.
+        let mut block_buf = std::mem::take(&mut scratch.block);
+        while shot < end {
+            let block = shot / 64;
+            let lane_lo = shot % 64;
+            let block_end = ((block + 1) * 64).min(end);
+            let lanes = block_end - shot;
+            let mask = lane_mask(lane_lo, lanes);
+            let occupied = block_buf.load(detectors, block, mask);
+            EMPTY_FAST_PATH.add((mask & !occupied).count_ones() as u64);
+            let mut predicted = 0u64;
+            let mut pending = occupied;
+            while pending != 0 {
+                let lane = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                scratch.defects.clear();
+                scratch.defects.extend_from_slice(block_buf.rows(lane));
+                predicted |= (self.decode_current(scratch) & 1) << lane;
+            }
+            let actual = observables.word(obs_row, block);
+            on_block((predicted ^ actual) & mask, block, lane_lo..lane_lo + lanes);
+            shot = block_end;
+        }
+        scratch.block = block_buf;
+        drop(span);
+    }
+
+    /// Decodes the defect list currently staged in `scratch.defects`.
+    fn decode_current(&self, scratch: &mut DecoderScratch) -> u64 {
+        if scratch.defects.is_empty() {
+            EMPTY_FAST_PATH.add(1);
+            return 0;
+        }
+        DECODES.add(1);
+        scratch.begin_shot();
+        // Defect init mirrors the reference's two ascending passes over the
+        // dense syndrome: parities first, then frontier lists in incident
+        // (ascending-edge) order.
+        for i in 0..scratch.defects.len() {
+            let v = scratch.defects[i] as usize;
+            debug_assert!(
+                v < self.num_nodes && (i == 0 || scratch.defects[i - 1] < scratch.defects[i]),
+                "defect list must be strictly ascending and in range"
+            );
+            scratch.touch_node(v);
+            scratch.nodes[v].parity = 1;
+            scratch.nodes[v].flags |= F_MARKED;
+        }
+        for i in 0..scratch.defects.len() {
+            let v = scratch.defects[i] as usize;
+            for &e in self.adjacency.incident(v) {
+                scratch.frontier_push(v, e);
+            }
+        }
+        self.grow(scratch);
+        self.peel(scratch)
+    }
+
+    /// Cluster growth until every cluster is neutral (even parity or
+    /// touching the boundary).
+    ///
+    /// The per-pass active set is maintained as a worklist instead of an
+    /// O(n) scan: candidates are the initial defects plus every union
+    /// survivor; each pass maps them through `find`, dedupes with a pass
+    /// stamp, and sorts — reproducing the reference's ascending-root order
+    /// exactly. A pass that makes no progress (every frontier empty or
+    /// fully grown) marks the scratch `stalled` and stops instead of
+    /// spinning, which can only happen on degenerate graphs where an
+    /// odd-parity cluster has no path to a boundary.
+    fn grow(&self, scratch: &mut DecoderScratch) {
+        let mut passes = 0u64;
+        let mut unions = 0u64;
+        scratch.candidates.clear();
+        scratch.candidates.extend_from_slice(&scratch.defects);
+        loop {
+            passes += 1;
+            scratch.pass_id += 1;
+            scratch.pass_roots.clear();
+            for i in 0..scratch.candidates.len() {
+                let c = scratch.candidates[i] as usize;
+                let r = scratch.find(c);
+                if scratch.pass_seen[r] == scratch.pass_id {
+                    continue;
+                }
+                scratch.pass_seen[r] = scratch.pass_id;
+                let node = &scratch.nodes[r];
+                if node.parity % 2 == 1 && node.flags & F_BOUNDARY == 0 {
+                    scratch.pass_roots.push(r as u32);
+                }
+            }
+            if scratch.pass_roots.is_empty() {
+                break;
+            }
+            scratch.pass_roots.sort_unstable();
+            scratch.candidates.clear();
+            scratch.candidates.extend_from_slice(&scratch.pass_roots);
+            scratch.newly_grown.clear();
+            let mut progressed = false;
+            for i in 0..scratch.pass_roots.len() {
+                // Re-fetch root (it may have been merged earlier this pass).
+                let root = scratch.find(scratch.pass_roots[i] as usize);
+                if scratch.nodes[root].parity.is_multiple_of(2)
+                    || scratch.nodes[root].flags & F_BOUNDARY != 0
+                {
+                    continue;
+                }
+                // Take this root's frontier list; surviving cells are
+                // relinked in place, so growth never allocates.
+                let mut cur = scratch.nodes[root].f_head;
+                scratch.nodes[root].f_head = NIL;
+                scratch.nodes[root].f_tail = NIL;
+                scratch.nodes[root].f_len = 0;
+                while cur != NIL {
+                    let next = scratch.pool_next[cur as usize];
+                    let ei = scratch.pool_edge[cur as usize] as usize;
+                    scratch.touch_edge(ei);
+                    if !scratch.grown[ei] {
+                        progressed = true;
+                        scratch.support[ei] += 1;
+                        if scratch.support[ei] >= self.lengths[ei] {
+                            scratch.grown[ei] = true;
+                            scratch.newly_grown.push(ei as u32);
+                        } else {
+                            scratch.pool_next[cur as usize] = NIL;
+                            scratch.frontier_link(root, cur);
+                        }
+                    }
+                    cur = next;
+                }
+            }
+            for i in 0..scratch.newly_grown.len() {
+                let ei = scratch.newly_grown[i] as usize;
+                let u = self.edge_u[ei] as usize;
+                let ru = scratch.find(u);
+                let v = self.edge_v[ei];
+                if v == NO_NODE {
+                    scratch.nodes[ru].flags |= F_BOUNDARY;
+                    scratch.grown_boundary.push(ei as u32);
+                } else {
+                    let rv = scratch.find(v as usize);
+                    // Expand the frontier of whichever side is new.
+                    for node in [u, v as usize] {
+                        let r = scratch.find(node);
+                        if scratch.nodes[node].flags & F_VISITED == 0 {
+                            scratch.nodes[node].flags |= F_VISITED;
+                            for &x in self.adjacency.incident(node) {
+                                scratch.touch_edge(x as usize);
+                                if !scratch.grown[x as usize] {
+                                    scratch.frontier_push(r, x);
+                                }
+                            }
+                        }
+                    }
+                    if ru != rv {
+                        scratch.union(ru, rv);
+                        unions += 1;
+                    }
+                }
+            }
+            if !progressed {
+                scratch.stalled = true;
+                break;
+            }
+        }
+        GROWTH_PASSES.add(passes);
+        UNIONS.add(unions);
+    }
+
+    /// Peeling: build a spanning forest of grown edges inside each cluster
+    /// and discharge defects toward boundary-rooted trees.
+    fn peel(&self, scratch: &mut DecoderScratch) -> u64 {
+        // BFS seeded from boundary-grown edges first (ascending edge index,
+        // as the reference's full edge scan produced) so defects can drain
+        // into the boundary.
+        scratch.grown_boundary.sort_unstable();
+        for i in 0..scratch.grown_boundary.len() {
+            let ei = scratch.grown_boundary[i];
+            let u = self.edge_u[ei as usize] as usize;
+            scratch.touch_node(u);
+            if scratch.nodes[u].flags & F_PEEL_VISITED == 0 {
+                scratch.nodes[u].flags |= F_PEEL_VISITED;
+                scratch.nodes[u].peel_parent_node = PEEL_BOUNDARY;
+                scratch.nodes[u].peel_parent_edge = ei;
+                scratch.queue.push(u as u32);
+            }
+        }
+        // Then arbitrary roots for remaining cluster nodes. The reference
+        // rescans `0..n` for an unvisited marked node; marked nodes are
+        // exactly the defects and visitation is monotone, so one ascending
+        // pointer over the defect list is equivalent.
+        let mut qhead = 0usize;
+        let mut defect_ptr = 0usize;
+        loop {
+            while qhead < scratch.queue.len() {
+                let u = scratch.queue[qhead] as usize;
+                qhead += 1;
+                scratch.order.push(u as u32);
+                for &ei in self.adjacency.incident(u) {
+                    let e = ei as usize;
+                    scratch.touch_edge(e);
+                    if !scratch.grown[e] {
+                        continue;
+                    }
+                    let v = self.edge_v[e];
+                    if v == NO_NODE {
+                        continue;
+                    }
+                    let other = if self.edge_u[e] as usize == u {
+                        v as usize
+                    } else {
+                        self.edge_u[e] as usize
+                    };
+                    scratch.touch_node(other);
+                    if scratch.nodes[other].flags & F_PEEL_VISITED == 0 {
+                        scratch.nodes[other].flags |= F_PEEL_VISITED;
+                        scratch.nodes[other].peel_parent_node = u as u32;
+                        scratch.nodes[other].peel_parent_edge = ei;
+                        scratch.queue.push(other as u32);
+                    }
+                }
+            }
+            let mut seeded = false;
+            while defect_ptr < scratch.defects.len() {
+                let v = scratch.defects[defect_ptr] as usize;
+                if scratch.nodes[v].flags & F_PEEL_VISITED == 0 {
+                    scratch.nodes[v].flags |= F_PEEL_VISITED;
+                    scratch.queue.push(v as u32);
+                    seeded = true;
+                    break;
+                }
+                defect_ptr += 1;
+            }
+            if !seeded {
+                break;
+            }
+        }
+
+        let mut obs_mask = 0u64;
+        let mut discharges = 0u64;
+        let mut leaks = 0u64;
+        for i in (0..scratch.order.len()).rev() {
+            let u = scratch.order[i] as usize;
+            if scratch.nodes[u].flags & F_MARKED == 0 {
+                continue;
+            }
+            let p = scratch.nodes[u].peel_parent_node;
+            if p == PEEL_NONE {
+                // A marked arbitrary root would leave this defect
+                // undecoded. Invariant: growth leaves every cluster with
+                // even parity or a boundary, whose peel trees discharge
+                // fully — an arbitrary root (odd, boundary-free cluster)
+                // can only exist if growth stalled on a degenerate graph
+                // (e.g. an isolated defect with no edges at all).
+                leaks += 1;
+                debug_assert!(
+                    scratch.stalled,
+                    "peel parity leak at node {u} without a stalled growth phase"
+                );
+                continue;
+            }
+            let ei = scratch.nodes[u].peel_parent_edge as usize;
+            obs_mask ^= self.edge_obs[ei];
+            scratch.nodes[u].flags &= !F_MARKED;
+            discharges += 1;
+            if p != PEEL_BOUNDARY {
+                scratch.nodes[p as usize].flags ^= F_MARKED;
+            }
+        }
+        PEEL_DISCHARGES.add(discharges);
+        if leaks > 0 {
+            PEEL_LEAKS.add(leaks);
+        }
+        obs_mask
+    }
+
+    /// The original per-shot decoder, kept verbatim as the bit-identity
+    /// oracle for the scratch/batch paths (mirroring `apply_reference` in
+    /// qsim). Allocates a fresh dense [`DecodeState`] per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `syndrome.len()` differs from the graph's node count.
+    pub fn decode_reference(&self, syndrome: &[bool]) -> u64 {
+        let n = self.num_nodes;
         assert_eq!(syndrome.len(), n, "syndrome length mismatch");
         if syndrome.iter().all(|&s| !s) {
             return 0;
         }
-        let mut state = DecodeState::new(n, self.graph.edges().len());
+        let mut state = DecodeState::new(n, self.lengths.len());
         for (v, &s) in syndrome.iter().enumerate() {
             if s {
                 state.defect[v] = true;
@@ -83,17 +601,16 @@ impl UnionFindDecoder {
         // Initialize boundary lists: every defect node's incident edges.
         for v in 0..n {
             if state.defect[v] {
-                state.frontier[v] = self.adjacency[v].clone();
+                state.frontier[v] = self.adjacency.incident(v).to_vec();
             }
         }
-        self.grow(&mut state);
-        self.peel(&mut state, syndrome)
+        self.grow_reference(&mut state);
+        self.peel_reference(&mut state, syndrome)
     }
 
-    /// Cluster growth until every cluster is neutral (even parity or touching
-    /// the boundary).
-    fn grow(&self, state: &mut DecodeState) {
-        let n = self.graph.num_nodes();
+    /// Reference growth: O(n) active-root scan per pass, `Vec` frontiers.
+    fn grow_reference(&self, state: &mut DecodeState) {
+        let n = self.num_nodes;
         loop {
             let active: Vec<usize> = (0..n)
                 .filter(|&v| {
@@ -128,53 +645,53 @@ impl UnionFindDecoder {
                 state.frontier[root_now].extend(keep);
             }
             for ei in newly_grown {
-                let e = &self.graph.edges()[ei as usize];
-                let ru = state.find(e.u as usize);
-                match e.v {
-                    Some(v) => {
-                        let rv = state.find(v as usize);
-                        // Expand the frontier of whichever side is new.
-                        for node in [e.u as usize, v as usize] {
-                            let r = state.find(node);
-                            if !state.visited[node] {
-                                state.visited[node] = true;
-                                let extra: Vec<u32> = self.adjacency[node]
-                                    .iter()
-                                    .copied()
-                                    .filter(|&x| !state.grown[x as usize])
-                                    .collect();
-                                state.frontier[r].extend(extra);
-                            }
-                        }
-                        if ru != rv {
-                            state.union(ru, rv);
+                let ei = ei as usize;
+                let u = self.edge_u[ei] as usize;
+                let ru = state.find(u);
+                let v = self.edge_v[ei];
+                if v == NO_NODE {
+                    state.has_boundary[ru] = true;
+                } else {
+                    let rv = state.find(v as usize);
+                    // Expand the frontier of whichever side is new.
+                    for node in [u, v as usize] {
+                        let r = state.find(node);
+                        if !state.visited[node] {
+                            state.visited[node] = true;
+                            let extra: Vec<u32> = self
+                                .adjacency
+                                .incident(node)
+                                .iter()
+                                .copied()
+                                .filter(|&x| !state.grown[x as usize])
+                                .collect();
+                            state.frontier[r].extend(extra);
                         }
                     }
-                    None => {
-                        state.has_boundary[ru] = true;
+                    if ru != rv {
+                        state.union(ru, rv);
                     }
                 }
             }
         }
     }
 
-    /// Peeling: build a spanning forest of grown edges inside each cluster
-    /// and discharge defects toward boundary-rooted trees.
-    fn peel(&self, state: &mut DecodeState, syndrome: &[bool]) -> u64 {
-        let n = self.graph.num_nodes();
+    /// Reference peeling with dense visited/marked/parent vectors.
+    fn peel_reference(&self, state: &mut DecodeState, syndrome: &[bool]) -> u64 {
+        let n = self.num_nodes;
+        let m = self.lengths.len();
         let mut marked: Vec<bool> = syndrome.to_vec();
         let mut visited = vec![false; n];
-        // parent_edge[v] = edge used to reach v in BFS.
-        let mut parent: Vec<Option<(usize, u32)>> = vec![None; n]; // (parent node or usize::MAX for boundary, edge)
+        // parent[v] = (parent node or usize::MAX for boundary, edge).
+        let mut parent: Vec<Option<(usize, u32)>> = vec![None; n];
         let mut order: Vec<usize> = Vec::new();
-        let edges = self.graph.edges();
 
         // BFS seeded from boundary-grown edges first so defects can drain
         // into the boundary.
         let mut queue = std::collections::VecDeque::new();
-        for (ei, e) in edges.iter().enumerate() {
-            if state.grown[ei] && e.v.is_none() {
-                let u = e.u as usize;
+        for ei in 0..m {
+            if state.grown[ei] && self.edge_v[ei] == NO_NODE {
+                let u = self.edge_u[ei] as usize;
                 if !visited[u] {
                     visited[u] = true;
                     parent[u] = Some((usize::MAX, ei as u32));
@@ -183,20 +700,21 @@ impl UnionFindDecoder {
             }
         }
         // Then arbitrary roots for remaining cluster nodes.
-        let mut roots: Vec<usize> = Vec::new();
         loop {
             while let Some(u) = queue.pop_front() {
                 order.push(u);
-                for &ei in &self.adjacency[u] {
+                for &ei in self.adjacency.incident(u) {
                     if !state.grown[ei as usize] {
                         continue;
                     }
-                    let e = &edges[ei as usize];
-                    let Some(v) = e.v else { continue };
-                    let other = if e.u as usize == u {
+                    let v = self.edge_v[ei as usize];
+                    if v == NO_NODE {
+                        continue;
+                    }
+                    let other = if self.edge_u[ei as usize] as usize == u {
                         v as usize
                     } else {
-                        e.u as usize
+                        self.edge_u[ei as usize] as usize
                     };
                     if !visited[other] {
                         visited[other] = true;
@@ -207,33 +725,235 @@ impl UnionFindDecoder {
             }
             if let Some(seed) = (0..n).find(|&v| !visited[v] && marked[v]) {
                 visited[seed] = true;
-                roots.push(seed);
                 queue.push_back(seed);
             } else {
                 break;
             }
         }
 
-        let mut obs = 0u64;
+        let mut obs_mask = 0u64;
         for &u in order.iter().rev() {
             if !marked[u] {
                 continue;
             }
             let Some((p, ei)) = parent[u] else {
-                // A marked arbitrary root: parity leak (should not happen on
+                // A marked arbitrary root: parity leak (cannot happen on
                 // valid even-parity clusters); leave undecoded.
                 continue;
             };
-            obs ^= edges[ei as usize].obs_mask;
+            obs_mask ^= self.edge_obs[ei as usize];
             marked[u] = false;
             if p != usize::MAX {
                 marked[p] = !marked[p];
             }
         }
-        obs
+        obs_mask
     }
 }
 
+/// Masks lanes `lo..lo + count` of a 64-shot word.
+#[inline]
+fn lane_mask(lo: usize, count: usize) -> u64 {
+    debug_assert!(lo + count <= 64 && count > 0);
+    let full = if count == 64 {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
+    };
+    full << lo
+}
+
+/// Per-node decode state, reset lazily by epoch stamp.
+#[derive(Clone, Copy, Debug, Default)]
+struct NodeScratch {
+    parent: u32,
+    parity: u32,
+    /// Intrusive frontier list head/tail/length (cells in the scratch pool).
+    f_head: u32,
+    f_tail: u32,
+    f_len: u32,
+    peel_parent_node: u32,
+    peel_parent_edge: u32,
+    flags: u8,
+}
+
+/// Reusable decode arena: all per-shot state for one
+/// [`UnionFindDecoder`], reset sparsely between shots.
+///
+/// Owned per shard and reused across shots; see DESIGN.md §5k for the
+/// reset discipline. Build with [`UnionFindDecoder::new_scratch`].
+#[derive(Clone, Debug)]
+pub struct DecoderScratch {
+    num_nodes: usize,
+    num_edges: usize,
+    /// Current shot's epoch; state stamped with an older epoch is stale.
+    epoch: u32,
+    /// Monotone growth-pass stamp for worklist dedupe (never reset).
+    pass_id: u64,
+    node_epoch: Vec<u32>,
+    nodes: Vec<NodeScratch>,
+    pass_seen: Vec<u64>,
+    edge_epoch: Vec<u32>,
+    support: Vec<u32>,
+    grown: Vec<bool>,
+    /// Frontier cell pool: edge payload + next link, cleared per shot.
+    pool_edge: Vec<u32>,
+    pool_next: Vec<u32>,
+    /// Staged defect list (strictly ascending detector indices).
+    defects: Vec<u32>,
+    /// Growth worklist: initial defects plus union survivors.
+    candidates: Vec<u32>,
+    pass_roots: Vec<u32>,
+    newly_grown: Vec<u32>,
+    grown_boundary: Vec<u32>,
+    order: Vec<u32>,
+    queue: Vec<u32>,
+    /// Sparse syndrome extraction buffer for the batch entry points.
+    block: ShotBlock,
+    /// Set when a growth pass made no progress (degenerate graph with an
+    /// odd-parity cluster that cannot reach a boundary); licenses the peel
+    /// parity-leak branch.
+    stalled: bool,
+}
+
+impl DecoderScratch {
+    fn check_shape(&self, n: usize, m: usize) {
+        assert_eq!(
+            (self.num_nodes, self.num_edges),
+            (n, m),
+            "scratch was built for a different graph shape"
+        );
+    }
+
+    /// Starts a new shot: bump the epoch (stale state resets lazily on
+    /// first touch) and clear the per-shot lists. O(touched), except on
+    /// epoch wraparound every 2³² shots, where the stamp arrays are
+    /// rewritten in full.
+    fn begin_shot(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.node_epoch.fill(u32::MAX);
+            self.edge_epoch.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        self.pool_edge.clear();
+        self.pool_next.clear();
+        self.newly_grown.clear();
+        self.grown_boundary.clear();
+        self.order.clear();
+        self.queue.clear();
+        self.candidates.clear();
+        self.pass_roots.clear();
+        self.stalled = false;
+    }
+
+    /// Lazily resets node `v` if it was last touched in an older shot.
+    #[inline]
+    fn touch_node(&mut self, v: usize) {
+        if self.node_epoch[v] != self.epoch {
+            self.node_epoch[v] = self.epoch;
+            self.nodes[v] = NodeScratch {
+                parent: v as u32,
+                parity: 0,
+                f_head: NIL,
+                f_tail: NIL,
+                f_len: 0,
+                peel_parent_node: PEEL_NONE,
+                peel_parent_edge: 0,
+                flags: 0,
+            };
+        }
+    }
+
+    /// Lazily resets edge `e` if it was last touched in an older shot.
+    #[inline]
+    fn touch_edge(&mut self, e: usize) {
+        if self.edge_epoch[e] != self.epoch {
+            self.edge_epoch[e] = self.epoch;
+            self.support[e] = 0;
+            self.grown[e] = false;
+        }
+    }
+
+    fn find(&mut self, v: usize) -> usize {
+        self.touch_node(v);
+        let mut root = v;
+        while self.nodes[root].parent as usize != root {
+            root = self.nodes[root].parent as usize;
+        }
+        let mut cur = v;
+        while self.nodes[cur].parent as usize != cur {
+            let next = self.nodes[cur].parent as usize;
+            self.nodes[cur].parent = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Appends a new frontier cell for `edge` to `root`'s list.
+    fn frontier_push(&mut self, root: usize, edge: u32) {
+        let cell = self.pool_edge.len() as u32;
+        self.pool_edge.push(edge);
+        self.pool_next.push(NIL);
+        self.frontier_link(root, cell);
+    }
+
+    /// Links an existing (detached) cell at the tail of `root`'s list.
+    #[inline]
+    fn frontier_link(&mut self, root: usize, cell: u32) {
+        let tail = self.nodes[root].f_tail;
+        if tail == NIL {
+            self.nodes[root].f_head = cell;
+        } else {
+            self.pool_next[tail as usize] = cell;
+        }
+        self.nodes[root].f_tail = cell;
+        self.nodes[root].f_len += 1;
+    }
+
+    /// Union with the reference tie-break: the root with the longer
+    /// frontier absorbs the other (ties go to the first argument), and the
+    /// frontier lists concatenate big-then-small — the element order the
+    /// reference's `Vec::extend` produced. The survivor goes back on the
+    /// growth worklist.
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // Merge smaller frontier into larger.
+        let (big, small) = if self.nodes[ra].f_len >= self.nodes[rb].f_len {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.nodes[small].parent = big as u32;
+        let (s_head, s_tail, s_len) = (
+            self.nodes[small].f_head,
+            self.nodes[small].f_tail,
+            self.nodes[small].f_len,
+        );
+        if s_len > 0 {
+            let b_tail = self.nodes[big].f_tail;
+            if b_tail == NIL {
+                self.nodes[big].f_head = s_head;
+            } else {
+                self.pool_next[b_tail as usize] = s_head;
+            }
+            self.nodes[big].f_tail = s_tail;
+            self.nodes[big].f_len += s_len;
+            self.nodes[small].f_head = NIL;
+            self.nodes[small].f_tail = NIL;
+            self.nodes[small].f_len = 0;
+        }
+        self.nodes[big].parity += self.nodes[small].parity;
+        self.nodes[big].flags |= self.nodes[small].flags & F_BOUNDARY;
+        self.candidates.push(big as u32);
+    }
+}
+
+/// Dense per-shot state of the reference decoder (allocated per call).
 #[derive(Clone, Debug)]
 struct DecodeState {
     parent: Vec<u32>,
@@ -421,5 +1141,122 @@ mod tests {
         syn[1] = true;
         syn[4] = true;
         assert_eq!(dec.decode(&syn), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_reference_on_strip() {
+        let d = 9;
+        let g = strip(d, 0.05);
+        let dec = UnionFindDecoder::new(&g);
+        let mut scratch = dec.new_scratch();
+        // Every 1- and 2-error pattern, decoded through ONE reused scratch,
+        // must match the pristine reference decoder bit for bit.
+        for a in 0..d {
+            for b in a..d {
+                let errs: Vec<usize> = if a == b { vec![a] } else { vec![a, b] };
+                let (syn, _) = apply_errors(d, &errs);
+                assert_eq!(
+                    dec.decode_with(&mut scratch, &syn),
+                    dec.decode_reference(&syn),
+                    "errors on edges {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_defects_matches_dense_path() {
+        let d = 9;
+        let g = strip(d, 0.05);
+        let dec = UnionFindDecoder::new(&g);
+        let mut scratch = dec.new_scratch();
+        let (syn, _) = apply_errors(d, &[2, 5]);
+        let defects: Vec<u32> = syn
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(v, _)| v as u32)
+            .collect();
+        assert_eq!(
+            dec.decode_defects(&mut scratch, &defects),
+            dec.decode_reference(&syn)
+        );
+    }
+
+    #[test]
+    fn batch_count_failures_matches_per_shot() {
+        let d = 9;
+        let g = strip(d, 0.05);
+        let dec = UnionFindDecoder::new(&g);
+        let n = d - 1;
+        // 130 shots spanning three word blocks, each a pseudo-random error
+        // pattern; observables carry the TRUE obs so a failure means the
+        // decoder mispredicted.
+        let shots = 130;
+        let mut detectors = BitTable::new(n, shots);
+        let mut observables = BitTable::new(1, shots);
+        let mut expect = 0u64;
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        for shot in 0..shots {
+            let mut errs = Vec::new();
+            for e in 0..d {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if rng >> 62 == 0 {
+                    errs.push(e);
+                }
+            }
+            let (syn, obs) = apply_errors(d, &errs);
+            for (v, &s) in syn.iter().enumerate() {
+                detectors.set(v, shot, s);
+            }
+            observables.set(0, shot, obs & 1 == 1);
+            if dec.decode_reference(&syn) & 1 != obs & 1 {
+                expect += 1;
+            }
+        }
+        let mut scratch = dec.new_scratch();
+        let got = dec.count_failures(&mut scratch, &detectors, &observables, 0, 0, shots);
+        assert_eq!(got, expect);
+        // Sub-range starting off a word boundary.
+        let mut partial = 0u64;
+        dec.decode_shots(
+            &mut scratch,
+            &detectors,
+            &observables,
+            0,
+            37,
+            60,
+            |shot, failed| {
+                assert!((37..97).contains(&shot));
+                if failed {
+                    partial += 1;
+                }
+            },
+        );
+        assert_eq!(
+            partial,
+            dec.count_failures(&mut scratch, &detectors, &observables, 0, 37, 60)
+        );
+    }
+
+    #[test]
+    fn stalled_growth_terminates_on_degenerate_graphs() {
+        // A defect on a node with no incident edges: the reference decoder
+        // would spin forever; the scratch path must stall, terminate, and
+        // (in release) simply leave the defect undecoded.
+        let mut g = MatchingGraph::new(3);
+        g.add_edge(0, Some(1), 0.1, 1); // node 2 is edgeless
+        let dec = UnionFindDecoder::new(&g);
+        let mut scratch = dec.new_scratch();
+        // Both defects of the even, boundary-free component discharge over
+        // the direct edge; terminates without a boundary.
+        assert_eq!(dec.decode_with(&mut scratch, &[true, true, false]), 1);
+        // A defect on the edgeless node stalls growth and is left
+        // undecoded (counted as a peel leak) instead of hanging.
+        assert_eq!(dec.decode_with(&mut scratch, &[false, false, true]), 0);
+        // The scratch remains healthy after a stalled shot.
+        assert_eq!(dec.decode_with(&mut scratch, &[true, true, false]), 1);
     }
 }

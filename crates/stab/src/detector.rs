@@ -146,15 +146,13 @@ fn assemble(circuit: &Circuit, meas_flips: &BitTable, shots: usize) -> DetectorS
         match inst {
             Instruction::Detector(ms) => {
                 for &m in ms {
-                    let row = meas_flips.row(m).to_vec();
-                    detectors.xor_row(det, &row);
+                    detectors.xor_row(det, meas_flips.row(m));
                 }
                 det += 1;
             }
             Instruction::Observable(k, ms) => {
                 for &m in ms {
-                    let row = meas_flips.row(m).to_vec();
-                    observables.xor_row(*k as usize, &row);
+                    observables.xor_row(*k as usize, meas_flips.row(m));
                 }
             }
             _ => {}

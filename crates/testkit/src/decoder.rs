@@ -161,13 +161,81 @@ pub fn decode_all(
 
     let node_syndrome = setup.node_syndrome(error);
     let actual = u64::from(setup.actual_obs(error));
-    let unionfind_failed = uf.decode(&node_syndrome) & 1 != actual;
+    let uf_prediction = uf.decode(&node_syndrome);
+    assert_eq!(
+        uf_prediction,
+        uf.decode_reference(&node_syndrome),
+        "scratch union-find diverged from the reference decoder"
+    );
+    let unionfind_failed = uf_prediction & 1 != actual;
     let greedy_failed = greedy.decode(&node_syndrome) & 1 != actual;
     DecodeOutcome {
         lookup_failed,
         unionfind_failed,
         greedy_failed,
     }
+}
+
+/// Decodes every shot of a packed detector/observable table three ways —
+/// per-shot [`UnionFindDecoder::decode_reference`], the dense scratch path
+/// through ONE reused arena, and the sparse batch path — asserting the
+/// three agree bit for bit, then returns the batch failure count.
+///
+/// This is the testkit face of the DESIGN.md §5k bit-identity contract.
+pub fn assert_decode_paths_agree(
+    uf: &UnionFindDecoder,
+    detectors: &hetarch_stab::bits::BitTable,
+    observables: &hetarch_stab::bits::BitTable,
+) -> u64 {
+    let shots = detectors.shots();
+    let n = detectors.rows();
+    let mut scratch = uf.new_scratch();
+    let mut syndrome = vec![false; n];
+    let mut reference_failures = 0u64;
+    for shot in 0..shots {
+        for (d, s) in syndrome.iter_mut().enumerate() {
+            *s = detectors.get(d, shot);
+        }
+        let reference = uf.decode_reference(&syndrome);
+        assert_eq!(
+            uf.decode_with(&mut scratch, &syndrome),
+            reference,
+            "scratch path diverged at shot {shot}"
+        );
+        if (reference & 1 == 1) != observables.get(0, shot) {
+            reference_failures += 1;
+        }
+    }
+    let mut batch_failures = 0u64;
+    uf.decode_shots(
+        &mut scratch,
+        detectors,
+        observables,
+        0,
+        0,
+        shots,
+        |shot, failed| {
+            for (d, s) in syndrome.iter_mut().enumerate() {
+                *s = detectors.get(d, shot);
+            }
+            let reference = uf.decode_reference(&syndrome) & 1 == 1;
+            assert_eq!(
+                failed,
+                reference != observables.get(0, shot),
+                "batch path diverged at shot {shot}"
+            );
+            if failed {
+                batch_failures += 1;
+            }
+        },
+    );
+    assert_eq!(
+        batch_failures,
+        uf.count_failures(&mut scratch, detectors, observables, 0, 0, shots),
+        "count_failures disagrees with decode_shots"
+    );
+    assert_eq!(batch_failures, reference_failures);
+    batch_failures
 }
 
 #[cfg(test)]
